@@ -1,0 +1,244 @@
+// Package perfsight's top-level benchmarks regenerate every table and
+// figure of the paper's evaluation (one benchmark per artifact — see
+// DESIGN.md's experiment index) plus the §7.4 counter micro-benchmarks.
+// They report the headline number of each artifact as a custom metric so
+// `go test -bench .` doubles as the reproduction harness; bench time is
+// dominated by simulated virtual time, not the measured code, so the ns/op
+// figures are not themselves the result.
+package perfsight_test
+
+import (
+	"testing"
+	"time"
+
+	"perfsight/internal/experiments"
+	"perfsight/internal/stats"
+)
+
+// BenchmarkFig3MemoryContention regenerates the motivating Figure 3 sweep
+// and reports the fitted slope (paper: -439 Mbps per GB/s).
+func BenchmarkFig3MemoryContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig3(experiments.DefaultFig3Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(-r.SlopeMbpsPerGBps, "Mbps-lost/GBps")
+		b.ReportMetric(r.PeakNetGbps, "peak-Gbps")
+		b.ReportMetric(r.KneeGBps, "knee-GBps")
+	}
+}
+
+// BenchmarkFig8FunctionalValidation regenerates the drop-location timeline
+// under five injected problems and reports how many were located correctly.
+func BenchmarkFig8FunctionalValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig8Config()
+		cfg.PhaseLen = 6 * time.Second
+		cfg.QuietLen = 4 * time.Second
+		r, err := experiments.RunFig8(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct := 0
+		for _, p := range r.Phases {
+			if p.OK {
+				correct++
+			}
+		}
+		b.ReportMetric(float64(correct), "phases-correct")
+	}
+}
+
+// BenchmarkFig9ResponseTime measures the agent's per-channel round trips
+// (paper: device files ~2 ms, everything else <500 µs).
+func BenchmarkFig9ResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig9(11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Times["agent-tun"])/1e3, "tun-us")
+		b.ReportMetric(float64(r.Times["agent-backlog"])/1e3, "backlog-us")
+		b.ReportMetric(float64(r.Times["agent-controller"])/1e3, "controller-us")
+	}
+}
+
+// BenchmarkFig10BacklogContention regenerates the small-packet contention
+// collapse (paper: flow 1 drops from 500 Mbps and oscillates).
+func BenchmarkFig10BacklogContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BeforeGbps*1e3, "before-Mbps")
+		b.ReportMetric(r.AfterGbps*1e3, "after-Mbps")
+	}
+}
+
+// BenchmarkFig11MemBwContention regenerates the oversubscription timeline
+// (paper: 3.25 -> 1.7 Gbps, 92% of drops at TUNs).
+func BenchmarkFig11MemBwContention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BeforeGbps, "before-Gbps")
+		b.ReportMetric(r.AfterGbps, "after-Gbps")
+		b.ReportMetric(r.TUNShare*100, "tun-drop-share-%")
+	}
+}
+
+// BenchmarkFig12Propagation regenerates the three root-cause cases.
+func BenchmarkFig12Propagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct := 0
+		for _, c := range r.Cases {
+			if c.OK {
+				correct++
+			}
+		}
+		b.ReportMetric(float64(correct), "cases-correct")
+	}
+}
+
+// BenchmarkFig13MultiTenant regenerates the operator workflow (paper:
+// tenant 2 at ~200 Mbps, then 360 Mbps after scale-out).
+func BenchmarkFig13MultiTenant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.T2Bottleneck/1e6, "t2-bottleneck-Mbps")
+		b.ReportMetric(r.T2ScaledOut/1e6, "t2-scaledout-Mbps")
+	}
+}
+
+// BenchmarkTable1RuleBook regenerates the rule book probes.
+func BenchmarkTable1RuleBook(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct := 0
+		for _, row := range r.Rows {
+			if row.OK {
+				correct++
+			}
+		}
+		b.ReportMetric(float64(correct), "rows-correct")
+	}
+}
+
+// BenchmarkTable2TimeCounterOverhead regenerates the with/without-counter
+// comparison (paper: <2% throughput impact).
+func BenchmarkTable2TimeCounterOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunTable2(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.OverheadOverloaded()*100, "overloaded-overhead-%")
+		b.ReportMetric(r.BlockedWith.MeanMbps, "blocked-Mbps")
+	}
+}
+
+// BenchmarkFig15MiddleboxOverhead regenerates the per-middlebox overhead
+// comparison (paper: <5% for every type).
+func BenchmarkFig15MiddleboxOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig15(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst := 1.0
+		for _, row := range r.Rows {
+			if row.Normalized < worst {
+				worst = row.Normalized
+			}
+		}
+		b.ReportMetric(worst*100, "worst-normalized-%")
+	}
+}
+
+// BenchmarkFig16QueryOverhead regenerates the polling-cost curve over the
+// real TCP agent path.
+func BenchmarkFig16QueryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig16([]float64{10, 100}, 500*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[0].CPUPercent, "cpu-at-10Hz-%")
+		b.ReportMetric(r.Points[len(r.Points)-1].CPUPercent, "cpu-at-100Hz-%")
+	}
+}
+
+// BenchmarkAblations re-runs the design-choice ablations of DESIGN.md §5
+// and reports how many hold.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAblations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		held := 0
+		for _, row := range r.Rows {
+			if row.Holds {
+				held++
+			}
+		}
+		b.ReportMetric(float64(held), "choices-held")
+	}
+}
+
+// BenchmarkSimpleCounter measures the §7.4 packet/byte counter update
+// (paper: ~3 ns per update).
+func BenchmarkSimpleCounter(b *testing.B) {
+	var c stats.Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+// BenchmarkTimeCounter measures the §7.4 time-counter update — two clock
+// reads plus an accumulate (paper: ~0.29 µs per update on their testbed).
+func BenchmarkTimeCounter(b *testing.B) {
+	t := stats.NewTimeCounter()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tok := t.Start()
+		t.Stop(tok)
+	}
+}
+
+// BenchmarkTimeCounterDisabled measures the uninstrumented path's cost.
+func BenchmarkTimeCounterDisabled(b *testing.B) {
+	t := stats.NewTimeCounter()
+	t.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tok := t.Start()
+		t.Stop(tok)
+	}
+}
+
+// BenchmarkSizeHistogram measures the optional packet-size statistic's
+// per-packet cost (§4.1's "if they can accept the resulting performance
+// impact").
+func BenchmarkSizeHistogram(b *testing.B) {
+	h := stats.NewSizeHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(64 + i%1400)
+	}
+}

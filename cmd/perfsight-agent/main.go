@@ -1,0 +1,126 @@
+// Command perfsight-agent runs a PerfSight agent for one (simulated)
+// physical server and serves statistics to controllers over TCP.
+//
+// The agent hosts a live software dataplane: a testbed-like machine with a
+// configurable number of middlebox VMs forwarding client traffic, advanced
+// in real time. Controllers (cmd/perfsight-controller) connect with the
+// wire protocol and query any element. A fault can be injected at runtime
+// via -fault to give diagnosers something to find:
+//
+//	perfsight-agent -listen :7700 -machine m0 -vms 4 -fault membw@30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"perfsight/internal/agent"
+	"perfsight/internal/cluster"
+	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
+	"perfsight/internal/machine"
+	"perfsight/internal/middlebox"
+	"perfsight/internal/stream"
+)
+
+func main() {
+	listen := flag.String("listen", ":7700", "TCP address to serve controllers on")
+	machineID := flag.String("machine", "m0", "machine identity")
+	vms := flag.Int("vms", 4, "middlebox VMs to host")
+	rate := flag.Float64("rate-mbps", 200, "offered client load per VM, Mbit/s")
+	fault := flag.String("fault", "", "inject a fault: membw@DUR, cpu@DUR, vmcpu@DUR, rxflood@DUR (e.g. membw@30s)")
+	flag.Parse()
+
+	mid := core.MachineID(*machineID)
+	c := cluster.New(time.Millisecond)
+	m := c.AddMachine(machine.DefaultConfig(mid))
+
+	for i := 0; i < *vms; i++ {
+		vm := core.VMID(fmt.Sprintf("vm%d", i))
+		appID := core.ElementID(fmt.Sprintf("%s/%s/app", mid, vm))
+		host := c.AddHost(fmt.Sprintf("client%d", i), 0)
+		c.AddHost(fmt.Sprintf("server%d", i), 0)
+		out := c.Connect(flowID(fmt.Sprintf("out-%d", i)),
+			cluster.VMEndpoint(mid, vm), cluster.HostEndpoint(fmt.Sprintf("server%d", i)), stream.Config{})
+		proxy := middlebox.NewProxy(appID, 1e9, middlebox.ConnOutput{C: out})
+		c.PlaceVM(mid, vm, 1.0, 1e9, proxy)
+		for j := 0; j < 4; j++ {
+			in := c.Connect(flowID(fmt.Sprintf("in-%d-%d", i, j)),
+				cluster.HostEndpoint(fmt.Sprintf("client%d", i)), cluster.VMEndpoint(mid, vm), stream.Config{})
+			host.AddSource(in, *rate*1e6/4)
+		}
+	}
+
+	if *fault != "" {
+		kind, after, err := parseFault(*fault)
+		if err != nil {
+			log.Fatalf("bad -fault: %v", err)
+		}
+		go func() {
+			time.Sleep(after)
+			injectFault(m, kind)
+			log.Printf("injected fault %q", kind)
+		}()
+	}
+
+	a, err := agent.Build(m, agent.BuildOptions{Clock: c.NowNS})
+	if err != nil {
+		log.Fatalf("build agent: %v", err)
+	}
+
+	// Advance the dataplane in real time.
+	go func() {
+		const step = 10 * time.Millisecond
+		tick := time.NewTicker(step)
+		defer tick.Stop()
+		for range tick.C {
+			c.Run(step)
+		}
+	}()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("perfsight-agent %s serving %d elements on %s", mid, len(a.Elements()), ln.Addr())
+	if err := a.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	os.Exit(0)
+}
+
+func flowID(s string) dataplane.FlowID { return dataplane.FlowID(s) }
+
+func parseFault(s string) (kind string, after time.Duration, err error) {
+	kind, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return kind, 0, nil
+	}
+	d, err := time.ParseDuration(rest)
+	return kind, d, err
+}
+
+func injectFault(m *machine.Machine, kind string) {
+	switch kind {
+	case "membw":
+		m.AddHog(&machine.Hog{Name: "membw", Kind: machine.HogMem, MemDemandBps: 26e9, CyclesPerByte: 0.33})
+	case "cpu":
+		for i := 0; i < 6; i++ {
+			m.AddHog(&machine.Hog{Name: "cpu" + strconv.Itoa(i), Kind: machine.HogCPU, CPUDemandCores: 2})
+		}
+	case "vmcpu":
+		if vms := m.VMs(); len(vms) > 0 {
+			m.AddHog(&machine.Hog{Name: "vmcpu", Kind: machine.HogCPU, VM: vms[0], CPUDemandCores: 4})
+		}
+	case "memspace":
+		m.AddHog(&machine.Hog{Name: "leak", Kind: machine.HogMemSpace, AllocBytes: 16<<30 - 256<<20})
+	default:
+		log.Printf("unknown fault %q ignored", kind)
+	}
+}

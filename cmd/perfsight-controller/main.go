@@ -1,0 +1,160 @@
+// Command perfsight-controller connects to one or more perfsight-agents
+// over TCP, discovers their elements, and either watches drop locations
+// live or runs the Algorithm 1 contention/bottleneck diagnosis.
+//
+//	perfsight-controller -agents m0=localhost:7700 -diagnose -window 3s
+//	perfsight-controller -agents m0=localhost:7700 -watch 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"perfsight/internal/controller"
+	"perfsight/internal/core"
+	"perfsight/internal/diagnosis"
+	"perfsight/internal/operator"
+)
+
+func main() {
+	agents := flag.String("agents", "m0=localhost:7700", "comma-separated machine=host:port agent addresses")
+	watch := flag.Duration("watch", 0, "poll interval for live drop watching (0 = off)")
+	diagnose := flag.Bool("diagnose", false, "run the contention/bottleneck diagnosis once")
+	advise := flag.Bool("advise", false, "diagnose and print remediation advice")
+	window := flag.Duration("window", 3*time.Second, "measurement window for diagnosis")
+	flag.Parse()
+
+	topo := core.NewTopology()
+	ctl := controller.New(topo)
+	const tid = core.TenantID("operator")
+
+	for _, spec := range strings.Split(*agents, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(spec), "=")
+		if !ok {
+			log.Fatalf("bad -agents entry %q (want machine=host:port)", spec)
+		}
+		mid := core.MachineID(name)
+		client := controller.NewTCPClient(addr)
+		if d, err := client.Ping(); err != nil {
+			log.Fatalf("agent %s at %s unreachable: %v", name, addr, err)
+		} else {
+			log.Printf("agent %s at %s (rtt %v)", name, addr, d)
+		}
+		metas, err := client.ListElements()
+		if err != nil {
+			log.Fatalf("list elements from %s: %v", name, err)
+		}
+		net := topo.Net(tid)
+		for _, meta := range metas {
+			net.Add(meta.ID, core.ElementInfo{Machine: mid, Kind: meta.Kind})
+		}
+		ctl.RegisterAgent(mid, client)
+		log.Printf("  %d elements discovered", len(metas))
+	}
+
+	switch {
+	case *advise:
+		tk, err := operator.Diagnose(ctl, tid, *window)
+		if err != nil {
+			log.Fatalf("advise: %v", err)
+		}
+		if tk.Stack != nil {
+			fmt.Println("stack: ", tk.Stack)
+		}
+		if tk.Chain != nil {
+			fmt.Println("chains:", tk.Chain)
+		}
+		for _, r := range operator.Advise(tk) {
+			fmt.Println("  ", r)
+		}
+
+	case *diagnose:
+		rep, err := diagnosis.FindContentionAndBottleneck(ctl, tid, *window)
+		if err != nil {
+			log.Fatalf("diagnose: %v", err)
+		}
+		fmt.Println(rep)
+		fmt.Printf("evidence: cpu %.0f%%, membus %.0f%%, pNIC rx %.0f Mbps / tx %.0f Mbps\n",
+			rep.Evidence.CPUUtil*100, rep.Evidence.MembusUtil*100,
+			rep.Evidence.PNICRxBps/1e6, rep.Evidence.PNICTxBps/1e6)
+		for i, e := range rep.Ranked {
+			if i >= 5 || e.Loss == 0 {
+				break
+			}
+			fmt.Printf("  #%d %-30s %8.0f pkts lost\n", i+1, e.Element, e.Loss)
+		}
+
+	case *watch > 0:
+		watchDrops(ctl, tid, *watch)
+
+	default:
+		// One-shot inventory dump.
+		ids := ctl.TenantElements(tid, nil)
+		recs, err := ctl.Sample(tid, ids)
+		if err != nil {
+			log.Printf("partial sample: %v", err)
+		}
+		sorted := make([]core.ElementID, 0, len(recs))
+		for id := range recs {
+			sorted = append(sorted, id)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, id := range sorted {
+			rec := recs[id]
+			fmt.Printf("%-32s rx %12.0f B  tx %12.0f B  drops %8.0f\n", id,
+				rec.GetOr(core.AttrRxBytes, 0), rec.GetOr(core.AttrTxBytes, 0),
+				rec.GetOr(core.AttrDropPackets, 0))
+		}
+	}
+	os.Exit(0)
+}
+
+// watchDrops polls all elements and prints per-interval drop deltas.
+func watchDrops(ctl *controller.Controller, tid core.TenantID, interval time.Duration) {
+	ids := ctl.TenantElements(tid, nil)
+	prev, err := ctl.Sample(tid, ids)
+	if err != nil {
+		log.Printf("partial sample: %v", err)
+	}
+	for {
+		time.Sleep(interval)
+		cur, err := ctl.Sample(tid, ids)
+		if err != nil {
+			log.Printf("partial sample: %v", err)
+		}
+		type row struct {
+			id   core.ElementID
+			loss float64
+		}
+		var rows []row
+		for id, c := range cur {
+			p, ok := prev[id]
+			if !ok {
+				continue
+			}
+			iv := controller.Interval{Prev: p, Cur: c}
+			if loss := iv.DropPackets(); loss > 0 {
+				rows = append(rows, row{id, loss})
+			}
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].loss > rows[j].loss })
+		if len(rows) == 0 {
+			fmt.Printf("%s  no drops\n", time.Now().Format("15:04:05"))
+		} else {
+			fmt.Printf("%s  drops:", time.Now().Format("15:04:05"))
+			for i, r := range rows {
+				if i >= 4 {
+					break
+				}
+				fmt.Printf("  %s=%0.f", r.id, r.loss)
+			}
+			fmt.Println()
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,134 @@
+// Command perfsight-lab regenerates every table and figure of the paper's
+// evaluation (plus the motivating Figure 3) and prints the series and rows
+// the paper reports. Use -run to select a subset, e.g. -run fig3,fig12.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"perfsight/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	run  func() (fmt.Stringer, bool, error)
+}
+
+func main() {
+	runFlag := flag.String("run", "all", "comma-separated experiments to run (fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1,table2,fig15,fig16,ablations) or 'all'")
+	runs := flag.Int("runs", 10, "repetitions for the overhead experiments (the paper uses 100)")
+	outDir := flag.String("out", "", "directory to write per-experiment .txt reports and .csv data series")
+	flag.Parse()
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "create -out dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	all := []experiment{
+		{"fig3", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunFig3(experiments.DefaultFig3Config())
+			if err != nil {
+				return nil, false, err
+			}
+			ok := r.SlopeMbpsPerGBps < -300 && r.SlopeMbpsPerGBps > -600 && r.PeakNetGbps > 9
+			return r, ok, nil
+		}},
+		{"fig8", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunFig8(experiments.DefaultFig8Config())
+			return r, r != nil && r.AllPhasesCorrect(), err
+		}},
+		{"fig9", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunFig9(21)
+			return r, r != nil && r.ShapeCorrect(), err
+		}},
+		{"fig10", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunFig10()
+			return r, r != nil && r.Correct(), err
+		}},
+		{"fig11", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunFig11()
+			return r, r != nil && r.Correct(), err
+		}},
+		{"fig12", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunFig12()
+			return r, r != nil && r.AllCorrect(), err
+		}},
+		{"fig13", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunFig13()
+			return r, r != nil && r.Correct(), err
+		}},
+		{"table1", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunTable1()
+			return r, r != nil && r.AllCorrect(), err
+		}},
+		{"table2", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunTable2(*runs)
+			return r, r != nil && r.Correct(), err
+		}},
+		{"fig15", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunFig15(*runs / 2)
+			return r, r != nil && r.Correct(), err
+		}},
+		{"fig16", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunFig16(nil, time.Second)
+			return r, r != nil && r.ShapeCorrect(), err
+		}},
+		{"ablations", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunAblations()
+			return r, r != nil && r.AllHold(), err
+		}},
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "all" {
+		for _, n := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	failures := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		fmt.Printf("==== %s ====\n", e.name)
+		start := time.Now()
+		r, ok, err := e.run()
+		if err != nil {
+			fmt.Printf("ERROR: %v\n\n", err)
+			failures++
+			continue
+		}
+		fmt.Print(r)
+		status := "REPRODUCED"
+		if !ok {
+			status = "SHAPE MISMATCH"
+			failures++
+		}
+		fmt.Printf("[%s in %.1fs]\n\n", status, time.Since(start).Seconds())
+		if *outDir != "" {
+			txt := filepath.Join(*outDir, e.name+".txt")
+			if err := os.WriteFile(txt, []byte(r.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", txt, err)
+			}
+			if c, okCSV := r.(experiments.CSVer); okCSV {
+				csv := filepath.Join(*outDir, e.name+".csv")
+				if err := os.WriteFile(csv, []byte(c.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "write %s: %v\n", csv, err)
+				}
+			}
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) failed\n", failures)
+		os.Exit(1)
+	}
+}

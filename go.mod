@@ -1,0 +1,3 @@
+module perfsight
+
+go 1.22

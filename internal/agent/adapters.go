@@ -1,0 +1,305 @@
+// Package agent implements the per-physical-server PerfSight agent (§4.2):
+// it interrogates the machine's dataplane elements through channels
+// tailored to each element type — device files and /proc for kernel
+// elements, an OpenFlow-style control channel for the virtual switch, log
+// files for QEMU, sockets for middlebox software — and serves the unified
+// record format to the controller over TCP.
+package agent
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/procfs"
+)
+
+// Adapter fetches one element's statistics through its native channel.
+type Adapter interface {
+	ElementID() core.ElementID
+	Kind() core.ElementKind
+	Fetch(ts int64) (core.Record, error)
+}
+
+// Latency emulates a collection channel's round-trip cost. Zero (the
+// default) means full speed; the Fig 9 experiment sets the calibrated
+// per-channel costs of the paper's testbed. Sub-millisecond delays spin
+// instead of sleeping — time.Sleep's scheduler granularity would otherwise
+// distort the Fig 9 shape.
+type Latency time.Duration
+
+func (l Latency) apply() {
+	if l <= 0 {
+		return
+	}
+	d := time.Duration(l)
+	if d >= 2*time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}
+
+// DirectAdapter reads an element through the generic element-agent API —
+// used for elements instrumented with PerfSight's own counters (guest
+// stack elements, and middleboxes when not served over a socket).
+type DirectAdapter struct {
+	E       core.Element
+	Latency Latency
+}
+
+// ElementID implements Adapter.
+func (a *DirectAdapter) ElementID() core.ElementID { return a.E.ID() }
+
+// Kind implements Adapter.
+func (a *DirectAdapter) Kind() core.ElementKind { return a.E.Kind() }
+
+// Fetch implements Adapter.
+func (a *DirectAdapter) Fetch(ts int64) (core.Record, error) {
+	a.Latency.apply()
+	return a.E.Snapshot(ts), nil
+}
+
+// NetDevAdapter reads a net_device-backed element (pNIC, TUN, vNIC) by
+// reading and parsing its device file in the virtual /proc tree, the way
+// ifconfig does (§6).
+type NetDevAdapter struct {
+	ID      core.ElementID
+	DevKind core.ElementKind
+	FS      *procfs.FS
+	Path    string
+	Dev     string // device name within the file
+	CapBps  float64
+	Latency Latency
+}
+
+// ElementID implements Adapter.
+func (a *NetDevAdapter) ElementID() core.ElementID { return a.ID }
+
+// Kind implements Adapter.
+func (a *NetDevAdapter) Kind() core.ElementKind { return a.DevKind }
+
+// Fetch implements Adapter.
+func (a *NetDevAdapter) Fetch(ts int64) (core.Record, error) {
+	a.Latency.apply()
+	data, err := a.FS.ReadFile(a.Path)
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: netdev %s: %w", a.ID, err)
+	}
+	devs, err := procfs.ParseNetDev(data)
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: netdev %s: %w", a.ID, err)
+	}
+	for _, d := range devs {
+		if d.Name != a.Dev {
+			continue
+		}
+		rec := core.Record{Timestamp: ts, Element: a.ID}
+		rec.Attrs = []core.Attr{
+			{Name: core.AttrKind, Value: float64(a.DevKind)},
+			{Name: core.AttrRxPackets, Value: float64(d.RxPackets)},
+			{Name: core.AttrRxBytes, Value: float64(d.RxBytes)},
+			{Name: core.AttrTxPackets, Value: float64(d.TxPackets)},
+			{Name: core.AttrTxBytes, Value: float64(d.TxBytes)},
+			{Name: core.AttrDropPackets, Value: float64(d.RxDropped + d.TxDropped)},
+			{Name: core.AttrQueueLen, Value: float64(d.QueueLen)},
+			{Name: core.AttrQueueCap, Value: float64(d.QueueCap)},
+		}
+		if a.CapBps > 0 {
+			rec.Attrs = append(rec.Attrs, core.Attr{Name: core.AttrCapacityBps, Value: a.CapBps})
+		}
+		return rec, nil
+	}
+	return core.Record{}, fmt.Errorf("agent: netdev %s: device %q not in %s", a.ID, a.Dev, a.Path)
+}
+
+// SoftnetAdapter reads one per-CPU backlog queue's row of the softnet
+// statistics file (§6: "accessible from the /proc file system").
+type SoftnetAdapter struct {
+	ID   core.ElementID
+	FS   *procfs.FS
+	Path string
+	Row  int
+	Cap  int
+	// QueueKind is KindPCPUBacklog on the host, KindVCPUBacklog in guests.
+	QueueKind core.ElementKind
+	Latency   Latency
+}
+
+// ElementID implements Adapter.
+func (a *SoftnetAdapter) ElementID() core.ElementID { return a.ID }
+
+// Kind implements Adapter.
+func (a *SoftnetAdapter) Kind() core.ElementKind { return a.QueueKind }
+
+// Fetch implements Adapter.
+func (a *SoftnetAdapter) Fetch(ts int64) (core.Record, error) {
+	a.Latency.apply()
+	data, err := a.FS.ReadFile(a.Path)
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: softnet %s: %w", a.ID, err)
+	}
+	rows, err := procfs.ParseSoftnet(data)
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: softnet %s: %w", a.ID, err)
+	}
+	if a.Row < 0 || a.Row >= len(rows) {
+		return core.Record{}, fmt.Errorf("agent: softnet %s: row %d of %d", a.ID, a.Row, len(rows))
+	}
+	r := rows[a.Row]
+	return core.Record{
+		Timestamp: ts,
+		Element:   a.ID,
+		Attrs: []core.Attr{
+			{Name: core.AttrKind, Value: float64(a.QueueKind)},
+			{Name: core.AttrRxPackets, Value: float64(r.Processed + r.Dropped)},
+			{Name: core.AttrTxPackets, Value: float64(r.Processed)},
+			{Name: core.AttrDropPackets, Value: float64(r.Dropped)},
+			{Name: core.AttrQueueLen, Value: float64(r.Queued)},
+			{Name: core.AttrQueueCap, Value: float64(a.Cap)},
+		},
+	}, nil
+}
+
+// QEMULogAdapter collects a hypervisor-I/O element's counters from a log
+// file: the instrumented QEMU appends counter lines, and the agent parses
+// the most recent one (§6: "We write these counters into logs and
+// PerfSight fetches the counters' values from the logs").
+type QEMULogAdapter struct {
+	E       core.Element
+	Path    string
+	Latency Latency
+
+	mu sync.Mutex
+}
+
+// ElementID implements Adapter.
+func (a *QEMULogAdapter) ElementID() core.ElementID { return a.E.ID() }
+
+// Kind implements Adapter.
+func (a *QEMULogAdapter) Kind() core.ElementKind { return a.E.Kind() }
+
+// Fetch implements Adapter: the instrumented QEMU flushes a log line, then
+// the agent tails and parses it.
+func (a *QEMULogAdapter) Fetch(ts int64) (core.Record, error) {
+	a.Latency.apply()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	rec := a.E.Snapshot(ts)
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: qemulog %s: marshal: %w", a.E.ID(), err)
+	}
+	// Rotate before the log grows unbounded (QEMU's logrotate analogue).
+	if st, err := os.Stat(a.Path); err == nil && st.Size() > 64<<10 {
+		if err := os.Truncate(a.Path, 0); err != nil {
+			return core.Record{}, fmt.Errorf("agent: qemulog %s: rotate: %w", a.E.ID(), err)
+		}
+	}
+	f, err := os.OpenFile(a.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: qemulog %s: %w", a.E.ID(), err)
+	}
+	_, werr := f.Write(append(line, '\n'))
+	cerr := f.Close()
+	if werr != nil {
+		return core.Record{}, fmt.Errorf("agent: qemulog %s: append: %w", a.E.ID(), werr)
+	}
+	if cerr != nil {
+		return core.Record{}, fmt.Errorf("agent: qemulog %s: close: %w", a.E.ID(), cerr)
+	}
+
+	data, err := os.ReadFile(a.Path)
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: qemulog %s: read: %w", a.E.ID(), err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	last := lines[len(lines)-1]
+	var out core.Record
+	if err := json.Unmarshal([]byte(last), &out); err != nil {
+		return core.Record{}, fmt.Errorf("agent: qemulog %s: parse %q: %w", a.E.ID(), last, err)
+	}
+	return out, nil
+}
+
+// MboxSocketAdapter queries middlebox software over a socket (§6: "we use
+// sockets between middlebox software and the agent"). StatsServer is the
+// middlebox side; the adapter dials through the provided dialer (net.Pipe
+// in simulations, TCP for live deployments).
+type MboxSocketAdapter struct {
+	ID      core.ElementID
+	Dial    func() (net.Conn, error)
+	Latency Latency
+}
+
+// ElementID implements Adapter.
+func (a *MboxSocketAdapter) ElementID() core.ElementID { return a.ID }
+
+// Kind implements Adapter.
+func (a *MboxSocketAdapter) Kind() core.ElementKind { return core.KindMiddlebox }
+
+// Fetch implements Adapter.
+func (a *MboxSocketAdapter) Fetch(ts int64) (core.Record, error) {
+	a.Latency.apply()
+	conn, err := a.Dial()
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: mbox %s: dial: %w", a.ID, err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "STATS %d\n", ts); err != nil {
+		return core.Record{}, fmt.Errorf("agent: mbox %s: send: %w", a.ID, err)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: mbox %s: recv: %w", a.ID, err)
+	}
+	var rec core.Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return core.Record{}, fmt.Errorf("agent: mbox %s: parse: %w", a.ID, err)
+	}
+	return rec, nil
+}
+
+// StatsServer answers STATS requests for one middlebox element. Run serves
+// a single connection; ServeListener accepts in a loop.
+type StatsServer struct {
+	E core.Element
+}
+
+// Handle serves one connection until it closes.
+func (s *StatsServer) Handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		var ts int64
+		if _, err := fmt.Sscanf(sc.Text(), "STATS %d", &ts); err != nil {
+			fmt.Fprintf(conn, "{\"error\":%q}\n", err.Error())
+			continue
+		}
+		line, err := json.Marshal(s.E.Snapshot(ts))
+		if err != nil {
+			fmt.Fprintf(conn, "{\"error\":%q}\n", err.Error())
+			continue
+		}
+		conn.Write(append(line, '\n'))
+	}
+}
+
+// PipeDialer returns a dialer connected to the stats server through an
+// in-memory pipe, spawning a handler per dial.
+func (s *StatsServer) PipeDialer() func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		client, server := net.Pipe()
+		go s.Handle(server)
+		return client, nil
+	}
+}

@@ -1,0 +1,170 @@
+package agent
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/wire"
+)
+
+// Agent gathers statistics from the elements of one physical server and
+// answers controller queries. To reduce overhead it pulls counter values
+// from elements only when queried (§4.2).
+type Agent struct {
+	machine core.MachineID
+	clock   func() int64
+
+	mu       sync.RWMutex
+	adapters map[core.ElementID]Adapter
+
+	queryCount uint64
+	busyNS     int64
+}
+
+// New builds an agent for a machine. clock supplies record timestamps
+// (virtual time in simulations, wall clock live); nil uses wall clock.
+func New(machine core.MachineID, clock func() int64) *Agent {
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixNano() }
+	}
+	return &Agent{
+		machine:  machine,
+		clock:    clock,
+		adapters: make(map[core.ElementID]Adapter),
+	}
+}
+
+// Machine returns the agent's server identity.
+func (a *Agent) Machine() core.MachineID { return a.machine }
+
+// Register attaches an element adapter.
+func (a *Agent) Register(ad Adapter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.adapters[ad.ElementID()] = ad
+}
+
+// Unregister removes an element (VM migrated away).
+func (a *Agent) Unregister(id core.ElementID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.adapters, id)
+}
+
+// Elements returns the sorted inventory.
+func (a *Agent) Elements() []core.ElementID {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]core.ElementID, 0, len(a.adapters))
+	for id := range a.adapters {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Fetch gathers records for the requested elements (all when ids empty and
+// all=true). Unknown elements yield an error; partial results are
+// returned alongside it.
+func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Record, error) {
+	start := time.Now()
+	defer func() {
+		a.mu.Lock()
+		a.queryCount++
+		a.busyNS += time.Since(start).Nanoseconds()
+		a.mu.Unlock()
+	}()
+
+	if all {
+		ids = a.Elements()
+	}
+	ts := a.clock()
+	var recs []core.Record
+	var firstErr error
+	for _, id := range ids {
+		a.mu.RLock()
+		ad := a.adapters[id]
+		a.mu.RUnlock()
+		if ad == nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("agent %s: unknown element %s", a.machine, id)
+			}
+			continue
+		}
+		rec, err := ad.Fetch(ts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		recs = append(recs, wire.FilterAttrs(rec, attrs))
+	}
+	return recs, firstErr
+}
+
+// Stats reports the agent's own collection overhead (Fig 16).
+func (a *Agent) Stats() (queries uint64, busy time.Duration) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.queryCount, time.Duration(a.busyNS)
+}
+
+// Serve answers controller connections on l until the listener closes.
+func (a *Agent) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go a.handle(conn)
+	}
+}
+
+func (a *Agent) handle(conn net.Conn) {
+	defer conn.Close()
+	for {
+		msg, err := wire.Read(conn)
+		if err != nil {
+			return // EOF or broken peer; connection-scoped, agent keeps serving
+		}
+		resp := a.dispatch(msg)
+		if err := wire.Write(conn, resp); err != nil {
+			log.Printf("perfsight-agent %s: write response: %v", a.machine, err)
+			return
+		}
+	}
+}
+
+func (a *Agent) dispatch(msg *wire.Message) *wire.Message {
+	switch msg.Type {
+	case wire.TypePing:
+		return &wire.Message{Type: wire.TypePong, ID: msg.ID, Machine: a.machine}
+	case wire.TypeListElements:
+		var metas []wire.ElementMeta
+		a.mu.RLock()
+		for id, ad := range a.adapters {
+			metas = append(metas, wire.ElementMeta{ID: id, Kind: ad.Kind()})
+		}
+		a.mu.RUnlock()
+		sort.Slice(metas, func(i, j int) bool { return metas[i].ID < metas[j].ID })
+		return &wire.Message{Type: wire.TypeElementList, ID: msg.ID, Machine: a.machine, Elements: metas}
+	case wire.TypeQuery:
+		if msg.Query == nil {
+			return &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: "query message without query body"}
+		}
+		recs, err := a.Fetch(msg.Query.Elements, msg.Query.Attrs, msg.Query.All)
+		resp := &wire.Message{Type: wire.TypeResponse, ID: msg.ID, Machine: a.machine, Records: recs}
+		if err != nil {
+			resp.Error = err.Error()
+		}
+		return resp
+	default:
+		return &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: fmt.Sprintf("unknown message type %q", msg.Type)}
+	}
+}

@@ -1,0 +1,130 @@
+package agent
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
+	"perfsight/internal/wire"
+)
+
+// TestConcurrentClientsAgainstLiveDatapath hammers one agent with many
+// TCP clients while the datapath keeps mutating the counters underneath —
+// the production shape of a polled agent. Validated under -race.
+func TestConcurrentClientsAgainstLiveDatapath(t *testing.T) {
+	m := testMachine(t)
+	a := buildTestAgent(t, m, BuildOptions{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go a.Serve(ln)
+
+	// Keep the dataplane hot while clients query.
+	stop := make(chan struct{})
+	var tickerWG sync.WaitGroup
+	tickerWG.Add(1)
+	go func() {
+		defer tickerWG.Done()
+		now := 100 * time.Millisecond
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.OfferWire([]dataplane.Batch{{Flow: "f1", Packets: 20, Bytes: 20 * 1448}}, time.Millisecond)
+			m.Tick(now, time.Millisecond)
+			now += time.Millisecond
+		}
+	}()
+
+	const clients = 8
+	const queriesPerClient = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			for q := 0; q < queriesPerClient; q++ {
+				if err := wire.Write(conn, &wire.Message{
+					Type: wire.TypeQuery, ID: uint64(q),
+					Query: &wire.Query{All: true},
+				}); err != nil {
+					errs <- err
+					return
+				}
+				resp, err := wire.Read(conn)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Type != wire.TypeResponse || len(resp.Records) == 0 {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	tickerWG.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent client failed: %v", err)
+		}
+	}
+	queries, _ := a.Stats()
+	if queries < clients*queriesPerClient {
+		t.Fatalf("agent served %d queries; want >= %d", queries, clients*queriesPerClient)
+	}
+}
+
+// TestRegisterUnregisterDuringQueries churns the element set while queries
+// are in flight (VM placement changes under load).
+func TestRegisterUnregisterDuringQueries(t *testing.T) {
+	m := testMachine(t)
+	a := buildTestAgent(t, m, BuildOptions{})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := core.ElementID("m0/churn")
+			a.Register(&DirectAdapter{E: churnElem{id}})
+			a.Unregister(id)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			a.Fetch(nil, nil, true)
+		}
+		close(stop)
+	}()
+	wg.Wait()
+}
+
+type churnElem struct{ id core.ElementID }
+
+func (c churnElem) ID() core.ElementID            { return c.id }
+func (c churnElem) Kind() core.ElementKind        { return core.KindUnknown }
+func (c churnElem) Snapshot(ts int64) core.Record { return core.Record{Timestamp: ts, Element: c.id} }

@@ -1,0 +1,113 @@
+package agent
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+
+	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
+)
+
+// OVSChannelServer exposes a virtual switch's statistics over a control
+// channel in an ovs-ofctl dump-flows style, the way the real agent fetches
+// per-rule counters via OpenFlow (§6).
+type OVSChannelServer struct {
+	VS *dataplane.VSwitch
+}
+
+// Handle serves one control connection.
+func (s *OVSChannelServer) Handle(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		cmd := strings.TrimSpace(sc.Text())
+		switch cmd {
+		case "DUMP":
+			rec := s.VS.Snapshot(0)
+			fmt.Fprintf(conn, "switch")
+			for _, a := range rec.Attrs {
+				fmt.Fprintf(conn, " %s=%g", a.Name, a.Value)
+			}
+			fmt.Fprintln(conn)
+			for _, r := range s.VS.Rules() {
+				fmt.Fprintf(conn, "rule flow=%s packets=%d bytes=%d\n",
+					r.Flow, r.Packets.Load(), r.Bytes.Load())
+			}
+			fmt.Fprintln(conn, "END")
+		default:
+			fmt.Fprintf(conn, "ERR unknown command %q\nEND\n", cmd)
+		}
+	}
+}
+
+// PipeDialer returns an in-memory dialer to the channel server.
+func (s *OVSChannelServer) PipeDialer() func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		client, server := net.Pipe()
+		go s.Handle(server)
+		return client, nil
+	}
+}
+
+// OVSAdapter fetches virtual-switch statistics over the control channel.
+type OVSAdapter struct {
+	ID      core.ElementID
+	Dial    func() (net.Conn, error)
+	Latency Latency
+}
+
+// ElementID implements Adapter.
+func (a *OVSAdapter) ElementID() core.ElementID { return a.ID }
+
+// Kind implements Adapter.
+func (a *OVSAdapter) Kind() core.ElementKind { return core.KindVSwitch }
+
+// Fetch implements Adapter.
+func (a *OVSAdapter) Fetch(ts int64) (core.Record, error) {
+	a.Latency.apply()
+	conn, err := a.Dial()
+	if err != nil {
+		return core.Record{}, fmt.Errorf("agent: ovs %s: dial: %w", a.ID, err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintln(conn, "DUMP"); err != nil {
+		return core.Record{}, fmt.Errorf("agent: ovs %s: send: %w", a.ID, err)
+	}
+	rec := core.Record{Timestamp: ts, Element: a.ID}
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "END":
+			return rec, nil
+		case strings.HasPrefix(line, "ERR"):
+			return core.Record{}, fmt.Errorf("agent: ovs %s: %s", a.ID, line)
+		case strings.HasPrefix(line, "switch"):
+			for _, kv := range strings.Fields(line)[1:] {
+				name, val, ok := strings.Cut(kv, "=")
+				if !ok {
+					continue
+				}
+				var v float64
+				if _, err := fmt.Sscanf(val, "%g", &v); err == nil {
+					rec.Attrs = append(rec.Attrs, core.Attr{Name: name, Value: v})
+				}
+			}
+		case strings.HasPrefix(line, "rule "):
+			var flow string
+			var pkts, bytes uint64
+			if _, err := fmt.Sscanf(line, "rule flow=%s packets=%d bytes=%d", &flow, &pkts, &bytes); err == nil {
+				rec.Attrs = append(rec.Attrs,
+					core.Attr{Name: "rule_" + flow + "_packets", Value: float64(pkts)},
+					core.Attr{Name: "rule_" + flow + "_bytes", Value: float64(bytes)},
+				)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return core.Record{}, fmt.Errorf("agent: ovs %s: read: %w", a.ID, err)
+	}
+	return core.Record{}, fmt.Errorf("agent: ovs %s: channel closed before END", a.ID)
+}

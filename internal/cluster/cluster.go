@@ -1,0 +1,406 @@
+// Package cluster assembles multi-machine scenarios: physical machines
+// running the simulated virtualization stack, external hosts (clients,
+// servers, the cloud gateway — the "Internet" side of Figure 2), flow
+// routing between them, and the tenant topology the PerfSight controller
+// consumes. It is the test-bed builder used by the experiments, examples
+// and integration tests.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
+	"perfsight/internal/machine"
+	"perfsight/internal/sim"
+	"perfsight/internal/stats"
+	"perfsight/internal/stream"
+)
+
+// Endpoint designates one end of a flow: a VM on a machine, or an
+// external host.
+type Endpoint struct {
+	Machine core.MachineID
+	VM      core.VMID
+	Host    string
+}
+
+// VMEndpoint returns an endpoint for a VM.
+func VMEndpoint(m core.MachineID, vm core.VMID) Endpoint {
+	return Endpoint{Machine: m, VM: vm}
+}
+
+// HostEndpoint returns an endpoint for an external host.
+func HostEndpoint(name string) Endpoint { return Endpoint{Host: name} }
+
+// IsHost reports whether the endpoint is an external host.
+func (e Endpoint) IsHost() bool { return e.Host != "" }
+
+// route records a flow's wire-level destination.
+type route struct {
+	machine core.MachineID
+	host    string
+}
+
+// Cluster is a complete simulated deployment.
+type Cluster struct {
+	Engine *sim.Engine
+
+	// RmemPerConn clamps the receive window a VM-destined connection
+	// advertises, modelling per-socket tcp_rmem rather than the VM's
+	// whole socket pool (Linux 3.2 default: 212992). Zero means 1 MiB.
+	RmemPerConn int64
+	// AckDelay is how stale the receive window a sender acts on may be
+	// (window updates ride ACKs, one RTT behind). Senders overshooting a
+	// stale window is what lets a slow VM's TUN overflow before flow
+	// control catches up, as on real TCP. Zero means 2 ms.
+	AckDelay time.Duration
+	// NoStaleWindows disables the freeze of window updates while a guest
+	// cannot poll its ring (ablation knob; see DESIGN.md §5).
+	NoStaleWindows bool
+
+	machines     map[core.MachineID]*machine.Machine
+	machineOrder []core.MachineID
+	hosts        map[string]*Host
+	hostOrder    []string
+	routes       map[dataplane.FlowID]route
+	pending      map[core.MachineID][]dataplane.Batch
+	registries   map[core.MachineID]*stats.Registry
+	topo         *core.Topology
+}
+
+// New builds an empty cluster with the given tick size.
+func New(dt time.Duration) *Cluster {
+	c := &Cluster{
+		Engine:     sim.NewEngine(dt),
+		machines:   make(map[core.MachineID]*machine.Machine),
+		hosts:      make(map[string]*Host),
+		routes:     make(map[dataplane.FlowID]route),
+		pending:    make(map[core.MachineID][]dataplane.Batch),
+		registries: make(map[core.MachineID]*stats.Registry),
+		topo:       core.NewTopology(),
+	}
+	c.Engine.AddFunc(c.tick)
+	return c
+}
+
+// Now returns current virtual time.
+func (c *Cluster) Now() time.Duration { return c.Engine.Now() }
+
+// NowNS returns current virtual time in nanoseconds (record timestamps).
+func (c *Cluster) NowNS() int64 { return int64(c.Engine.Now()) }
+
+// Run advances virtual time by d.
+func (c *Cluster) Run(d time.Duration) { c.Engine.Run(d) }
+
+// AddMachine creates a physical machine.
+func (c *Cluster) AddMachine(cfg machine.Config) *machine.Machine {
+	if _, dup := c.machines[cfg.ID]; dup {
+		panic(fmt.Sprintf("cluster: duplicate machine %s", cfg.ID))
+	}
+	m := machine.New(cfg)
+	c.machines[cfg.ID] = m
+	c.machineOrder = append(c.machineOrder, cfg.ID)
+	c.registries[cfg.ID] = stats.NewRegistry()
+	return m
+}
+
+// Machine returns a machine by ID.
+func (c *Cluster) Machine(id core.MachineID) *machine.Machine { return c.machines[id] }
+
+// Machines returns machine IDs in creation order.
+func (c *Cluster) Machines() []core.MachineID {
+	return append([]core.MachineID(nil), c.machineOrder...)
+}
+
+// AddHost creates an external host with the given access-link rate
+// (0 = unlimited).
+func (c *Cluster) AddHost(name string, linkBps float64) *Host {
+	if _, dup := c.hosts[name]; dup {
+		panic(fmt.Sprintf("cluster: duplicate host %s", name))
+	}
+	h := &Host{Name: name, LinkBps: linkBps, inboxCap: 4 << 20}
+	c.hosts[name] = h
+	c.hostOrder = append(c.hostOrder, name)
+	return h
+}
+
+// Host returns a host by name.
+func (c *Cluster) Host(name string) *Host { return c.hosts[name] }
+
+// PlaceVM places a VM and registers its elements with the machine's agent
+// registry.
+func (c *Cluster) PlaceVM(m core.MachineID, vm core.VMID, vcpus, vnicBps float64, apps ...machine.App) *machine.VM {
+	mm := c.machines[m]
+	if mm == nil {
+		panic(fmt.Sprintf("cluster: unknown machine %s", m))
+	}
+	v := mm.AddVM(vm, vcpus, vnicBps, apps...)
+	c.syncRegistry(m)
+	return v
+}
+
+// MigrateVM removes a VM from one machine (the §7.3 operator response to
+// contention). Traffic must be re-routed by the caller.
+func (c *Cluster) MigrateVM(from core.MachineID, vm core.VMID) {
+	if mm := c.machines[from]; mm != nil {
+		mm.RemoveVM(vm)
+		c.syncRegistry(from)
+	}
+}
+
+// syncRegistry rebuilds a machine's element registry after placement
+// changes.
+func (c *Cluster) syncRegistry(m core.MachineID) {
+	reg := c.registries[m]
+	if reg == nil {
+		return
+	}
+	for _, e := range reg.List() {
+		reg.Unregister(e.ID())
+	}
+	for _, e := range c.machines[m].Elements() {
+		reg.Register(e)
+	}
+}
+
+// EnableDropTracing attaches a drop tracer to a machine's stack and
+// returns it; capacity bounds the retained event ring.
+func (c *Cluster) EnableDropTracing(m core.MachineID, capacity int) *dataplane.DropTracer {
+	mm := c.machines[m]
+	if mm == nil {
+		return nil
+	}
+	tr := dataplane.NewDropTracer(capacity)
+	mm.Stack.AttachTracer(tr)
+	return tr
+}
+
+// Registry returns the per-machine element registry the agent serves.
+func (c *Cluster) Registry(m core.MachineID) *stats.Registry { return c.registries[m] }
+
+// Topology returns the tenant topology for the controller.
+func (c *Cluster) Topology() *core.Topology { return c.topo }
+
+// Assign records elements as belonging to a tenant's virtual network.
+func (c *Cluster) Assign(tid core.TenantID, m core.MachineID, kind core.ElementKind, capacityBps float64, ids ...core.ElementID) {
+	net := c.topo.Net(tid)
+	for _, id := range ids {
+		net.Add(id, core.ElementInfo{Machine: m, Kind: kind, CapacityBps: capacityBps})
+	}
+}
+
+// AssignStack assigns every virtualization-stack element of machine m to
+// the tenant (contending tenants share these).
+func (c *Cluster) AssignStack(tid core.TenantID, m core.MachineID) {
+	mm := c.machines[m]
+	net := c.topo.Net(tid)
+	for _, e := range mm.Stack.Elements() {
+		net.Add(e.ID(), core.ElementInfo{Machine: m, Kind: e.Kind()})
+	}
+	net.Add(mm.HostElement().ID(), core.ElementInfo{Machine: m, Kind: core.KindUnknown})
+}
+
+// AssignVM assigns a VM's per-VM elements (TUN, QEMU, guest, apps) to the
+// tenant.
+func (c *Cluster) AssignVM(tid core.TenantID, m core.MachineID, vm core.VMID) {
+	mm := c.machines[m]
+	v := mm.VM(vm)
+	if v == nil {
+		return
+	}
+	net := c.topo.Net(tid)
+	for _, e := range v.Stack.Elements() {
+		net.Add(e.ID(), core.ElementInfo{Machine: m, Kind: e.Kind()})
+	}
+	for _, a := range v.Apps {
+		rec := a.Snapshot(0)
+		net.Add(a.ID(), core.ElementInfo{
+			Machine:     m,
+			Kind:        core.KindMiddlebox,
+			CapacityBps: rec.GetOr(core.AttrCapacityBps, 0),
+		})
+	}
+}
+
+// AddChain records a tenant's middlebox chain (traversal order) for
+// Algorithm 2.
+func (c *Cluster) AddChain(tid core.TenantID, chain ...core.ElementID) {
+	net := c.topo.Net(tid)
+	net.Chains = append(net.Chains, chain)
+}
+
+// RouteFlow installs wire routing and switch rules so flow f travels from
+// src to dst. It must be called before traffic is generated on f.
+func (c *Cluster) RouteFlow(f dataplane.FlowID, src, dst Endpoint) {
+	if dst.IsHost() {
+		c.routes[f] = route{host: dst.Host}
+	} else {
+		c.routes[f] = route{machine: dst.Machine}
+		mm := c.machines[dst.Machine]
+		if mm == nil {
+			panic(fmt.Sprintf("cluster: route %s to unknown machine %s", f, dst.Machine))
+		}
+		mm.Stack.VSwitch.InstallToVM(f, dst.VM)
+	}
+	if !src.IsHost() {
+		sm := c.machines[src.Machine]
+		if sm == nil {
+			panic(fmt.Sprintf("cluster: route %s from unknown machine %s", f, src.Machine))
+		}
+		if dst.IsHost() || dst.Machine != src.Machine {
+			sm.Stack.VSwitch.InstallToPNIC(f)
+		}
+		// Same-machine VM-to-VM: the destination rule above already routes
+		// the flow from the backlog to the target TUN.
+	}
+}
+
+// RerouteFlow points an existing flow at a new destination (scale-out /
+// migration). The old destination's switch rule is removed.
+func (c *Cluster) RerouteFlow(f dataplane.FlowID, src, newDst Endpoint) {
+	if r, ok := c.routes[f]; ok && r.machine != "" {
+		if mm := c.machines[r.machine]; mm != nil {
+			mm.Stack.VSwitch.Remove(f)
+		}
+	}
+	c.RouteFlow(f, src, newDst)
+}
+
+// Connect creates a stream connection on flow f from src to dst, with
+// routing installed. Endpoints resolve lazily, so conns may be created
+// before their VMs are placed (apps usually take their output conns at
+// construction) and keep working across migration. The sender side must
+// pump the conn (VM apps pump their own conns; host-side conns are pumped
+// by the host each tick).
+func (c *Cluster) Connect(f dataplane.FlowID, src, dst Endpoint, cfg stream.Config) *stream.Conn {
+	c.RouteFlow(f, src, dst)
+	var emit stream.Emitter
+	if src.IsHost() {
+		h := c.hosts[src.Host]
+		if h == nil {
+			panic(fmt.Sprintf("cluster: Connect %s from unknown host %s", f, src.Host))
+		}
+		emit = h.emit
+	} else {
+		emit = func(b dataplane.Batch) int64 {
+			vs := c.machines[src.Machine].VM(src.VM)
+			if vs == nil {
+				return 0
+			}
+			b.Egress = true
+			return vs.Stack.Socket.Write(b)
+		}
+	}
+	var rwnd stream.Window
+	if dst.IsHost() {
+		h := c.hosts[dst.Host]
+		if h == nil {
+			panic(fmt.Sprintf("cluster: Connect %s to unknown host %s", f, dst.Host))
+		}
+		rwnd = h
+	} else {
+		rwnd = &vmWindow{c: c, m: dst.Machine, vm: dst.VM}
+	}
+	conn := stream.NewConn(f, cfg, emit, rwnd)
+	if src.IsHost() {
+		c.hosts[src.Host].pump = append(c.hosts[src.Host].pump, conn)
+	}
+	return conn
+}
+
+// vmWindow resolves a VM's socket receive window lazily, clamped to the
+// per-connection rmem and refreshed only at ACK cadence.
+type vmWindow struct {
+	c  *Cluster
+	m  core.MachineID
+	vm core.VMID
+
+	lastVal    int64
+	lastUpdate time.Duration
+	primed     bool
+}
+
+// RxFree implements stream.Window.
+func (w *vmWindow) RxFree() int64 {
+	now := w.c.Now()
+	delay := w.c.AckDelay
+	if delay <= 0 {
+		delay = 2 * time.Millisecond
+	}
+	if w.primed && now-w.lastUpdate < delay {
+		return w.lastVal
+	}
+	mm := w.c.machines[w.m]
+	if mm == nil {
+		return 0
+	}
+	vs := mm.VM(w.vm)
+	if vs == nil {
+		return 0
+	}
+	if w.primed && !w.c.NoStaleWindows && vs.Stack.KernelBehind() {
+		// A guest that cannot poll its ring cannot send ACKs or window
+		// updates either: senders keep acting on the last advertised
+		// window, which is how a starved VM's TUN overflows before flow
+		// control reacts.
+		return w.lastVal
+	}
+	free := vs.Stack.Socket.RxFree()
+	clamp := w.c.RmemPerConn
+	if clamp <= 0 {
+		clamp = 1 << 20
+	}
+	if free > clamp {
+		free = clamp
+	}
+	w.lastVal = free
+	w.lastUpdate = now
+	w.primed = true
+	return free
+}
+
+// tick advances the whole cluster one step: hosts emit, machines run, and
+// wire traffic is routed with one tick of store-and-forward latency.
+func (c *Cluster) tick(now, dt time.Duration) {
+	next := make(map[core.MachineID][]dataplane.Batch, len(c.machines))
+
+	// External hosts generate and pump first.
+	for _, hn := range c.hostOrder {
+		h := c.hosts[hn]
+		h.tick(now, dt)
+		for _, b := range h.drainOut() {
+			c.routeBatch(b, next, dt)
+		}
+	}
+
+	// Machines consume last tick's wire arrivals and run their pipelines.
+	for _, mid := range c.machineOrder {
+		m := c.machines[mid]
+		if arr := c.pending[mid]; len(arr) > 0 {
+			m.OfferWire(arr, dt)
+		}
+		m.Tick(now, dt)
+		for _, b := range m.CollectWire() {
+			c.routeBatch(b, next, dt)
+		}
+	}
+	c.pending = next
+}
+
+// routeBatch delivers a wire batch toward its flow's destination.
+func (c *Cluster) routeBatch(b dataplane.Batch, next map[core.MachineID][]dataplane.Batch, dt time.Duration) {
+	r, ok := c.routes[b.Flow]
+	if !ok {
+		// Unrouted wire traffic disappears into the fabric; flows are
+		// notified so closed loops do not hang.
+		b.NotifyDropped("fabric/unrouted")
+		return
+	}
+	if r.host != "" {
+		c.hosts[r.host].deliver(b)
+		return
+	}
+	next[r.machine] = append(next[r.machine], b)
+}

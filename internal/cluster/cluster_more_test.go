@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/middlebox"
+	"perfsight/internal/stream"
+)
+
+func TestRegistrySyncOnPlacement(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddMachine(testMachineCfg("m0"))
+	reg := c.Registry("m0")
+	base := reg.Len()
+	c.PlaceVM("m0", "vm0", 1.0, 1e9, middlebox.NewSink("m0/vm0/app", 1e9))
+	if reg.Len() <= base {
+		t.Fatal("registry not updated on placement")
+	}
+	if _, ok := reg.Get("m0/vm0/tun"); !ok {
+		t.Fatal("per-VM element missing from registry")
+	}
+	c.MigrateVM("m0", "vm0")
+	if _, ok := reg.Get("m0/vm0/tun"); ok {
+		t.Fatal("migrated VM's element lingers in registry")
+	}
+}
+
+func TestTopologyAssignment(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddMachine(testMachineCfg("m0"))
+	c.PlaceVM("m0", "vm0", 1.0, 2e8, middlebox.NewSink("m0/vm0/app", 2e8))
+	c.AssignStack("t1", "m0")
+	c.AssignVM("t1", "m0", "vm0")
+	c.AddChain("t1", "m0/vm0/app")
+
+	net := c.Topology().Tenants["t1"]
+	if net == nil {
+		t.Fatal("tenant missing")
+	}
+	if _, ok := net.Elements["m0/pnic"]; !ok {
+		t.Fatal("stack element not assigned")
+	}
+	info, ok := net.Elements["m0/vm0/app"]
+	if !ok || info.Kind != core.KindMiddlebox {
+		t.Fatalf("app info: %+v", info)
+	}
+	if info.CapacityBps != 2e8 {
+		t.Fatalf("app capacity %v; want vNIC capacity", info.CapacityBps)
+	}
+	if len(net.Chains) != 1 {
+		t.Fatal("chain not recorded")
+	}
+}
+
+func TestRerouteFlowMovesTraffic(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddMachine(testMachineCfg("m0"))
+	c.AddMachine(testMachineCfg("m1"))
+	sinkA := middlebox.NewSink("m0/vmA/app", 1e9)
+	sinkB := middlebox.NewSink("m1/vmB/app", 1e9)
+	c.PlaceVM("m0", "vmA", 1.0, 1e9, sinkA)
+	c.PlaceVM("m1", "vmB", 1.0, 1e9, sinkB)
+
+	h := c.AddHost("h", 0)
+	conn := c.Connect("f", HostEndpoint("h"), VMEndpoint("m0", "vmA"), stream.Config{})
+	h.AddSource(conn, 100e6)
+	c.Run(time.Second)
+	if sinkA.ReceivedBytes() == 0 {
+		t.Fatal("no traffic before reroute")
+	}
+
+	c.RerouteFlow("f", HostEndpoint("h"), VMEndpoint("m1", "vmB"))
+	beforeA := sinkA.ReceivedBytes()
+	c.Run(2 * time.Second)
+	if sinkB.ReceivedBytes() == 0 {
+		t.Fatal("no traffic after reroute")
+	}
+	// A few in-flight bytes may still land at A right after the switch.
+	if grown := sinkA.ReceivedBytes() - beforeA; grown > 1<<20 {
+		t.Fatalf("old destination still receiving: +%d bytes", grown)
+	}
+	if c.Machine("m0").Stack.VSwitch.Lookup("f") != nil {
+		t.Fatal("stale switch rule on the old machine")
+	}
+}
+
+func TestUnroutedWireTrafficNotifiesDrop(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddMachine(testMachineCfg("m0"))
+	src := middlebox.NewRawSource("m0/vm0/app", 1e9, "orphan", 50e6, 1448, nil)
+	c.PlaceVM("m0", "vm0", 1.0, 1e9, src)
+	// Switch rule exists (to pNIC) but no cluster route: fabric blackhole.
+	c.Machine("m0").Stack.VSwitch.InstallToPNIC("orphan")
+	c.Run(500 * time.Millisecond) // must not panic or wedge
+	if src.SentBytes() == 0 {
+		t.Fatal("source never emitted")
+	}
+}
+
+func TestDuplicateMachinePanics(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddMachine(testMachineCfg("m0"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.AddMachine(testMachineCfg("m0"))
+}
+
+func TestDuplicateHostPanics(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddHost("h", 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c.AddHost("h", 0)
+}
+
+func TestHostLinkRateLimitsEgress(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddMachine(testMachineCfg("m0"))
+	sink := middlebox.NewSink("m0/vm0/app", 10e9)
+	c.PlaceVM("m0", "vm0", 2.0, 10e9, sink)
+	h := c.AddHost("h", 100e6) // 100 Mbps access link
+	conn := c.Connect("f", HostEndpoint("h"), VMEndpoint("m0", "vm0"), stream.Config{})
+	h.AddSource(conn, 0)
+	c.Run(2 * time.Second)
+	bps := float64(conn.DeliveredBytes()) * 8 / 2
+	if bps > 120e6 {
+		t.Fatalf("host link leaked: %.0f bps", bps)
+	}
+	if bps < 50e6 {
+		t.Fatalf("host link too strict: %.0f bps", bps)
+	}
+}
+
+func TestHostReceiveAccounting(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddMachine(testMachineCfg("m0"))
+	c.AddHost("server", 0)
+	conn := c.Connect("f", VMEndpoint("m0", "vm0"), HostEndpoint("server"), stream.Config{})
+	src := middlebox.NewConnSource("m0/vm0/app", 1e9, conn, 50e6)
+	c.PlaceVM("m0", "vm0", 1.0, 1e9, src)
+	c.Run(time.Second)
+	h := c.Host("server")
+	if h.ReceivedBytes() == 0 || h.ReceivedPackets() == 0 {
+		t.Fatal("host receive counters idle")
+	}
+	if h.ReceivedBytes() != conn.DeliveredBytes() {
+		t.Fatalf("host counted %d, conn delivered %d", h.ReceivedBytes(), conn.DeliveredBytes())
+	}
+}
+
+func TestHostSourcePauseAndRate(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddMachine(testMachineCfg("m0"))
+	sink := middlebox.NewSink("m0/vm0/app", 1e9)
+	c.PlaceVM("m0", "vm0", 1.0, 1e9, sink)
+	h := c.AddHost("h", 0)
+	conn := c.Connect("f", HostEndpoint("h"), VMEndpoint("m0", "vm0"), stream.Config{})
+	src := h.AddSource(conn, 100e6)
+	c.Run(time.Second)
+	before := src.GeneratedBytes()
+	src.Pause(true)
+	c.Run(time.Second)
+	if src.GeneratedBytes() != before {
+		t.Fatal("paused source kept generating")
+	}
+	src.Pause(false)
+	src.SetRate(10e6)
+	c.Run(time.Second)
+	delta := src.GeneratedBytes() - before
+	if bps := float64(delta) * 8; bps > 15e6 {
+		t.Fatalf("rate change ignored: %.0f bps", bps)
+	}
+}
+
+func TestConnectUnknownEndpointsPanic(t *testing.T) {
+	c := New(time.Millisecond)
+	c.AddMachine(testMachineCfg("m0"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown host")
+		}
+	}()
+	c.Connect("f", HostEndpoint("ghost"), VMEndpoint("m0", "vm0"), stream.Config{})
+}
+
+func TestVirtualTimeBookkeeping(t *testing.T) {
+	c := New(time.Millisecond)
+	c.Run(250 * time.Millisecond)
+	if c.Now() != 250*time.Millisecond {
+		t.Fatalf("Now = %v", c.Now())
+	}
+	if c.NowNS() != int64(250*time.Millisecond) {
+		t.Fatalf("NowNS = %d", c.NowNS())
+	}
+}

@@ -1,0 +1,177 @@
+// Package controller implements the central PerfSight controller (§4.3):
+// it holds the tenant topology (vNet[tenantID].elem[elementID]), routes
+// statistics requests to the agents on the right physical servers, and
+// offers the operator the Figure 6 utility routines (GetAttr,
+// GetThroughput, GetPktLoss, GetAvgPktSize) that diagnostic applications
+// build on.
+package controller
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"perfsight/internal/agent"
+	"perfsight/internal/core"
+	"perfsight/internal/wire"
+)
+
+// AgentClient is the controller's view of one per-server agent.
+type AgentClient interface {
+	Query(q wire.Query) ([]core.Record, error)
+	ListElements() ([]wire.ElementMeta, error)
+	Ping() (time.Duration, error)
+	Close() error
+}
+
+// LocalClient calls an in-process agent directly — used by simulations and
+// tests that do not need the TCP path.
+type LocalClient struct {
+	A *agent.Agent
+}
+
+// Query implements AgentClient.
+func (c *LocalClient) Query(q wire.Query) ([]core.Record, error) {
+	return c.A.Fetch(q.Elements, q.Attrs, q.All)
+}
+
+// ListElements implements AgentClient.
+func (c *LocalClient) ListElements() ([]wire.ElementMeta, error) {
+	ids := c.A.Elements()
+	out := make([]wire.ElementMeta, len(ids))
+	for i, id := range ids {
+		out[i] = wire.ElementMeta{ID: id}
+	}
+	return out, nil
+}
+
+// Ping implements AgentClient.
+func (c *LocalClient) Ping() (time.Duration, error) {
+	start := time.Now()
+	_ = c.A.Machine()
+	return time.Since(start), nil
+}
+
+// Close implements AgentClient.
+func (c *LocalClient) Close() error { return nil }
+
+// TCPClient talks to a remote agent over the wire protocol. Requests are
+// serialized on one connection; a broken connection is redialed once per
+// request.
+type TCPClient struct {
+	Addr    string
+	Timeout time.Duration
+
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+}
+
+// NewTCPClient returns a client for the agent at addr.
+func NewTCPClient(addr string) *TCPClient {
+	return &TCPClient{Addr: addr, Timeout: 5 * time.Second}
+}
+
+func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req.ID = c.nextID
+
+	try := func() (*wire.Message, error) {
+		if c.conn == nil {
+			conn, err := net.DialTimeout("tcp", c.Addr, c.Timeout)
+			if err != nil {
+				return nil, fmt.Errorf("controller: dial agent %s: %w", c.Addr, err)
+			}
+			c.conn = conn
+		}
+		if c.Timeout > 0 {
+			c.conn.SetDeadline(time.Now().Add(c.Timeout))
+		}
+		if err := wire.Write(c.conn, req); err != nil {
+			return nil, err
+		}
+		resp, err := wire.Read(c.conn)
+		if err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}
+
+	resp, err := try()
+	if err != nil {
+		// One reconnect attempt for a stale connection.
+		if c.conn != nil {
+			c.conn.Close()
+			c.conn = nil
+		}
+		resp, err = try()
+		if err != nil {
+			if c.conn != nil {
+				c.conn.Close()
+				c.conn = nil
+			}
+			return nil, err
+		}
+	}
+	if resp.ID != req.ID {
+		c.conn.Close()
+		c.conn = nil
+		return nil, fmt.Errorf("controller: agent %s: response id %d for request %d", c.Addr, resp.ID, req.ID)
+	}
+	return resp, nil
+}
+
+// Query implements AgentClient.
+func (c *TCPClient) Query(q wire.Query) ([]core.Record, error) {
+	resp, err := c.roundTrip(&wire.Message{Type: wire.TypeQuery, Query: &q})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == wire.TypeError {
+		return nil, fmt.Errorf("controller: agent %s: %s", c.Addr, resp.Error)
+	}
+	if resp.Error != "" {
+		return resp.Records, fmt.Errorf("controller: agent %s: partial: %s", c.Addr, resp.Error)
+	}
+	return resp.Records, nil
+}
+
+// ListElements implements AgentClient.
+func (c *TCPClient) ListElements() ([]wire.ElementMeta, error) {
+	resp, err := c.roundTrip(&wire.Message{Type: wire.TypeListElements})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == wire.TypeError {
+		return nil, fmt.Errorf("controller: agent %s: %s", c.Addr, resp.Error)
+	}
+	return resp.Elements, nil
+}
+
+// Ping implements AgentClient.
+func (c *TCPClient) Ping() (time.Duration, error) {
+	start := time.Now()
+	resp, err := c.roundTrip(&wire.Message{Type: wire.TypePing})
+	if err != nil {
+		return 0, err
+	}
+	if resp.Type != wire.TypePong {
+		return 0, fmt.Errorf("controller: agent %s: unexpected %s to ping", c.Addr, resp.Type)
+	}
+	return time.Since(start), nil
+}
+
+// Close implements AgentClient.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}

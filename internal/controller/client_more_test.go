@@ -1,0 +1,69 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+)
+
+func TestLocalClientSurface(t *testing.T) {
+	_, a := testSetup(t)
+	c := &LocalClient{A: a}
+	metas, err := c.ListElements()
+	if err != nil || len(metas) != 1 || metas[0].ID != "m0/pnic" {
+		t.Fatalf("list: %v, %v", metas, err)
+	}
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPingAgents(t *testing.T) {
+	ctl, a := testSetup(t)
+	ctl.RegisterAgent("m1", &LocalClient{A: a})
+	rtts := ctl.PingAgents()
+	if len(rtts) != 2 {
+		t.Fatalf("pinged %d agents; want 2", len(rtts))
+	}
+	for m, d := range rtts {
+		if d < 0 {
+			t.Fatalf("agent %s rtt %v", m, d)
+		}
+	}
+}
+
+func TestControllerNilTopology(t *testing.T) {
+	ctl := New(nil)
+	if ctl.Topology() == nil {
+		t.Fatal("nil topology not defaulted")
+	}
+	if ctl.Topology().Tenants == nil {
+		t.Fatal("default topology unusable")
+	}
+}
+
+func TestIntervalTxBps(t *testing.T) {
+	iv := Interval{
+		Prev: core.Record{Timestamp: 0, Attrs: []core.Attr{{Name: core.AttrTxBytes, Value: 0}}},
+		Cur:  core.Record{Timestamp: 2e9, Attrs: []core.Attr{{Name: core.AttrTxBytes, Value: 1000}}},
+	}
+	if got := iv.TxBps(); got != 4000 {
+		t.Fatalf("TxBps = %v; want 4000", got)
+	}
+	zero := Interval{}
+	if zero.TxBps() != 0 || zero.RxBps() != 0 {
+		t.Fatal("zero interval rates")
+	}
+}
+
+func TestGetThroughputZeroWindowFails(t *testing.T) {
+	ctl, _ := testSetup(t)
+	ctl.Wait = func(time.Duration) {} // clock frozen
+	if _, err := ctl.GetThroughput("t1", "m0/pnic", core.AttrRxBytes, time.Second); err == nil {
+		t.Fatal("zero-length interval accepted")
+	}
+}

@@ -1,0 +1,298 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/wire"
+)
+
+// Controller routes operator queries to agents and implements the basic
+// monitoring utilities of Figure 6.
+type Controller struct {
+	mu     sync.RWMutex
+	topo   *core.Topology
+	agents map[core.MachineID]AgentClient
+
+	// Wait implements the sleep(T) of the Figure 6 interval routines. In
+	// live deployments it is time.Sleep; simulations advance virtual time
+	// instead. Defaults to time.Sleep.
+	Wait func(time.Duration)
+}
+
+// New builds a controller over the given topology.
+func New(topo *core.Topology) *Controller {
+	if topo == nil {
+		topo = core.NewTopology()
+	}
+	return &Controller{
+		topo:   topo,
+		agents: make(map[core.MachineID]AgentClient),
+		Wait:   time.Sleep,
+	}
+}
+
+// Topology returns the controller's tenant topology.
+func (c *Controller) Topology() *core.Topology { return c.topo }
+
+// RegisterAgent attaches the agent serving a physical server.
+func (c *Controller) RegisterAgent(m core.MachineID, a AgentClient) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.agents[m] = a
+}
+
+// Agent returns the client for a machine.
+func (c *Controller) Agent(m core.MachineID) (AgentClient, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, ok := c.agents[m]
+	return a, ok
+}
+
+// locate finds the element's machine within the tenant's virtual network —
+// the vNet[tenantID].elem[elementID] lookup of §4.3.
+func (c *Controller) locate(tid core.TenantID, eid core.ElementID) (core.MachineID, error) {
+	net, ok := c.topo.Tenants[tid]
+	if !ok {
+		return "", fmt.Errorf("controller: unknown tenant %q", tid)
+	}
+	info, ok := net.Elements[eid]
+	if !ok {
+		return "", fmt.Errorf("controller: tenant %q has no element %q", tid, eid)
+	}
+	return info.Machine, nil
+}
+
+// GetAttr fetches the named attributes of one element (Figure 6 GETATTR).
+func (c *Controller) GetAttr(tid core.TenantID, eid core.ElementID, attrs ...string) (core.Record, error) {
+	m, err := c.locate(tid, eid)
+	if err != nil {
+		return core.Record{}, err
+	}
+	a, ok := c.Agent(m)
+	if !ok {
+		return core.Record{}, fmt.Errorf("controller: no agent registered for machine %q", m)
+	}
+	recs, err := a.Query(wire.Query{Elements: []core.ElementID{eid}, Attrs: attrs})
+	if len(recs) == 0 {
+		if err != nil {
+			return core.Record{}, err
+		}
+		return core.Record{}, fmt.Errorf("controller: element %q returned no record", eid)
+	}
+	return recs[0], err
+}
+
+// Sample fetches full records for a set of elements, batching one query
+// per machine.
+func (c *Controller) Sample(tid core.TenantID, ids []core.ElementID) (map[core.ElementID]core.Record, error) {
+	byMachine := make(map[core.MachineID][]core.ElementID)
+	for _, id := range ids {
+		m, err := c.locate(tid, id)
+		if err != nil {
+			return nil, err
+		}
+		byMachine[m] = append(byMachine[m], id)
+	}
+	out := make(map[core.ElementID]core.Record, len(ids))
+	var firstErr error
+	machines := make([]core.MachineID, 0, len(byMachine))
+	for m := range byMachine {
+		machines = append(machines, m)
+	}
+	sort.Slice(machines, func(i, j int) bool { return machines[i] < machines[j] })
+	for _, m := range machines {
+		a, ok := c.Agent(m)
+		if !ok {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("controller: no agent for machine %q", m)
+			}
+			continue
+		}
+		recs, err := a.Query(wire.Query{Elements: byMachine[m]})
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		for _, r := range recs {
+			out[r.Element] = r
+		}
+	}
+	return out, firstErr
+}
+
+// TenantElements returns the tenant's element IDs, optionally filtered by
+// a predicate on the registered topology info.
+func (c *Controller) TenantElements(tid core.TenantID, keep func(core.ElementID, core.ElementInfo) bool) []core.ElementID {
+	net, ok := c.topo.Tenants[tid]
+	if !ok {
+		return nil
+	}
+	var out []core.ElementID
+	for id, info := range net.Elements {
+		if keep == nil || keep(id, info) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Interval is two snapshots of one element spanning a measurement window.
+type Interval struct {
+	Prev, Cur core.Record
+}
+
+// Delta returns the counter increase over the window.
+func (iv Interval) Delta(attr string) float64 {
+	return iv.Cur.GetOr(attr, 0) - iv.Prev.GetOr(attr, 0)
+}
+
+// Seconds returns the window length.
+func (iv Interval) Seconds() float64 {
+	return time.Duration(iv.Cur.Timestamp - iv.Prev.Timestamp).Seconds()
+}
+
+// DropPackets returns packets dropped in the window, preferring the drop
+// counter and falling back to the Figure 6 in−out formula.
+func (iv Interval) DropPackets() float64 {
+	if _, ok := iv.Cur.Get(core.AttrDropPackets); ok {
+		return iv.Delta(core.AttrDropPackets)
+	}
+	return (iv.Cur.GetOr(core.AttrRxPackets, 0) - iv.Cur.GetOr(core.AttrTxPackets, 0)) -
+		(iv.Prev.GetOr(core.AttrRxPackets, 0) - iv.Prev.GetOr(core.AttrTxPackets, 0))
+}
+
+// RxBps returns receive throughput over the window, bits/s.
+func (iv Interval) RxBps() float64 {
+	if s := iv.Seconds(); s > 0 {
+		return iv.Delta(core.AttrRxBytes) * 8 / s
+	}
+	return 0
+}
+
+// TxBps returns transmit throughput over the window, bits/s.
+func (iv Interval) TxBps() float64 {
+	if s := iv.Seconds(); s > 0 {
+		return iv.Delta(core.AttrTxBytes) * 8 / s
+	}
+	return 0
+}
+
+// InRate returns the middlebox input rate b_in/t_in in bits/s, and whether
+// the input method ran at all (§5.2). A middlebox that moved no bytes while
+// accumulating input time reads as rate 0 — fully blocked.
+func (iv Interval) InRate() (bps float64, active bool) {
+	db := iv.Delta(core.AttrInBytes)
+	dtns := iv.Delta(core.AttrInTimeNS)
+	if dtns <= 0 {
+		return 0, false
+	}
+	return db * 8 / (dtns / 1e9), true
+}
+
+// OutRate returns the middlebox output rate b_out/t_out in bits/s.
+func (iv Interval) OutRate() (bps float64, active bool) {
+	db := iv.Delta(core.AttrOutBytes)
+	dtns := iv.Delta(core.AttrOutTimeNS)
+	if dtns <= 0 {
+		return 0, false
+	}
+	return db * 8 / (dtns / 1e9), true
+}
+
+// SampleInterval takes two samples of the elements separated by window T.
+// Elements that fail to answer (agent down, VM migrated between the
+// topology snapshot and the query) are omitted; the partial intervals are
+// returned together with the first error so callers can proceed
+// best-effort — churn is normal in a cloud.
+func (c *Controller) SampleInterval(tid core.TenantID, ids []core.ElementID, T time.Duration) (map[core.ElementID]Interval, error) {
+	prev, errPrev := c.Sample(tid, ids)
+	c.Wait(T)
+	cur, errCur := c.Sample(tid, ids)
+	out := make(map[core.ElementID]Interval, len(ids))
+	for id, p := range prev {
+		if cu, ok := cur[id]; ok {
+			out[id] = Interval{Prev: p, Cur: cu}
+		}
+	}
+	err := errPrev
+	if err == nil {
+		err = errCur
+	}
+	return out, err
+}
+
+// GetThroughput implements Figure 6 GETTHROUGHPUT over attribute attr
+// (e.g. rx_bytes), in bits per second.
+func (c *Controller) GetThroughput(tid core.TenantID, eid core.ElementID, attr string, T time.Duration) (float64, error) {
+	r1, err := c.GetAttr(tid, eid, attr)
+	if err != nil {
+		return 0, err
+	}
+	c.Wait(T)
+	r2, err := c.GetAttr(tid, eid, attr)
+	if err != nil {
+		return 0, err
+	}
+	iv := Interval{Prev: r1, Cur: r2}
+	if s := iv.Seconds(); s > 0 {
+		return iv.Delta(attr) * 8 / s, nil
+	}
+	return 0, fmt.Errorf("controller: zero-length interval for %s", eid)
+}
+
+// GetPktLoss implements Figure 6 GETPKTLOSS: packets lost at the element
+// during the window.
+func (c *Controller) GetPktLoss(tid core.TenantID, eid core.ElementID, T time.Duration) (float64, error) {
+	r1, err := c.GetAttr(tid, eid)
+	if err != nil {
+		return 0, err
+	}
+	c.Wait(T)
+	r2, err := c.GetAttr(tid, eid)
+	if err != nil {
+		return 0, err
+	}
+	return Interval{Prev: r1, Cur: r2}.DropPackets(), nil
+}
+
+// GetAvgPktSize implements Figure 6 GETAVGPKTSIZE over the receive
+// counters, in bytes.
+func (c *Controller) GetAvgPktSize(tid core.TenantID, eid core.ElementID, T time.Duration) (float64, error) {
+	r1, err := c.GetAttr(tid, eid, core.AttrRxBytes, core.AttrRxPackets)
+	if err != nil {
+		return 0, err
+	}
+	c.Wait(T)
+	r2, err := c.GetAttr(tid, eid, core.AttrRxBytes, core.AttrRxPackets)
+	if err != nil {
+		return 0, err
+	}
+	iv := Interval{Prev: r1, Cur: r2}
+	pkts := iv.Delta(core.AttrRxPackets)
+	if pkts <= 0 {
+		return 0, fmt.Errorf("controller: no packets at %s during window", eid)
+	}
+	return iv.Delta(core.AttrRxBytes) / pkts, nil
+}
+
+// PingAgents measures controller-to-agent response time per machine.
+func (c *Controller) PingAgents() map[core.MachineID]time.Duration {
+	c.mu.RLock()
+	agents := make(map[core.MachineID]AgentClient, len(c.agents))
+	for m, a := range c.agents {
+		agents[m] = a
+	}
+	c.mu.RUnlock()
+	out := make(map[core.MachineID]time.Duration, len(agents))
+	for m, a := range agents {
+		if d, err := a.Ping(); err == nil {
+			out[m] = d
+		}
+	}
+	return out
+}

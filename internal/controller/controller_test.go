@@ -1,0 +1,237 @@
+package controller
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"perfsight/internal/agent"
+	"perfsight/internal/core"
+	"perfsight/internal/wire"
+)
+
+// fakeElem serves scripted counters that advance on a virtual clock.
+type fakeElem struct {
+	id    core.ElementID
+	kind  core.ElementKind
+	attrs func(ts int64) []core.Attr
+}
+
+func (f *fakeElem) ID() core.ElementID     { return f.id }
+func (f *fakeElem) Kind() core.ElementKind { return f.kind }
+func (f *fakeElem) Snapshot(ts int64) core.Record {
+	return core.Record{Timestamp: ts, Element: f.id, Attrs: f.attrs(ts)}
+}
+
+// testSetup builds a controller with one local agent whose counters grow
+// linearly with the virtual clock, and a Wait that advances that clock.
+func testSetup(t *testing.T) (*Controller, *agent.Agent) {
+	t.Helper()
+	var now int64 // virtual ns
+	a := agent.New("m0", func() int64 { return now })
+	// 1000 bytes and 10 packets per virtual second in, 8 out, 2 dropped.
+	a.Register(&agent.DirectAdapter{E: &fakeElem{id: "m0/pnic", kind: core.KindPNIC,
+		attrs: func(ts int64) []core.Attr {
+			s := float64(ts) / 1e9
+			return []core.Attr{
+				{Name: core.AttrKind, Value: float64(core.KindPNIC)},
+				{Name: core.AttrRxBytes, Value: 1000 * s},
+				{Name: core.AttrRxPackets, Value: 10 * s},
+				{Name: core.AttrTxPackets, Value: 8 * s},
+				{Name: core.AttrDropPackets, Value: 2 * s},
+			}
+		}}})
+
+	topo := core.NewTopology()
+	topo.Net("t1").Add("m0/pnic", core.ElementInfo{Machine: "m0", Kind: core.KindPNIC})
+	ctl := New(topo)
+	ctl.Wait = func(d time.Duration) { now += int64(d) }
+	ctl.RegisterAgent("m0", &LocalClient{A: a})
+	return ctl, a
+}
+
+func TestGetAttr(t *testing.T) {
+	ctl, _ := testSetup(t)
+	rec, err := ctl.GetAttr("t1", "m0/pnic", core.AttrRxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Attrs) != 1 || rec.Attrs[0].Name != core.AttrRxBytes {
+		t.Fatalf("attrs: %v", rec.Attrs)
+	}
+}
+
+func TestGetAttrUnknownTenantAndElement(t *testing.T) {
+	ctl, _ := testSetup(t)
+	if _, err := ctl.GetAttr("ghost", "m0/pnic"); err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+	if _, err := ctl.GetAttr("t1", "m0/ghost"); err == nil {
+		t.Fatal("unknown element accepted")
+	}
+}
+
+func TestGetThroughput(t *testing.T) {
+	ctl, _ := testSetup(t)
+	bps, err := ctl.GetThroughput("t1", "m0/pnic", core.AttrRxBytes, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bps != 8000 { // 1000 B/s = 8000 bits/s
+		t.Fatalf("throughput = %v; want 8000", bps)
+	}
+}
+
+func TestGetPktLossUsesDropCounter(t *testing.T) {
+	ctl, _ := testSetup(t)
+	loss, err := ctl.GetPktLoss("t1", "m0/pnic", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != 20 { // 2 drops per second
+		t.Fatalf("loss = %v; want 20", loss)
+	}
+}
+
+func TestGetPktLossFallsBackToInOut(t *testing.T) {
+	iv := Interval{
+		Prev: core.Record{Timestamp: 0, Attrs: []core.Attr{
+			{Name: core.AttrRxPackets, Value: 0}, {Name: core.AttrTxPackets, Value: 0}}},
+		Cur: core.Record{Timestamp: 1e9, Attrs: []core.Attr{
+			{Name: core.AttrRxPackets, Value: 100}, {Name: core.AttrTxPackets, Value: 90}}},
+	}
+	if iv.DropPackets() != 10 {
+		t.Fatalf("Figure 6 in-out loss = %v; want 10", iv.DropPackets())
+	}
+}
+
+func TestGetAvgPktSize(t *testing.T) {
+	ctl, _ := testSetup(t)
+	sz, err := ctl.GetAvgPktSize("t1", "m0/pnic", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != 100 { // 1000 B / 10 packets
+		t.Fatalf("avg size = %v; want 100", sz)
+	}
+}
+
+func TestSampleIntervalRates(t *testing.T) {
+	ctl, _ := testSetup(t)
+	ivs, err := ctl.SampleInterval("t1", []core.ElementID{"m0/pnic"}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := ivs["m0/pnic"]
+	if iv.Seconds() != 2 {
+		t.Fatalf("window = %v s", iv.Seconds())
+	}
+	if iv.RxBps() != 8000 {
+		t.Fatalf("rx bps = %v", iv.RxBps())
+	}
+}
+
+func TestIntervalInOutRates(t *testing.T) {
+	iv := Interval{
+		Prev: core.Record{Timestamp: 0, Attrs: []core.Attr{
+			{Name: core.AttrInBytes, Value: 0}, {Name: core.AttrInTimeNS, Value: 0},
+			{Name: core.AttrOutBytes, Value: 0}, {Name: core.AttrOutTimeNS, Value: 0}}},
+		Cur: core.Record{Timestamp: 1e9, Attrs: []core.Attr{
+			{Name: core.AttrInBytes, Value: 1e6}, {Name: core.AttrInTimeNS, Value: 5e8},
+			{Name: core.AttrOutBytes, Value: 0}, {Name: core.AttrOutTimeNS, Value: 0}}},
+	}
+	in, active := iv.InRate()
+	if !active || in != 16e6 { // 1e6 B over 0.5 s = 16 Mbit/s
+		t.Fatalf("in rate = %v active=%v", in, active)
+	}
+	if _, active := iv.OutRate(); active {
+		t.Fatal("zero out time should be inactive")
+	}
+}
+
+func TestTenantElementsFilter(t *testing.T) {
+	ctl, _ := testSetup(t)
+	all := ctl.TenantElements("t1", nil)
+	if len(all) != 1 {
+		t.Fatalf("elements: %v", all)
+	}
+	none := ctl.TenantElements("t1", func(_ core.ElementID, info core.ElementInfo) bool {
+		return info.Kind == core.KindTUN
+	})
+	if len(none) != 0 {
+		t.Fatalf("filter leaked: %v", none)
+	}
+}
+
+func TestControllerNoAgentRegistered(t *testing.T) {
+	topo := core.NewTopology()
+	topo.Net("t1").Add("m9/pnic", core.ElementInfo{Machine: "m9"})
+	ctl := New(topo)
+	if _, err := ctl.GetAttr("t1", "m9/pnic"); err == nil {
+		t.Fatal("missing agent accepted")
+	}
+}
+
+// TestTCPClientAgainstLiveAgent exercises the full wire path.
+func TestTCPClientAgainstLiveAgent(t *testing.T) {
+	_, a := testSetup(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go a.Serve(ln)
+
+	c := NewTCPClient(ln.Addr().String())
+	defer c.Close()
+
+	recs, err := c.Query(wire.Query{Elements: []core.ElementID{"m0/pnic"}})
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("query: %v, %v", recs, err)
+	}
+	metas, err := c.ListElements()
+	if err != nil || len(metas) != 1 || metas[0].Kind != core.KindPNIC {
+		t.Fatalf("list: %v, %v", metas, err)
+	}
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Partial errors surface alongside records.
+	recs, err = c.Query(wire.Query{Elements: []core.ElementID{"m0/pnic", "m0/ghost"}})
+	if err == nil {
+		t.Fatal("partial error lost over the wire")
+	}
+	if len(recs) != 1 {
+		t.Fatalf("partial records: %d", len(recs))
+	}
+}
+
+func TestTCPClientReconnects(t *testing.T) {
+	_, a := testSetup(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go a.Serve(ln)
+
+	c := NewTCPClient(ln.Addr().String())
+	defer c.Close()
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the client's connection server-side by closing it client-side
+	// and confirm the next request transparently redials.
+	c.Close()
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("reconnect failed: %v", err)
+	}
+}
+
+func TestTCPClientDialFailure(t *testing.T) {
+	c := NewTCPClient("127.0.0.1:1") // nothing listening
+	c.Timeout = 200 * time.Millisecond
+	if _, err := c.Ping(); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}

@@ -1,0 +1,370 @@
+// Package core defines the shared vocabulary of the PerfSight framework:
+// element identities, the unified statistics record format exchanged between
+// elements, agents, the controller and diagnostic applications, and the
+// attribute names of the counters the paper's instrumentation exposes.
+//
+// The paper (§4.2) specifies that an agent answers a query with
+//
+//	<TimeStamp, Element, (attr1, value1), (attr2, value2), ...>
+//
+// Record is exactly that message. Everything above the element layer —
+// agent, wire protocol, controller, diagnosis — speaks only this format,
+// which is what decouples statistics collection from analytics (§3).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TenantID names a tenant whose virtual cluster spans one or more machines.
+type TenantID string
+
+// MachineID names a physical server in the cloud.
+type MachineID string
+
+// VMID names a virtual machine on some physical server.
+type VMID string
+
+// ElementID uniquely names a software-dataplane element. IDs are
+// hierarchical, slash-separated paths:
+//
+//	m0/pnic                  an element of machine m0's virtualization stack
+//	m0/cpu3/backlog          a per-core element
+//	m0/vm2/tun               the host-side TUN serving VM vm2
+//	m0/vm2/guest/socket      an element inside vm2's guest OS
+//	m0/vm2/app               the middlebox software in vm2
+type ElementID string
+
+// Machine returns the machine component of the element path.
+func (e ElementID) Machine() MachineID {
+	s := string(e)
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		return MachineID(s[:i])
+	}
+	return MachineID(s)
+}
+
+// VM returns the VM component of the element path, or "" if the element
+// belongs to the shared virtualization stack.
+func (e ElementID) VM() VMID {
+	parts := strings.Split(string(e), "/")
+	if len(parts) >= 3 && strings.HasPrefix(parts[1], "vm") {
+		return VMID(parts[1])
+	}
+	return ""
+}
+
+// Leaf returns the last path component (the element's local name).
+func (e ElementID) Leaf() string {
+	s := string(e)
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// ElementKind classifies dataplane elements. The kinds follow Figure 5 of
+// the paper: the virtualization-stack elements shared by all VMs on a
+// machine, and the per-VM elements of the software middlebox.
+type ElementKind int
+
+const (
+	KindUnknown ElementKind = iota
+
+	// Virtualization stack (shared by all VMs on the machine).
+	KindPNIC         // physical NIC (DMA ring)
+	KindPNICDriver   // interrupt handler: pNIC ring -> pCPU backlog
+	KindPCPUBacklog  // per-core backlog queue (netdev_max_backlog)
+	KindNAPIRoutine  // softirq: backlog -> virtual switch frame handler
+	KindVSwitch      // Open vSwitch datapath with per-rule statistics
+	KindTUN          // TAP/TUN socket queue feeding one VM
+	KindHypervisorIO // QEMU I/O handler: TUN <-> vNIC
+
+	// Software middlebox (confined to one VM).
+	KindVNIC        // virtual NIC ring
+	KindVNICDriver  // guest interrupt handler: vNIC -> vCPU backlog
+	KindVCPUBacklog // guest per-core backlog queue
+	KindGuestNAPI   // guest softirq: vCPU backlog -> guest socket
+	KindGuestSocket // guest kernel socket buffer
+	KindMiddlebox   // the middlebox software itself
+)
+
+var kindNames = map[ElementKind]string{
+	KindUnknown:      "unknown",
+	KindPNIC:         "pnic",
+	KindPNICDriver:   "pnic_driver",
+	KindPCPUBacklog:  "pcpu_backlog",
+	KindNAPIRoutine:  "napi",
+	KindVSwitch:      "vswitch",
+	KindTUN:          "tun",
+	KindHypervisorIO: "hypervisor_io",
+	KindVNIC:         "vnic",
+	KindVNICDriver:   "vnic_driver",
+	KindVCPUBacklog:  "vcpu_backlog",
+	KindGuestNAPI:    "guest_napi",
+	KindGuestSocket:  "guest_socket",
+	KindMiddlebox:    "middlebox",
+}
+
+func (k ElementKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// InVirtualizationStack reports whether elements of this kind are shared by
+// multiple VMs (§2.1 category (a)) as opposed to confined to one middlebox
+// VM (category (b)).
+func (k ElementKind) InVirtualizationStack() bool {
+	switch k {
+	case KindPNIC, KindPNICDriver, KindPCPUBacklog, KindNAPIRoutine,
+		KindVSwitch, KindTUN, KindHypervisorIO:
+		return true
+	}
+	return false
+}
+
+// KindFromString parses the string form produced by ElementKind.String.
+func KindFromString(s string) ElementKind {
+	for k, name := range kindNames {
+		if name == s {
+			return k
+		}
+	}
+	return KindUnknown
+}
+
+// Attribute names of the counters PerfSight gathers (§4.1). The prototype
+// implements three counter types in each element — a packet counter, a byte
+// counter, and an I/O time counter — from which drop rates, throughput and
+// packet size are derived (Figure 6).
+const (
+	AttrKind = "kind" // element kind (value: ElementKind as float)
+
+	// Packet/byte counters, receive and transmit side.
+	AttrRxPackets = "rx_packets"
+	AttrRxBytes   = "rx_bytes"
+	AttrTxPackets = "tx_packets"
+	AttrTxBytes   = "tx_bytes"
+
+	// Drop counters. Drops are attributed to the element whose enqueue or
+	// processing branch discarded the packet (§4.1: "possible code branches
+	// that might drop it").
+	AttrDropPackets = "drop_packets"
+	AttrDropBytes   = "drop_bytes"
+
+	// Occupancy of the element's buffer, if it has one.
+	AttrQueueLen = "queue_len"
+	AttrQueueCap = "queue_cap"
+
+	// I/O time counters (§5.2): bytes moved by the input/output methods and
+	// the time those methods spent (block time + memory-copy time), in
+	// nanoseconds of virtual time.
+	AttrInBytes   = "in_bytes"
+	AttrInTimeNS  = "in_time_ns"
+	AttrOutBytes  = "out_bytes"
+	AttrOutTimeNS = "out_time_ns"
+
+	// Static configuration attributes.
+	AttrCapacityBps = "capacity_bps" // vNIC / pNIC line rate
+	AttrType        = "type"         // 1.0 if the element is a middlebox
+
+	// Machine-level utilization gauges, published by the per-machine host
+	// pseudo-element. Algorithm 1's rule book consults them to disambiguate
+	// symptoms that share a drop location (§5.1: "the operator can combine
+	// this with other symptoms such as CPU utilization and NIC throughput").
+	AttrCPUUtil    = "cpu_util"    // fraction of machine CPU busy
+	AttrMembusUtil = "membus_util" // fraction of memory-bus capacity used
+	AttrMemBytes   = "mem_bytes"   // cumulative memory-hog bytes moved
+)
+
+// Attr is one (attribute, value) pair of a statistics record.
+type Attr struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Record is the unified statistics message format (§4.2):
+// a timestamp, the element it describes, and its counter values.
+type Record struct {
+	// Timestamp is virtual nanoseconds since scenario start for simulated
+	// elements, or wall-clock UnixNano for live agents.
+	Timestamp int64     `json:"ts"`
+	Element   ElementID `json:"element"`
+	Attrs     []Attr    `json:"attrs"`
+}
+
+// Get returns the value of the named attribute.
+func (r Record) Get(name string) (float64, bool) {
+	for _, a := range r.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return 0, false
+}
+
+// GetOr returns the value of the named attribute, or def if absent.
+func (r Record) GetOr(name string, def float64) float64 {
+	if v, ok := r.Get(name); ok {
+		return v
+	}
+	return def
+}
+
+// Set replaces or appends the named attribute.
+func (r *Record) Set(name string, value float64) {
+	for i, a := range r.Attrs {
+		if a.Name == name {
+			r.Attrs[i].Value = value
+			return
+		}
+	}
+	r.Attrs = append(r.Attrs, Attr{Name: name, Value: value})
+}
+
+// Kind returns the element kind carried in the record, if any.
+func (r Record) Kind() ElementKind {
+	v, ok := r.Get(AttrKind)
+	if !ok {
+		return KindUnknown
+	}
+	return ElementKind(int(v))
+}
+
+// Sub returns a record holding r's counters minus prev's, with r's
+// timestamp. Non-counter attributes (kind, capacity, queue state) keep r's
+// value. It is the building block of the interval statistics in Figure 6
+// (GetThroughput, GetPktLoss, GetAvgPktSize all difference two snapshots).
+func (r Record) Sub(prev Record) Record {
+	out := Record{Timestamp: r.Timestamp, Element: r.Element}
+	out.Attrs = make([]Attr, 0, len(r.Attrs))
+	for _, a := range r.Attrs {
+		v := a.Value
+		if isMonotonic(a.Name) {
+			if pv, ok := prev.Get(a.Name); ok {
+				v -= pv
+			}
+		}
+		out.Attrs = append(out.Attrs, Attr{Name: a.Name, Value: v})
+	}
+	return out
+}
+
+// isMonotonic reports whether the attribute is a monotonically increasing
+// counter (as opposed to a gauge or static configuration value).
+func isMonotonic(name string) bool {
+	switch name {
+	case AttrRxPackets, AttrRxBytes, AttrTxPackets, AttrTxBytes,
+		AttrDropPackets, AttrDropBytes,
+		AttrInBytes, AttrInTimeNS, AttrOutBytes, AttrOutTimeNS:
+		return true
+	}
+	return false
+}
+
+// Interval returns the time spanned by the two records.
+func (r Record) Interval(prev Record) time.Duration {
+	return time.Duration(r.Timestamp - prev.Timestamp)
+}
+
+func (r Record) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%d, %s", r.Timestamp, r.Element)
+	for _, a := range r.Attrs {
+		fmt.Fprintf(&b, ", (%s, %g)", a.Name, a.Value)
+	}
+	b.WriteString(">")
+	return b.String()
+}
+
+// SortAttrs orders the record's attributes by name, for stable output.
+func (r *Record) SortAttrs() {
+	sort.Slice(r.Attrs, func(i, j int) bool { return r.Attrs[i].Name < r.Attrs[j].Name })
+}
+
+// Element is the abstraction at the heart of PerfSight (§4.1): a logical
+// unit on the software datapath that reads traffic from, and writes traffic
+// to, its neighbours via buffers or function calls, and that exposes the
+// instrumented counters as a Record snapshot.
+type Element interface {
+	ID() ElementID
+	Kind() ElementKind
+	// Snapshot returns the element's counters at the given timestamp.
+	// Implementations must be safe for concurrent use with the datapath.
+	Snapshot(ts int64) Record
+}
+
+// Topology describes where every element of every tenant's virtual network
+// lives — the controller's vNet[tenantID].elem[elementID] map (§4.3).
+type Topology struct {
+	Tenants map[TenantID]*VirtualNet `json:"tenants"`
+}
+
+// VirtualNet is one tenant's virtual network: its elements, the machine
+// hosting each, and the middlebox chain order used by Algorithm 2.
+type VirtualNet struct {
+	Elements map[ElementID]ElementInfo `json:"elements"`
+	// Chains lists the middlebox elements of each service chain in
+	// traversal order (source first). Algorithm 2 uses chain order to find
+	// a middlebox's predecessors and successors.
+	Chains [][]ElementID `json:"chains"`
+}
+
+// ElementInfo locates one element and records its static properties.
+type ElementInfo struct {
+	Machine MachineID   `json:"machine"`
+	Kind    ElementKind `json:"kind"`
+	// CapacityBps is the element's line rate where meaningful (vNIC, pNIC).
+	CapacityBps float64 `json:"capacity_bps,omitempty"`
+}
+
+// NewTopology returns an empty topology.
+func NewTopology() *Topology {
+	return &Topology{Tenants: make(map[TenantID]*VirtualNet)}
+}
+
+// Net returns the tenant's virtual network, creating it if needed.
+func (t *Topology) Net(id TenantID) *VirtualNet {
+	n, ok := t.Tenants[id]
+	if !ok {
+		n = &VirtualNet{Elements: make(map[ElementID]ElementInfo)}
+		t.Tenants[id] = n
+	}
+	return n
+}
+
+// Add registers an element in the tenant's network.
+func (n *VirtualNet) Add(id ElementID, info ElementInfo) {
+	n.Elements[id] = info
+}
+
+// Successors returns the elements after mb in any chain containing it.
+func (n *VirtualNet) Successors(mb ElementID) []ElementID {
+	var out []ElementID
+	for _, chain := range n.Chains {
+		for i, e := range chain {
+			if e == mb {
+				out = append(out, chain[i+1:]...)
+			}
+		}
+	}
+	return out
+}
+
+// Predecessors returns the elements before mb in any chain containing it.
+func (n *VirtualNet) Predecessors(mb ElementID) []ElementID {
+	var out []ElementID
+	for _, chain := range n.Chains {
+		for i, e := range chain {
+			if e == mb {
+				out = append(out, chain[:i]...)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package dataplane
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"perfsight/internal/core"
+)
+
+// BacklogQueue is one per-CPU-core backlog queue (the kernel's
+// softnet_data input queue, bounded by netdev_max_backlog — 300 packets on
+// the paper's testbed). Both directions funnel through it: the pNIC driver
+// enqueues wire arrivals and TAP transmit enqueues VM egress, which is why
+// the paper singles it out as a contention point shared by every datapath
+// on the machine (§7.2 case 1).
+type BacklogQueue struct {
+	Base
+	q *Buffer
+
+	// Fluid admission under saturation: in a real kernel, producers and
+	// the softirq drain interleave at packet granularity, so when the
+	// queue is saturated every producer loses the same fraction. The
+	// tick-phased simulation would otherwise always hand the slots freed
+	// by the drain to whichever producer runs next. satRatio is last
+	// tick's accepted/offered ratio, applied to all enqueues while the
+	// queue is overflowing.
+	offeredCur float64
+	satRatio   float64
+	admitAcc   float64
+	lastTx     uint64
+	lastDrop   uint64
+}
+
+// NewBacklogQueue builds one core's backlog with the given packet bound.
+func NewBacklogQueue(id core.ElementID, capPackets int) *BacklogQueue {
+	b := &BacklogQueue{
+		Base:     NewBase(id, core.KindPCPUBacklog),
+		q:        NewBuffer(capPackets, 0),
+		satRatio: 1,
+	}
+	b.AttachBuffer(b.q)
+	return b
+}
+
+// BeginTick rolls the admission window: while the queue is overflowing,
+// every producer is admitted at the ratio of last tick's service (NAPI
+// dequeues) to last tick's offered load, spreading the loss fairly. The
+// 1.1 slack lets admission recover as soon as the overload ends.
+func (b *BacklogQueue) BeginTick() {
+	tx := b.ES.Tx.Packets.Load()
+	served := float64(tx - b.lastTx)
+	b.lastTx = tx
+	drop := b.ES.Drop.Packets.Load()
+	dropped := drop - b.lastDrop
+	b.lastDrop = drop
+	if dropped > 0 && b.offeredCur > 0 && served < b.offeredCur {
+		b.satRatio = 1.1 * served / b.offeredCur
+		if b.satRatio > 1 {
+			b.satRatio = 1
+		}
+	} else {
+		b.satRatio = 1
+	}
+	b.offeredCur = 0
+}
+
+// Enqueue adds a batch; overflow is dropped here (netif_rx returning
+// NET_RX_DROP — the "Backlog Enqueue" symptom of Table 1).
+func (b *BacklogQueue) Enqueue(batch Batch) {
+	if batch.Empty() {
+		return
+	}
+	b.offeredCur += float64(batch.Packets)
+	if b.satRatio < 1 {
+		// Saturated: admit the fair fraction, drop the rest up front.
+		b.admitAcc += float64(batch.Packets) * b.satRatio
+		admit := int(b.admitAcc)
+		b.admitAcc -= float64(admit)
+		var preDrop Batch
+		batch, preDrop = batch.SplitPackets(admit)
+		b.CountDrop(preDrop)
+	}
+	over := b.q.Enqueue(batch)
+	accepted := batch
+	accepted.Packets -= over.Packets
+	accepted.Bytes -= over.Bytes
+	b.CountRx(accepted)
+	b.CountDrop(over)
+}
+
+// Len returns queued packets.
+func (b *BacklogQueue) Len() int { return b.q.Len() }
+
+// BacklogSet is the machine's collection of per-core backlog queues with
+// flow-hash steering (RSS/RPS). Queues() exposes the individual elements
+// for registration with the agent.
+type BacklogSet struct {
+	queues []*BacklogQueue
+	// NoFairAdmission disables saturation admission (ablation).
+	NoFairAdmission bool
+}
+
+// NewBacklogSet builds n queues of capPackets each for the given machine.
+func NewBacklogSet(machine core.MachineID, n, capPackets int) *BacklogSet {
+	if n < 1 {
+		n = 1
+	}
+	s := &BacklogSet{}
+	for i := 0; i < n; i++ {
+		id := core.ElementID(fmt.Sprintf("%s/cpu%d/backlog", machine, i))
+		s.queues = append(s.queues, NewBacklogQueue(id, capPackets))
+	}
+	return s
+}
+
+// Queues returns the per-core queue elements.
+func (s *BacklogSet) Queues() []*BacklogQueue { return s.queues }
+
+// Enqueue steers the batch to its core's queue by flow hash.
+func (s *BacklogSet) Enqueue(b Batch) {
+	s.queues[s.index(b.Flow)].Enqueue(b)
+}
+
+// BeginTick rolls every queue's admission window.
+func (s *BacklogSet) BeginTick() {
+	if s.NoFairAdmission {
+		return
+	}
+	for _, q := range s.queues {
+		q.BeginTick()
+	}
+}
+
+func (s *BacklogSet) index(f FlowID) int {
+	if len(s.queues) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(f))
+	return int(h.Sum32()) % len(s.queues)
+}
+
+// TotalLen returns queued packets across all cores.
+func (s *BacklogSet) TotalLen() int {
+	n := 0
+	for _, q := range s.queues {
+		n += q.Len()
+	}
+	return n
+}
+
+// TotalBytes returns queued bytes across all cores.
+func (s *BacklogSet) TotalBytes() int64 {
+	var n int64
+	for _, q := range s.queues {
+		n += q.q.Bytes()
+	}
+	return n
+}
+
+// TotalDrops returns the summed drop packet counters.
+func (s *BacklogSet) TotalDrops() uint64 {
+	var n uint64
+	for _, q := range s.queues {
+		n += q.ES.Drop.Packets.Load()
+	}
+	return n
+}

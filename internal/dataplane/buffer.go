@@ -1,0 +1,185 @@
+package dataplane
+
+import "sync/atomic"
+
+// Buffer is a bounded FIFO of batches — the model of every queue on the
+// software datapath (NIC rings, per-CPU backlogs, TUN socket queues, guest
+// socket buffers). Capacity may be bounded in packets, bytes, or both
+// (zero means unbounded in that dimension).
+//
+// Enqueue never blocks: whatever does not fit is returned to the caller,
+// which then decides whether the overflow is a drop (non-blocking producer,
+// e.g. the virtual switch writing to a TUN) or backpressure (blocking
+// producer, e.g. QEMU writing to a full vNIC ring). Drops are accounted by
+// the owning element, not the buffer, because attribution — *which* element
+// dropped — is exactly the signal Algorithm 1 diagnoses on.
+type Buffer struct {
+	capPackets int
+	capBytes   int64
+
+	// The queue itself has a single writer (the machine tick loop), but
+	// the occupancy gauges are read concurrently by agent snapshots, so
+	// they are atomics.
+	q       []Batch
+	packets atomic.Int64
+	bytes   atomic.Int64
+}
+
+// NewBuffer returns a buffer bounded by capPackets packets and capBytes
+// bytes; zero disables that bound.
+func NewBuffer(capPackets int, capBytes int64) *Buffer {
+	return &Buffer{capPackets: capPackets, capBytes: capBytes}
+}
+
+// Len returns the number of queued packets.
+func (b *Buffer) Len() int { return int(b.packets.Load()) }
+
+// Bytes returns the number of queued bytes.
+func (b *Buffer) Bytes() int64 { return b.bytes.Load() }
+
+// CapPackets returns the packet bound (0 = unbounded).
+func (b *Buffer) CapPackets() int { return b.capPackets }
+
+// FreePackets returns remaining packet capacity (MaxInt-ish if unbounded).
+func (b *Buffer) FreePackets() int {
+	if b.capPackets == 0 {
+		return int(^uint(0) >> 1)
+	}
+	n := int(b.packets.Load())
+	if n >= b.capPackets {
+		return 0
+	}
+	return b.capPackets - n
+}
+
+// FreeBytes returns remaining byte capacity (MaxInt64 if unbounded).
+func (b *Buffer) FreeBytes() int64 {
+	if b.capBytes == 0 {
+		return int64(^uint64(0) >> 1)
+	}
+	n := b.bytes.Load()
+	if n >= b.capBytes {
+		return 0
+	}
+	return b.capBytes - n
+}
+
+// Empty reports whether the buffer holds no traffic.
+func (b *Buffer) Empty() bool { return b.packets.Load() == 0 }
+
+// Enqueue appends as much of batch as fits and returns the overflow.
+func (b *Buffer) Enqueue(batch Batch) (overflow Batch) {
+	if batch.Empty() {
+		return Batch{}
+	}
+	fit := batch
+	if free := b.FreePackets(); fit.Packets > free {
+		fit, overflow = fit.SplitPackets(free)
+	}
+	if free := b.FreeBytes(); fit.Bytes > free {
+		var over2 Batch
+		fit, over2 = fit.SplitBytes(free)
+		overflow = merge(over2, overflow)
+	}
+	b.push(fit)
+	return overflow
+}
+
+func (b *Buffer) push(batch Batch) {
+	if batch.Empty() {
+		return
+	}
+	// Coalesce with the tail when it is the same flow and destination, to
+	// keep queues short under fluid traffic.
+	if n := len(b.q); n > 0 {
+		t := &b.q[n-1]
+		if t.Flow == batch.Flow && t.DstVM == batch.DstVM && t.FB == batch.FB && t.Egress == batch.Egress {
+			t.Packets += batch.Packets
+			t.Bytes += batch.Bytes
+			b.packets.Add(int64(batch.Packets))
+			b.bytes.Add(batch.Bytes)
+			return
+		}
+	}
+	b.q = append(b.q, batch)
+	b.packets.Add(int64(batch.Packets))
+	b.bytes.Add(batch.Bytes)
+}
+
+// merge combines two (possibly empty) overflow fragments of the same batch.
+func merge(a, b Batch) Batch {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	a.Packets += b.Packets
+	a.Bytes += b.Bytes
+	return a
+}
+
+// Dequeue removes and returns up to maxPackets packets and maxBytes bytes,
+// preserving FIFO order. Negative bounds mean "no limit in that dimension".
+// A head batch is split if only part of it fits within the bounds.
+func (b *Buffer) Dequeue(maxPackets int, maxBytes int64) []Batch {
+	if maxPackets == 0 || maxBytes == 0 || b.packets.Load() == 0 {
+		return nil
+	}
+	var out []Batch
+	for len(b.q) > 0 {
+		head := b.q[0]
+		take := head
+		if maxPackets >= 0 && take.Packets > maxPackets {
+			take, _ = take.SplitPackets(maxPackets)
+		}
+		if maxBytes >= 0 && take.Bytes > maxBytes {
+			take, _ = take.SplitBytes(maxBytes)
+		}
+		if take.Empty() {
+			break
+		}
+		if take.Packets == head.Packets {
+			b.q = b.q[1:]
+		} else {
+			_, rest := head.SplitPackets(take.Packets)
+			b.q[0] = rest
+		}
+		b.packets.Add(int64(-take.Packets))
+		b.bytes.Add(-take.Bytes)
+		out = append(out, take)
+		if maxPackets >= 0 {
+			maxPackets -= take.Packets
+			if maxPackets == 0 {
+				break
+			}
+		}
+		if maxBytes >= 0 {
+			maxBytes -= take.Bytes
+			if maxBytes <= 0 {
+				break
+			}
+		}
+	}
+	if len(b.q) == 0 {
+		b.q = nil // release backing array
+	}
+	return out
+}
+
+// Peek returns the head batch without removing it.
+func (b *Buffer) Peek() (Batch, bool) {
+	if len(b.q) == 0 {
+		return Batch{}, false
+	}
+	return b.q[0], true
+}
+
+// DrainAll removes and returns everything in the buffer.
+func (b *Buffer) DrainAll() []Batch {
+	out := b.q
+	b.q = nil
+	b.packets.Store(0)
+	b.bytes.Store(0)
+	return out
+}

@@ -1,0 +1,84 @@
+package dataplane
+
+import (
+	"perfsight/internal/core"
+	"perfsight/internal/stats"
+)
+
+// Base provides the identity and counter block shared by all dataplane
+// elements. Concrete elements embed it and add their buffers and logic.
+type Base struct {
+	id   core.ElementID
+	kind core.ElementKind
+
+	// ES holds the rx/tx/drop counters of §4.1.
+	ES stats.ElementStats
+
+	// CapacityBps is the element's line rate where meaningful (0 = none).
+	CapacityBps float64
+
+	// buf, if non-nil, is reported through the queue_len/queue_cap gauges.
+	buf *Buffer
+	// tracer, if non-nil, receives a DropEvent for every CountDrop.
+	tracer *DropTracer
+}
+
+// NewBase returns a Base for the given identity.
+func NewBase(id core.ElementID, kind core.ElementKind) Base {
+	return Base{id: id, kind: kind}
+}
+
+// ID implements core.Element.
+func (b *Base) ID() core.ElementID { return b.id }
+
+// Kind implements core.Element.
+func (b *Base) Kind() core.ElementKind { return b.kind }
+
+// AttachBuffer associates a buffer whose occupancy the snapshot reports.
+func (b *Base) AttachBuffer(buf *Buffer) { b.buf = buf }
+
+// AttachTracer routes this element's drops into a DropTracer.
+func (b *Base) AttachTracer(t *DropTracer) { b.tracer = t }
+
+// Snapshot implements core.Element.
+func (b *Base) Snapshot(ts int64) core.Record {
+	rec := core.Record{Timestamp: ts, Element: b.id}
+	rec.Attrs = append(rec.Attrs, core.Attr{Name: core.AttrKind, Value: float64(b.kind)})
+	rec.Attrs = append(rec.Attrs, b.ES.Attrs()...)
+	if b.CapacityBps > 0 {
+		rec.Attrs = append(rec.Attrs, core.Attr{Name: core.AttrCapacityBps, Value: b.CapacityBps})
+	}
+	if b.buf != nil {
+		rec.Attrs = append(rec.Attrs,
+			core.Attr{Name: core.AttrQueueLen, Value: float64(b.buf.Len())},
+			core.Attr{Name: core.AttrQueueCap, Value: float64(b.buf.CapPackets())},
+		)
+	}
+	return rec
+}
+
+// CountRx credits received traffic to the element.
+func (b *Base) CountRx(batches ...Batch) {
+	for _, x := range batches {
+		b.ES.Rx.Add(x.Packets, x.Bytes)
+	}
+}
+
+// CountTx credits transmitted traffic to the element.
+func (b *Base) CountTx(batches ...Batch) {
+	for _, x := range batches {
+		b.ES.Tx.Add(x.Packets, x.Bytes)
+	}
+}
+
+// CountDrop records a drop at this element and notifies the flow.
+func (b *Base) CountDrop(batch Batch) {
+	if batch.Empty() {
+		return
+	}
+	b.ES.Drop.Add(batch.Packets, batch.Bytes)
+	if b.tracer != nil {
+		b.tracer.Record(string(b.id), batch)
+	}
+	batch.NotifyDropped(b.id)
+}

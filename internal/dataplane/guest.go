@@ -1,0 +1,203 @@
+package dataplane
+
+import (
+	"perfsight/internal/core"
+)
+
+// VNIC models the virtual NIC: a receive ring QEMU writes into and the
+// guest driver drains, plus a transmit ring the guest fills and QEMU
+// drains. Rings backpressure rather than drop — virtio-style NAPI polling —
+// so a slow guest pushes congestion back into the TUN where it becomes
+// externally visible (Table 1: VM bottleneck -> TUN, individual).
+type VNIC struct {
+	Base
+	VM       core.VMID
+	RxCapBps float64
+	TxCapBps float64
+
+	rxRing *Buffer
+	txRing *Buffer
+}
+
+// NewVNIC builds a vNIC with the given line rate and ring bounds.
+func NewVNIC(id core.ElementID, vm core.VMID, capBps float64, ringPackets int) *VNIC {
+	v := &VNIC{
+		Base:     NewBase(id, core.KindVNIC),
+		VM:       vm,
+		RxCapBps: capBps,
+		TxCapBps: capBps,
+		rxRing:   NewBuffer(ringPackets, 0),
+		txRing:   NewBuffer(ringPackets, 0),
+	}
+	v.CapacityBps = capBps
+	v.AttachBuffer(v.rxRing)
+	return v
+}
+
+// RxSpace returns free receive-ring slots (QEMU consults before writing).
+func (v *VNIC) RxSpace() int { return v.rxRing.FreePackets() }
+
+// EnqueueRx adds QEMU-delivered packets to the receive ring.
+func (v *VNIC) EnqueueRx(b Batch) {
+	v.CountRx(b)
+	v.CountDrop(v.rxRing.Enqueue(b)) // safety net; callers check RxSpace
+}
+
+// DequeueRx hands packets to the guest driver.
+func (v *VNIC) DequeueRx(maxPackets int, maxBytes int64) []Batch {
+	return v.rxRing.Dequeue(maxPackets, maxBytes)
+}
+
+// TxSpace returns free transmit-ring slots.
+func (v *VNIC) TxSpace() int { return v.txRing.FreePackets() }
+
+// EnqueueTx adds guest-transmitted packets to the transmit ring.
+func (v *VNIC) EnqueueTx(b Batch) {
+	v.CountTx(b)
+	v.CountDrop(v.txRing.Enqueue(b))
+}
+
+// DequeueTx hands packets to QEMU's TAP transmit path.
+func (v *VNIC) DequeueTx(maxPackets int, maxBytes int64) []Batch {
+	return v.txRing.Dequeue(maxPackets, maxBytes)
+}
+
+// RxRingLen returns receive-ring occupancy.
+func (v *VNIC) RxRingLen() int { return v.rxRing.Len() }
+
+// TxRingLen returns transmit-ring occupancy.
+func (v *VNIC) TxRingLen() int { return v.txRing.Len() }
+
+// RxRingBytes returns receive-ring occupancy in bytes.
+func (v *VNIC) RxRingBytes() int64 { return v.rxRing.Bytes() }
+
+// TxRingBytes returns transmit-ring occupancy in bytes.
+func (v *VNIC) TxRingBytes() int64 { return v.txRing.Bytes() }
+
+// VNICDriver is the guest interrupt handler moving vNIC ring -> vCPU
+// backlog. Like its host counterpart it is unbuffered; its cost is charged
+// to the VM's vCPU grant.
+type VNICDriver struct {
+	Base
+	CyclesPerPacket float64
+	MembusFactor    float64
+}
+
+// NewVNICDriver builds the guest driver element.
+func NewVNICDriver(id core.ElementID, cyclesPerPacket, membusFactor float64) *VNICDriver {
+	return &VNICDriver{
+		Base:            NewBase(id, core.KindVNICDriver),
+		CyclesPerPacket: cyclesPerPacket,
+		MembusFactor:    membusFactor,
+	}
+}
+
+// VCPUBacklog is the guest's per-vCPU backlog queue.
+type VCPUBacklog struct {
+	Base
+	q *Buffer
+}
+
+// NewVCPUBacklog builds the guest backlog.
+func NewVCPUBacklog(id core.ElementID, capPackets int) *VCPUBacklog {
+	b := &VCPUBacklog{
+		Base: NewBase(id, core.KindVCPUBacklog),
+		q:    NewBuffer(capPackets, 0),
+	}
+	b.AttachBuffer(b.q)
+	return b
+}
+
+// Len returns queued packets.
+func (b *VCPUBacklog) Len() int { return b.q.Len() }
+
+// QueuedBytes returns queued bytes.
+func (b *VCPUBacklog) QueuedBytes() int64 { return b.q.Bytes() }
+
+// GuestNAPI is the guest softirq moving vCPU backlog -> guest socket.
+type GuestNAPI struct {
+	Base
+	CyclesPerPacket float64
+	MembusFactor    float64
+}
+
+// NewGuestNAPI builds the guest NAPI element.
+func NewGuestNAPI(id core.ElementID, cyclesPerPacket, membusFactor float64) *GuestNAPI {
+	return &GuestNAPI{
+		Base:            NewBase(id, core.KindGuestNAPI),
+		CyclesPerPacket: cyclesPerPacket,
+		MembusFactor:    membusFactor,
+	}
+}
+
+// GuestSocket is the guest kernel socket layer: a bounded receive buffer
+// the middlebox software reads from (its input method) and a bounded send
+// buffer it writes to (its output method). Receive overflow drops here —
+// with flow feedback, so stream transports see the loss; send-side
+// fullness is the WriteBlocked condition the middlebox experiences.
+type GuestSocket struct {
+	Base
+	rxBuf *Buffer
+	txBuf *Buffer
+}
+
+// NewGuestSocket builds the socket element with the given byte bounds.
+func NewGuestSocket(id core.ElementID, rxBytes, txBytes int64) *GuestSocket {
+	s := &GuestSocket{
+		Base:  NewBase(id, core.KindGuestSocket),
+		rxBuf: NewBuffer(0, rxBytes),
+		txBuf: NewBuffer(0, txBytes),
+	}
+	s.AttachBuffer(s.rxBuf)
+	return s
+}
+
+// DeliverRx lands traffic in the receive buffer; this is the flow's
+// destination, so accepted traffic triggers the Delivered feedback.
+func (s *GuestSocket) DeliverRx(b Batch) {
+	if b.Empty() {
+		return
+	}
+	over := s.rxBuf.Enqueue(b)
+	acc := b
+	acc.Packets -= over.Packets
+	acc.Bytes -= over.Bytes
+	s.CountRx(acc)
+	acc.NotifyDelivered()
+	s.CountDrop(over)
+}
+
+// RxAvailable returns readable bytes.
+func (s *GuestSocket) RxAvailable() int64 { return s.rxBuf.Bytes() }
+
+// RxFree returns free receive-buffer bytes (the receive window).
+func (s *GuestSocket) RxFree() int64 { return s.rxBuf.FreeBytes() }
+
+// Read removes up to maxBytes for the application (its input method).
+func (s *GuestSocket) Read(maxBytes int64) []Batch {
+	return s.rxBuf.Dequeue(-1, maxBytes)
+}
+
+// TxFree returns free send-buffer bytes; zero means the application's
+// output method would block.
+func (s *GuestSocket) TxFree() int64 { return s.txBuf.FreeBytes() }
+
+// Write appends application output (its output method); the caller must
+// respect TxFree, overflow is returned untouched.
+func (s *GuestSocket) Write(b Batch) (accepted int64) {
+	if b.Empty() {
+		return 0
+	}
+	over := s.txBuf.Enqueue(b)
+	acc := b.Bytes - over.Bytes
+	s.CountTx(Batch{Packets: b.Packets - over.Packets, Bytes: acc})
+	return acc
+}
+
+// DequeueTx hands application output to the guest transmit path.
+func (s *GuestSocket) DequeueTx(maxPackets int, maxBytes int64) []Batch {
+	return s.txBuf.Dequeue(maxPackets, maxBytes)
+}
+
+// TxQueued returns bytes waiting in the send buffer.
+func (s *GuestSocket) TxQueued() int64 { return s.txBuf.Bytes() }

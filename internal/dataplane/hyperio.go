@@ -1,0 +1,102 @@
+package dataplane
+
+import (
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/sim"
+)
+
+// HypervisorIO models the QEMU I/O handler for one VM: on receive it reads
+// packets from the TUN socket and writes them into the vNIC ring; on
+// transmit, the vNIC interrupt causes it to call the TAP transmit function,
+// which enqueues onto the pCPU backlog (§6). Each byte moved is a
+// user/kernel copy, so this element's progress is gated by its CPU grant
+// *and* the machine's memory-bus budget — starve either and the TUN backs
+// up, which is precisely how CPU and memory-bandwidth contention acquire
+// their shared TUN-drop symptom.
+type HypervisorIO struct {
+	Base
+	VM core.VMID
+
+	// CyclesPerPacket is QEMU's per-packet handling cost.
+	CyclesPerPacket float64
+	// MembusFactor is bus bytes per wire byte for the QEMU copy.
+	MembusFactor float64
+	// CostScale inflates the per-packet cost under host CPU load: QEMU's
+	// I/O thread sleeps and wakes per batch, so scheduling latency and
+	// cache pollution raise its effective per-packet cost.
+	CostScale float64
+}
+
+// NewHypervisorIO builds the QEMU I/O element for a VM.
+func NewHypervisorIO(id core.ElementID, vm core.VMID, cyclesPerPacket, membusFactor float64) *HypervisorIO {
+	return &HypervisorIO{
+		Base:            NewBase(id, core.KindHypervisorIO),
+		VM:              vm,
+		CyclesPerPacket: cyclesPerPacket,
+		MembusFactor:    membusFactor,
+	}
+}
+
+// MoveRx transfers TUN -> vNIC receive ring, limited by the QEMU cycle
+// grant, the memory bus, the vNIC line rate, and ring space (backpressure:
+// what does not fit stays in the TUN, which then overflows and drops).
+func (h *HypervisorIO) MoveRx(tun *TUN, vnic *VNIC, cpu *CycleBudget, bus *MembusBudget, dt time.Duration) {
+	cost := h.CyclesPerPacket * scaleOr1(h.CostScale)
+	budgetBytes := sim.BytesIn(vnic.RxCapBps, dt)
+	for budgetBytes > 0 {
+		maxPkts := min(cpu.PacketsFor(cost), vnic.RxSpace())
+		maxBytes := min64(bus.WireBytesFor(h.MembusFactor), budgetBytes)
+		if maxPkts <= 0 || maxBytes <= 0 {
+			return
+		}
+		got := tun.Read(maxPkts, maxBytes)
+		if len(got) == 0 {
+			return
+		}
+		for _, b := range got {
+			cpu.SpendPackets(b.Packets, cost)
+			bus.SpendWireBytes(b.Bytes, h.MembusFactor)
+			budgetBytes -= b.Bytes
+			h.CountRx(b)
+			h.CountTx(b)
+			vnic.EnqueueRx(b)
+		}
+	}
+}
+
+// MoveTx transfers vNIC transmit ring -> pCPU backlog (the TAP transmit
+// path), limited by the QEMU cycle grant, the memory bus and the vNIC line
+// rate. Backlog overflow drops are charged to the backlog element.
+func (h *HypervisorIO) MoveTx(vnic *VNIC, backlogs *BacklogSet, cpu *CycleBudget, bus *MembusBudget, dt time.Duration) {
+	cost := h.CyclesPerPacket * scaleOr1(h.CostScale)
+	budgetBytes := sim.BytesIn(vnic.TxCapBps, dt)
+	for budgetBytes > 0 {
+		maxPkts := cpu.PacketsFor(cost)
+		maxBytes := min64(bus.WireBytesFor(h.MembusFactor), budgetBytes)
+		if maxPkts <= 0 || maxBytes <= 0 {
+			return
+		}
+		got := vnic.DequeueTx(maxPkts, maxBytes)
+		if len(got) == 0 {
+			return
+		}
+		for _, b := range got {
+			cpu.SpendPackets(b.Packets, cost)
+			bus.SpendWireBytes(b.Bytes, h.MembusFactor)
+			budgetBytes -= b.Bytes
+			h.CountRx(b)
+			h.CountTx(b)
+			b.Egress = true
+			backlogs.Enqueue(b)
+		}
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,180 @@
+package dataplane
+
+import (
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/sim"
+)
+
+// PNIC models the physical NIC: a DMA receive ring drained by the driver's
+// interrupt handler, and a transmit queue drained onto the wire at line
+// rate. When incoming traffic exceeds line rate or the ring is full — the
+// virtualization stack is not clearing the DMA buffer quickly enough — the
+// NIC drops, which is the Table-1 symptom for an incoming-bandwidth
+// shortage.
+type PNIC struct {
+	Base
+	RxCapBps float64
+	TxCapBps float64
+
+	rxRing  *Buffer
+	txQueue *Buffer
+}
+
+// NewPNIC builds a pNIC with the given line rates and ring/queue bounds.
+func NewPNIC(id core.ElementID, rxBps, txBps float64, ringPackets, txQueuePackets int) *PNIC {
+	p := &PNIC{
+		Base:     NewBase(id, core.KindPNIC),
+		RxCapBps: rxBps,
+		TxCapBps: txBps,
+		rxRing:   NewBuffer(ringPackets, 0),
+		txQueue:  NewBuffer(txQueuePackets, 0),
+	}
+	p.CapacityBps = rxBps
+	p.AttachBuffer(p.rxRing)
+	return p
+}
+
+// OfferRx admits wire arrivals for this tick: traffic beyond line rate or
+// ring space is dropped at the pNIC.
+func (p *PNIC) OfferRx(batches []Batch, dt time.Duration) {
+	budget := sim.BytesIn(p.RxCapBps, dt)
+	for _, b := range batches {
+		if b.Empty() {
+			continue
+		}
+		fit, over := b.SplitBytes(budget)
+		budget -= fit.Bytes
+		if !fit.Empty() {
+			p.CountRx(fit)
+			over = merge(p.rxRing.Enqueue(fit), over)
+		}
+		p.CountDrop(over)
+	}
+}
+
+// DequeueRx hands up to maxPackets from the receive ring to the driver.
+func (p *PNIC) DequeueRx(maxPackets int) []Batch {
+	return p.rxRing.Dequeue(maxPackets, -1)
+}
+
+// RxRingLen returns the receive-ring occupancy in packets.
+func (p *PNIC) RxRingLen() int { return p.rxRing.Len() }
+
+// RxRingBytes returns the receive-ring occupancy in bytes.
+func (p *PNIC) RxRingBytes() int64 { return p.rxRing.Bytes() }
+
+// TxSpace returns free packet slots in the transmit queue. The NAPI
+// routine consults it before dequeuing wire-bound packets from the backlog
+// so that an outgoing-bandwidth shortage backpressures into the backlog
+// (where the drops then appear, per Table 1) rather than vanishing here.
+func (p *PNIC) TxSpace() int { return p.txQueue.FreePackets() }
+
+// EnqueueTx queues wire-bound packets; the caller must have checked
+// TxSpace, any overflow is dropped here as a safety net.
+func (p *PNIC) EnqueueTx(b Batch) {
+	p.CountDrop(p.txQueue.Enqueue(b))
+}
+
+// DrainTx emits up to line rate onto the wire for this tick.
+func (p *PNIC) DrainTx(dt time.Duration) []Batch {
+	out := p.txQueue.Dequeue(-1, sim.BytesIn(p.TxCapBps, dt))
+	p.CountTx(out...)
+	return out
+}
+
+// PNICDriver models the NIC driver's interrupt handler, which moves
+// packets from the DMA ring into the per-CPU backlog queues (netif_rx).
+// Its counters mirror net_device statistics. The driver itself has no
+// buffer: overflow on enqueue is charged to the backlog element.
+type PNICDriver struct {
+	Base
+	// CyclesPerPacket is the interrupt-handling cost.
+	CyclesPerPacket float64
+	// MembusFactor is bus bytes consumed per wire byte (DMA + sk_buff touch).
+	MembusFactor float64
+	// CostScale inflates the per-packet cost under host CPU load
+	// (scheduling and cache overhead); the machine sets it each tick.
+	CostScale float64
+	// AllocFailRate is the fraction of packets whose sk_buff allocation
+	// fails under memory-space pressure; such packets are dropped at the
+	// driver (the Table 1 memory-space symptom). The machine sets it from
+	// its free-memory model.
+	AllocFailRate float64
+
+	allocAcc float64
+}
+
+// NewPNICDriver builds the driver element.
+func NewPNICDriver(id core.ElementID, cyclesPerPacket, membusFactor float64) *PNICDriver {
+	return &PNICDriver{
+		Base:            NewBase(id, core.KindPNICDriver),
+		CyclesPerPacket: cyclesPerPacket,
+		MembusFactor:    membusFactor,
+	}
+}
+
+// Move transfers packets ring->backlog limited by the softirq cycle budget
+// and the machine's memory-bus budget. Backlog overflow is dropped by the
+// backlog element (the "Backlog Enqueue" location).
+func (d *PNICDriver) Move(nic *PNIC, backlogs *BacklogSet, cpu *CycleBudget, bus *MembusBudget) {
+	cost := d.CyclesPerPacket * scaleOr1(d.CostScale)
+	for !cpu.Exhausted() {
+		maxPkts := cpu.PacketsFor(cost)
+		maxBytes := bus.WireBytesFor(d.MembusFactor)
+		if maxPkts == 0 || maxBytes == 0 {
+			return
+		}
+		got := nic.DequeueRx(min(maxPkts, 2048))
+		if len(got) == 0 {
+			return
+		}
+		for _, b := range got {
+			if b.Bytes > maxBytes {
+				var over Batch
+				b, over = b.SplitBytes(maxBytes)
+				// Bus starvation: leave the remainder in the ring for the
+				// next tick (requeue at head is approximated by re-enqueue;
+				// ring order among ticks is not diagnosis-relevant).
+				nic.rxRing.Enqueue(over)
+				if b.Empty() {
+					return
+				}
+			}
+			cpu.SpendPackets(b.Packets, cost)
+			bus.SpendWireBytes(b.Bytes, d.MembusFactor)
+			maxBytes -= b.Bytes
+			d.CountRx(b)
+			if d.AllocFailRate > 0 {
+				d.allocAcc += float64(b.Packets) * d.AllocFailRate
+				if fail := int(d.allocAcc); fail > 0 {
+					d.allocAcc -= float64(fail)
+					var dropped Batch
+					dropped, b = b.SplitPackets(fail)
+					d.CountDrop(dropped)
+					if b.Empty() {
+						continue
+					}
+				}
+			}
+			d.CountTx(b)
+			backlogs.Enqueue(b)
+		}
+	}
+}
+
+// scaleOr1 treats an unset (zero) cost scale as 1.
+func scaleOr1(s float64) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DropEvent records one drop occurrence at an element.
+type DropEvent struct {
+	TSNS    int64 // virtual nanoseconds
+	Element string
+	Flow    FlowID
+	Packets int
+	Bytes   int64
+}
+
+// DropTracer keeps a bounded ring of recent drop events across a stack —
+// the "which buffer, when, whose packets" detail behind the aggregate drop
+// counters. It is an optional debugging aid in the spirit of §4.1's
+// extensible statistics: attach it only when the overhead is acceptable.
+// Safe for concurrent use.
+type DropTracer struct {
+	nowNS atomic.Int64
+
+	mu     sync.Mutex
+	ring   []DropEvent
+	next   int
+	filled bool
+	total  int64
+}
+
+// NewDropTracer returns a tracer keeping the last capacity events.
+func NewDropTracer(capacity int) *DropTracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &DropTracer{ring: make([]DropEvent, capacity)}
+}
+
+// SetNow updates the tracer's clock (the machine calls this every tick).
+func (t *DropTracer) SetNow(ns int64) { t.nowNS.Store(ns) }
+
+// Record logs a drop. Called from element CountDrop paths.
+func (t *DropTracer) Record(element string, b Batch) {
+	if t == nil || b.Empty() {
+		return
+	}
+	ev := DropEvent{
+		TSNS:    t.nowNS.Load(),
+		Element: element,
+		Flow:    b.Flow,
+		Packets: b.Packets,
+		Bytes:   b.Bytes,
+	}
+	t.mu.Lock()
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Events returns the retained events in chronological order.
+func (t *DropTracer) Events() []DropEvent {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		out := make([]DropEvent, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]DropEvent, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// TotalEvents returns how many drops were recorded in total (including
+// those that have rotated out of the ring).
+func (t *DropTracer) TotalEvents() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// SiteSummary aggregates retained events per element.
+type SiteSummary struct {
+	Element       string
+	Events        int
+	Packets       int
+	FirstNS       int64
+	LastNS        int64
+	DistinctFlows int
+}
+
+// Summary returns per-element aggregates, worst first.
+func (t *DropTracer) Summary() []SiteSummary {
+	events := t.Events()
+	type acc struct {
+		s     SiteSummary
+		flows map[FlowID]bool
+	}
+	byElem := map[string]*acc{}
+	for _, ev := range events {
+		a := byElem[ev.Element]
+		if a == nil {
+			a = &acc{s: SiteSummary{Element: ev.Element, FirstNS: ev.TSNS}, flows: map[FlowID]bool{}}
+			byElem[ev.Element] = a
+		}
+		a.s.Events++
+		a.s.Packets += ev.Packets
+		a.s.LastNS = ev.TSNS
+		a.flows[ev.Flow] = true
+	}
+	out := make([]SiteSummary, 0, len(byElem))
+	for _, a := range byElem {
+		a.s.DistinctFlows = len(a.flows)
+		out = append(out, a.s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Packets != out[j].Packets {
+			return out[i].Packets > out[j].Packets
+		}
+		return out[i].Element < out[j].Element
+	})
+	return out
+}
+
+// String renders the summary for operators.
+func (t *DropTracer) String() string {
+	var b strings.Builder
+	sums := t.Summary()
+	fmt.Fprintf(&b, "drop trace: %d events recorded\n", t.TotalEvents())
+	for _, s := range sums {
+		fmt.Fprintf(&b, "  %-28s %6d pkts in %4d events, %d flow(s), t=[%.3fs, %.3fs]\n",
+			s.Element, s.Packets, s.Events, s.DistinctFlows,
+			float64(s.FirstNS)/1e9, float64(s.LastNS)/1e9)
+	}
+	return b.String()
+}

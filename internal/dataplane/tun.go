@@ -1,0 +1,55 @@
+package dataplane
+
+import (
+	"perfsight/internal/core"
+)
+
+// TUN models the TAP/TUN device feeding one VM: a socket queue the virtual
+// switch writes into (non-blocking — drops on overflow) and the hypervisor
+// I/O handler reads from. The TUN socket buffer is "the last buffer before
+// entering VMs" (§7.1); when a VM cannot drain it — starved of CPU, memory
+// bandwidth, or simply under-provisioned — drops surface here, making the
+// TUN the Table-1 symptom location for CPU/memory-bandwidth contention
+// (aggregated across VMs) and for a single-VM bottleneck (individual).
+type TUN struct {
+	Base
+	VM core.VMID
+	q  *Buffer
+}
+
+// NewTUN builds the TUN for a VM with the given socket-queue bound.
+func NewTUN(id core.ElementID, vm core.VMID, capPackets int) *TUN {
+	t := &TUN{
+		Base: NewBase(id, core.KindTUN),
+		VM:   vm,
+		q:    NewBuffer(capPackets, 0),
+	}
+	t.AttachBuffer(t.q)
+	return t
+}
+
+// Write enqueues VM-bound traffic; overflow drops here.
+func (t *TUN) Write(b Batch) {
+	if b.Empty() {
+		return
+	}
+	over := t.q.Enqueue(b)
+	acc := b
+	acc.Packets -= over.Packets
+	acc.Bytes -= over.Bytes
+	t.CountRx(acc)
+	t.CountDrop(over)
+}
+
+// Read hands up to the given bounds to the hypervisor I/O handler.
+func (t *TUN) Read(maxPackets int, maxBytes int64) []Batch {
+	out := t.q.Dequeue(maxPackets, maxBytes)
+	t.CountTx(out...)
+	return out
+}
+
+// Len returns queued packets.
+func (t *TUN) Len() int { return t.q.Len() }
+
+// QueuedBytes returns queued bytes.
+func (t *TUN) QueuedBytes() int64 { return t.q.Bytes() }

@@ -1,0 +1,287 @@
+package diagnosis
+
+import (
+	"strings"
+	"testing"
+
+	"perfsight/internal/controller"
+	"perfsight/internal/core"
+)
+
+func TestLocationOfKind(t *testing.T) {
+	for _, tc := range []struct {
+		kind    core.ElementKind
+		multiVM bool
+		want    DropLocation
+	}{
+		{core.KindPNIC, false, LocPNIC},
+		{core.KindPNICDriver, false, LocPNICDriver},
+		{core.KindPCPUBacklog, false, LocBacklogEnqueue},
+		{core.KindTUN, true, LocTUNAggregated},
+		{core.KindTUN, false, LocTUNIndividual},
+		{core.KindVSwitch, false, LocVSwitch},
+		{core.KindGuestSocket, false, LocGuestSocket},
+		{core.KindMiddlebox, false, LocNone},
+	} {
+		if got := LocationOfKind(tc.kind, tc.multiVM); got != tc.want {
+			t.Errorf("LocationOfKind(%v, %v) = %v; want %v", tc.kind, tc.multiVM, got, tc.want)
+		}
+	}
+}
+
+func TestRuleBookCandidates(t *testing.T) {
+	var rb RuleBook
+	if got := rb.Candidates(LocPNIC); len(got) != 1 || got[0] != ResourceIncomingBandwidth {
+		t.Fatalf("pNIC candidates: %v", got)
+	}
+	agg := rb.Candidates(LocTUNAggregated)
+	if len(agg) < 2 {
+		t.Fatalf("TUN-aggregated should be ambiguous: %v", agg)
+	}
+	if got := rb.Candidates(LocNone); got != nil {
+		t.Fatalf("LocNone candidates: %v", got)
+	}
+}
+
+func TestRuleBookDisambiguation(t *testing.T) {
+	var rb RuleBook
+	// Backlog drops with a saturated NIC: outgoing bandwidth.
+	ev := Evidence{PNICCapBps: 1e9, PNICTxBps: 0.95e9}
+	if got := rb.Infer(LocBacklogEnqueue, ev); got != ResourceOutgoingBandwidth {
+		t.Fatalf("saturated NIC: %v", got)
+	}
+	// Backlog drops with an idle NIC: backlog-queue contention (Fig 10).
+	ev = Evidence{PNICCapBps: 1e9, PNICTxBps: 0.1e9}
+	if got := rb.Infer(LocBacklogEnqueue, ev); got != ResourcePCPUBacklog {
+		t.Fatalf("idle NIC: %v", got)
+	}
+	// TUN aggregated with a hot bus: memory bandwidth, even with hot CPU
+	// (streaming hogs burn CPU too).
+	ev = Evidence{MembusUtil: 0.99, CPUUtil: 0.95}
+	if got := rb.Infer(LocTUNAggregated, ev); got != ResourceMemoryBandwidth {
+		t.Fatalf("hot bus: %v", got)
+	}
+	// TUN aggregated with only hot CPU: CPU.
+	ev = Evidence{MembusUtil: 0.1, CPUUtil: 0.95}
+	if got := rb.Infer(LocTUNAggregated, ev); got != ResourceCPU {
+		t.Fatalf("hot CPU: %v", got)
+	}
+	// No explicit symptom: the hidden contention (memory bandwidth).
+	if got := rb.Infer(LocTUNAggregated, Evidence{}); got != ResourceMemoryBandwidth {
+		t.Fatalf("no symptom: %v", got)
+	}
+	if got := rb.Infer(LocTUNIndividual, Evidence{}); got != ResourceVMBottleneck {
+		t.Fatalf("individual: %v", got)
+	}
+}
+
+// iv builds a one-second interval with the given counter deltas.
+func iv(el core.ElementID, kind core.ElementKind, attrs map[string]float64) controller.Interval {
+	prev := core.Record{Timestamp: 0, Element: el}
+	cur := core.Record{Timestamp: 1e9, Element: el}
+	prev.Set(core.AttrKind, float64(kind))
+	cur.Set(core.AttrKind, float64(kind))
+	for k, v := range attrs {
+		prev.Set(k, 0)
+		cur.Set(k, v)
+	}
+	return controller.Interval{Prev: prev, Cur: cur}
+}
+
+func TestAnalyzeStackNoLoss(t *testing.T) {
+	ivs := map[core.ElementID]controller.Interval{
+		"m0/pnic": iv("m0/pnic", core.KindPNIC, map[string]float64{core.AttrDropPackets: 0}),
+	}
+	rep := AnalyzeStackIntervals(ivs)
+	if rep.Scope != ScopeNone || rep.TopLocation != LocNone {
+		t.Fatalf("clean stack diagnosed: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "no packet loss") {
+		t.Fatalf("summary: %s", rep)
+	}
+}
+
+func TestAnalyzeStackNoiseFloor(t *testing.T) {
+	ivs := map[core.ElementID]controller.Interval{
+		"m0/pnic": iv("m0/pnic", core.KindPNIC, map[string]float64{core.AttrDropPackets: 3}),
+	}
+	if rep := AnalyzeStackIntervals(ivs); rep.Scope != ScopeNone {
+		t.Fatalf("3 packets should be under the noise floor: %s", rep)
+	}
+}
+
+func TestAnalyzeStackRanksAndScopes(t *testing.T) {
+	ivs := map[core.ElementID]controller.Interval{
+		"m0/pnic":         iv("m0/pnic", core.KindPNIC, map[string]float64{core.AttrDropPackets: 10}),
+		"m0/vm0/tun":      iv("m0/vm0/tun", core.KindTUN, map[string]float64{core.AttrDropPackets: 500}),
+		"m0/vm1/tun":      iv("m0/vm1/tun", core.KindTUN, map[string]float64{core.AttrDropPackets: 400}),
+		"m0/cpu0/backlog": iv("m0/cpu0/backlog", core.KindPCPUBacklog, map[string]float64{core.AttrDropPackets: 0}),
+	}
+	rep := AnalyzeStackIntervals(ivs)
+	if rep.Ranked[0].Element != "m0/vm0/tun" {
+		t.Fatalf("ranking: %+v", rep.Ranked)
+	}
+	if rep.Scope != ScopeContention || rep.TopLocation != LocTUNAggregated {
+		t.Fatalf("scope %v loc %v; want contention/aggregated", rep.Scope, rep.TopLocation)
+	}
+	if len(rep.DroppingVMs) != 2 {
+		t.Fatalf("dropping VMs: %v", rep.DroppingVMs)
+	}
+}
+
+func TestAnalyzeStackSingleVMBottleneck(t *testing.T) {
+	ivs := map[core.ElementID]controller.Interval{
+		"m0/vm1/tun": iv("m0/vm1/tun", core.KindTUN, map[string]float64{core.AttrDropPackets: 100}),
+	}
+	rep := AnalyzeStackIntervals(ivs)
+	if rep.Scope != ScopeBottleneck || rep.BottleneckVM != "vm1" {
+		t.Fatalf("bottleneck not detected: %s", rep)
+	}
+	if rep.Inferred != ResourceVMBottleneck {
+		t.Fatalf("inferred %v", rep.Inferred)
+	}
+}
+
+func TestAnalyzeStackHotMachineOverridesIndividual(t *testing.T) {
+	hostIv := iv("m0/host", core.KindUnknown, nil)
+	hostIv.Cur.Set(core.AttrMembusUtil, 0.95)
+	ivs := map[core.ElementID]controller.Interval{
+		"m0/vm1/tun": iv("m0/vm1/tun", core.KindTUN, map[string]float64{core.AttrDropPackets: 100}),
+		"m0/host":    hostIv,
+	}
+	rep := AnalyzeStackIntervals(ivs)
+	if rep.TopLocation != LocTUNAggregated || rep.Scope != ScopeContention {
+		t.Fatalf("hot machine should reclassify as contention: %s", rep)
+	}
+}
+
+// mbIv builds a middlebox interval from in/out byte+time deltas.
+func mbIv(el core.ElementID, capBps, inB, inNS, outB, outNS float64) controller.Interval {
+	prev := core.Record{Timestamp: 0, Element: el}
+	cur := core.Record{Timestamp: 1e9, Element: el}
+	for _, r := range []*core.Record{&prev, &cur} {
+		r.Set(core.AttrKind, float64(core.KindMiddlebox))
+		r.Set(core.AttrCapacityBps, capBps)
+	}
+	prev.Set(core.AttrInBytes, 0)
+	prev.Set(core.AttrInTimeNS, 0)
+	prev.Set(core.AttrOutBytes, 0)
+	prev.Set(core.AttrOutTimeNS, 0)
+	cur.Set(core.AttrInBytes, inB)
+	cur.Set(core.AttrInTimeNS, inNS)
+	cur.Set(core.AttrOutBytes, outB)
+	cur.Set(core.AttrOutTimeNS, outNS)
+	return controller.Interval{Prev: prev, Cur: cur}
+}
+
+func chainNet(chains ...[]core.ElementID) *core.VirtualNet {
+	n := &core.VirtualNet{Elements: map[core.ElementID]core.ElementInfo{}}
+	n.Chains = chains
+	return n
+}
+
+const C = 100e6 // 100 Mbps vNIC
+
+func TestAlgorithm2ReadBlockedPruning(t *testing.T) {
+	// a -> b -> c; a is ReadBlocked (slow source): everyone pruned.
+	ivs := map[core.ElementID]controller.Interval{
+		// 1 MB in over 0.9 s of input time: 8.9 Mbps < C -> ReadBlocked.
+		"a": mbIv("a", C, 1e6, 0.9e9, 1e6, 0.01e9),
+		"b": mbIv("b", C, 1e6, 0.9e9, 1e6, 0.01e9),
+		"c": mbIv("c", C, 1e6, 0.9e9, 0, 0),
+	}
+	rep := AnalyzeChainIntervals(ivs, chainNet([]core.ElementID{"a", "b", "c"}))
+	if !rep.SourceUnderloaded {
+		t.Fatalf("want SourceUnderloaded: %s", rep)
+	}
+	if len(rep.RootCauses) != 0 {
+		t.Fatalf("root causes: %v", rep.RootCauses)
+	}
+}
+
+func TestAlgorithm2WriteBlockedIsolatesBottleneck(t *testing.T) {
+	// a, b WriteBlocked; c neither (CPU-bound server): c is the cause.
+	ivs := map[core.ElementID]controller.Interval{
+		// Output trickles over most of the window: b/t_out < C.
+		"a": mbIv("a", C, 5e7, 0.004e9, 1e6, 0.9e9),
+		"b": mbIv("b", C, 5e7, 0.004e9, 1e6, 0.9e9),
+		// c reads at memcpy speed (tiny time), no output counters.
+		"c": mbIv("c", C, 5e6, 0.0004e9, 0, 0),
+	}
+	rep := AnalyzeChainIntervals(ivs, chainNet([]core.ElementID{"a", "b", "c"}))
+	if len(rep.RootCauses) != 1 || rep.RootCauses[0] != "c" {
+		t.Fatalf("root causes %v; want [c] (%+v)", rep.RootCauses, rep.Metrics)
+	}
+	if rep.Metrics["a"].State != StateWriteBlocked || rep.Metrics["b"].State != StateWriteBlocked {
+		t.Fatalf("states: %+v", rep.Metrics)
+	}
+	if !rep.Overloaded["c"] {
+		t.Fatal("c should be labelled Overloaded (WriteBlocked predecessors)")
+	}
+}
+
+func TestAlgorithm2MiddleOfChain(t *testing.T) {
+	// a WriteBlocked, c ReadBlocked, b neither: classic Fig 7(b) shape.
+	ivs := map[core.ElementID]controller.Interval{
+		"a": mbIv("a", C, 5e7, 0.004e9, 1e6, 0.9e9),
+		"b": mbIv("b", C, 1e6, 0.0001e9, 1e6, 0.0001e9),
+		"c": mbIv("c", C, 1e6, 0.9e9, 1e6, 0.001e9),
+	}
+	rep := AnalyzeChainIntervals(ivs, chainNet([]core.ElementID{"a", "b", "c"}))
+	if len(rep.RootCauses) != 1 || rep.RootCauses[0] != "b" {
+		t.Fatalf("root causes %v; want [b]", rep.RootCauses)
+	}
+}
+
+func TestAlgorithm2ReadTakesPriorityOverWrite(t *testing.T) {
+	// Both tests true: the paper's elif makes ReadBlocked win.
+	ivs := map[core.ElementID]controller.Interval{
+		"a": mbIv("a", C, 1e6, 0.5e9, 1e6, 0.5e9),
+	}
+	rep := AnalyzeChainIntervals(ivs, chainNet([]core.ElementID{"a"}))
+	if rep.Metrics["a"].State != StateReadBlocked {
+		t.Fatalf("state %v; want ReadBlocked", rep.Metrics["a"].State)
+	}
+}
+
+func TestAlgorithm2InactiveCountersAreNormal(t *testing.T) {
+	ivs := map[core.ElementID]controller.Interval{
+		"a": mbIv("a", C, 0, 0, 0, 0),
+	}
+	rep := AnalyzeChainIntervals(ivs, chainNet([]core.ElementID{"a"}))
+	if rep.Metrics["a"].State != StateNormal {
+		t.Fatalf("idle middlebox state %v", rep.Metrics["a"].State)
+	}
+	if len(rep.RootCauses) != 1 {
+		t.Fatal("idle middlebox should remain a candidate")
+	}
+	if rep.SourceUnderloaded {
+		t.Fatal("nothing was pruned; not underloaded")
+	}
+}
+
+func TestAlgorithm2NoCapacityNoClassification(t *testing.T) {
+	ivs := map[core.ElementID]controller.Interval{
+		"a": mbIv("a", 0, 1e6, 0.9e9, 0, 0), // capacity unknown
+	}
+	rep := AnalyzeChainIntervals(ivs, chainNet([]core.ElementID{"a"}))
+	if rep.Metrics["a"].State != StateNormal {
+		t.Fatal("cannot classify without C")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if StateReadBlocked.String() != "ReadBlocked" || StateWriteBlocked.String() != "WriteBlocked" ||
+		StateNormal.String() != "Normal" {
+		t.Fatal("state names")
+	}
+	if ScopeContention.String() != "contention" || ScopeBottleneck.String() != "bottleneck" {
+		t.Fatal("scope names")
+	}
+	if ResourceMemoryBandwidth.String() != "memory-bandwidth" {
+		t.Fatal("resource names")
+	}
+	if LocTUNAggregated.String() != "tun-aggregated" {
+		t.Fatal("location names")
+	}
+}

@@ -1,0 +1,187 @@
+// Package diagnosis implements PerfSight's two diagnostic applications
+// (§5): contention/bottleneck detection over virtualization-stack packet
+// losses (Algorithm 1, with the Table 1 rule book), and root-cause
+// middlebox location under propagation (Algorithm 2, over middlebox
+// ReadBlocked/WriteBlocked states).
+package diagnosis
+
+import (
+	"fmt"
+
+	"perfsight/internal/core"
+)
+
+// Resource enumerates the Table 1 "Resource in Shortage" rows.
+type Resource int
+
+const (
+	ResourceUnknown Resource = iota
+	ResourceCPU
+	ResourceMemorySpace
+	ResourceMemoryBandwidth
+	ResourceIncomingBandwidth
+	ResourceOutgoingBandwidth
+	// ResourcePCPUBacklog is contention on the shared per-CPU backlog
+	// queues themselves (the §7.2 case-1 small-packet flood).
+	ResourcePCPUBacklog
+	// ResourceVMBottleneck is a single VM short of its own allocation
+	// (CPU or bandwidth) rather than stack-level contention.
+	ResourceVMBottleneck
+)
+
+var resourceNames = map[Resource]string{
+	ResourceUnknown:           "unknown",
+	ResourceCPU:               "cpu",
+	ResourceMemorySpace:       "memory-space",
+	ResourceMemoryBandwidth:   "memory-bandwidth",
+	ResourceIncomingBandwidth: "incoming-bandwidth",
+	ResourceOutgoingBandwidth: "outgoing-bandwidth",
+	ResourcePCPUBacklog:       "pcpu-backlog-queue",
+	ResourceVMBottleneck:      "vm-bottleneck",
+}
+
+func (r Resource) String() string {
+	if s, ok := resourceNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("resource(%d)", int(r))
+}
+
+// DropLocation enumerates the Table 1 "Packet Drop Location" symptoms.
+type DropLocation int
+
+const (
+	LocNone DropLocation = iota
+	LocPNIC
+	LocPNICDriver
+	LocBacklogEnqueue
+	LocTUNAggregated // drops at the TUNs of multiple VMs
+	LocTUNIndividual // drops confined to one VM's TUN
+	LocVSwitch
+	LocGuestSocket
+)
+
+var locationNames = map[DropLocation]string{
+	LocNone:           "none",
+	LocPNIC:           "pnic",
+	LocPNICDriver:     "pnic-driver",
+	LocBacklogEnqueue: "backlog-enqueue",
+	LocTUNAggregated:  "tun-aggregated",
+	LocTUNIndividual:  "tun-individual",
+	LocVSwitch:        "vswitch",
+	LocGuestSocket:    "guest-socket",
+}
+
+func (l DropLocation) String() string {
+	if s, ok := locationNames[l]; ok {
+		return s
+	}
+	return fmt.Sprintf("location(%d)", int(l))
+}
+
+// LocationOfKind maps an element kind to its drop-location symptom.
+func LocationOfKind(k core.ElementKind, multiVM bool) DropLocation {
+	switch k {
+	case core.KindPNIC:
+		return LocPNIC
+	case core.KindPNICDriver:
+		return LocPNICDriver
+	case core.KindPCPUBacklog:
+		return LocBacklogEnqueue
+	case core.KindTUN:
+		if multiVM {
+			return LocTUNAggregated
+		}
+		return LocTUNIndividual
+	case core.KindVSwitch:
+		return LocVSwitch
+	case core.KindGuestSocket:
+		return LocGuestSocket
+	}
+	return LocNone
+}
+
+// Evidence carries the secondary symptoms the rule book consults to
+// disambiguate locations shared by several resources (§5.1: "the operator
+// can combine this with other symptoms such as CPU utilization and NIC
+// throughput").
+type Evidence struct {
+	CPUUtil    float64 // machine CPU utilization, 0..1
+	MembusUtil float64 // memory-bus utilization, 0..1
+	PNICRxBps  float64
+	PNICTxBps  float64
+	PNICCapBps float64
+	// AvgPktSize is the mean packet size seen at the pNIC over the window
+	// (Figure 6 GetAvgPktSize); a small value flags the §7.2 case-1
+	// small-packet flood that exhausts per-packet processing long before
+	// bytes exhaust the wire.
+	AvgPktSize float64
+}
+
+// utilization thresholds for disambiguation.
+const (
+	hotCPU = 0.85
+	hotBus = 0.80
+	hotNIC = 0.90
+)
+
+// RuleBook maps a drop location to the candidate resources in shortage
+// (Table 1) and, given evidence, the single most likely root cause.
+type RuleBook struct{}
+
+// Candidates returns every Table 1 resource consistent with the location.
+func (RuleBook) Candidates(loc DropLocation) []Resource {
+	switch loc {
+	case LocPNIC:
+		return []Resource{ResourceIncomingBandwidth}
+	case LocPNICDriver:
+		return []Resource{ResourceMemorySpace}
+	case LocBacklogEnqueue:
+		return []Resource{ResourceOutgoingBandwidth, ResourcePCPUBacklog}
+	case LocTUNAggregated:
+		return []Resource{ResourceCPU, ResourceMemoryBandwidth, ResourceOutgoingBandwidth}
+	case LocTUNIndividual:
+		return []Resource{ResourceVMBottleneck}
+	case LocGuestSocket:
+		return []Resource{ResourceVMBottleneck}
+	}
+	return nil
+}
+
+// Infer narrows the candidates using the evidence.
+func (rb RuleBook) Infer(loc DropLocation, ev Evidence) Resource {
+	cands := rb.Candidates(loc)
+	if len(cands) == 0 {
+		return ResourceUnknown
+	}
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	switch loc {
+	case LocBacklogEnqueue:
+		// §7.2 case 1: if the NIC is not saturated, outgoing bandwidth is
+		// not the problem — the pCPU backlog queues are contended, and a
+		// small average packet size corroborates a packet-rate flood.
+		if ev.PNICCapBps > 0 && ev.PNICTxBps >= hotNIC*ev.PNICCapBps {
+			return ResourceOutgoingBandwidth
+		}
+		return ResourcePCPUBacklog
+	case LocTUNAggregated:
+		if ev.PNICCapBps > 0 && ev.PNICTxBps >= hotNIC*ev.PNICCapBps {
+			return ResourceOutgoingBandwidth
+		}
+		// Memory-bus saturation is the more specific signal: streaming
+		// hogs also burn CPU, so a hot bus with hot CPU still means the
+		// bus is the contended resource.
+		if ev.MembusUtil >= hotBus {
+			return ResourceMemoryBandwidth
+		}
+		if ev.CPUUtil >= hotCPU {
+			return ResourceCPU
+		}
+		// No explicit symptom: memory bandwidth is the contention that
+		// hides (§2.3) — report it while keeping all candidates visible.
+		return ResourceMemoryBandwidth
+	}
+	return cands[0]
+}

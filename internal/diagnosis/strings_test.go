@@ -1,0 +1,64 @@
+package diagnosis
+
+import (
+	"strings"
+	"testing"
+
+	"perfsight/internal/core"
+)
+
+func TestContentionReportString(t *testing.T) {
+	rep := &ContentionReport{
+		Scope:        ScopeBottleneck,
+		TopLocation:  LocTUNIndividual,
+		Inferred:     ResourceVMBottleneck,
+		BottleneckVM: "vm7",
+		TotalLoss:    321,
+	}
+	s := rep.String()
+	for _, want := range []string{"bottleneck", "tun-individual", "321", "vm-bottleneck", "vm7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRootCauseReportStrings(t *testing.T) {
+	under := &RootCauseReport{SourceUnderloaded: true}
+	if !strings.Contains(under.String(), "Underloaded") {
+		t.Fatalf("underloaded: %s", under)
+	}
+	empty := &RootCauseReport{}
+	if !strings.Contains(empty.String(), "no root cause") {
+		t.Fatalf("empty: %s", empty)
+	}
+	blamed := &RootCauseReport{
+		RootCauses: []core.ElementID{"m0/vm-nfs/app"},
+		Overloaded: map[core.ElementID]bool{"m0/vm-nfs/app": true},
+	}
+	if !strings.Contains(blamed.String(), "Overloaded") {
+		t.Fatalf("blamed: %s", blamed)
+	}
+	plain := &RootCauseReport{
+		RootCauses: []core.ElementID{"m0/vm-x/app"},
+		Overloaded: map[core.ElementID]bool{},
+	}
+	if !strings.Contains(plain.String(), "bottleneck") {
+		t.Fatalf("plain: %s", plain)
+	}
+}
+
+func TestUnknownEnumStrings(t *testing.T) {
+	if !strings.HasPrefix(Resource(99).String(), "resource(") {
+		t.Fatal("unknown resource")
+	}
+	if !strings.HasPrefix(DropLocation(99).String(), "location(") {
+		t.Fatal("unknown location")
+	}
+	if Scope(99).String() != "none" {
+		t.Fatal("unknown scope")
+	}
+	if MBState(99).String() != "Normal" {
+		t.Fatal("unknown state")
+	}
+}

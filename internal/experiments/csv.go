@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// CSVer is implemented by results that can export their data series for
+// plotting; cmd/perfsight-lab writes them out under -out.
+type CSVer interface {
+	CSV() string
+}
+
+// csvTable renders rows with a header, RFC-4180-enough for the simple
+// numeric/identifier fields used here.
+func csvTable(header []string, rows [][]string) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, ","))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// CSV exports the Figure 3 sweep.
+func (r *Fig3Result) CSV() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{f(p.MemDemandGBps), f(p.MemAchievedGBps), f(p.NetGbps)})
+	}
+	return csvTable([]string{"mem_demand_gbps", "mem_achieved_gbps", "net_gbps"}, rows)
+}
+
+// CSV exports the Figure 8 timeline.
+func (r *Fig8Result) CSV() string {
+	rows := make([][]string, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		rows = append(rows, []string{
+			f(s.T), f(s.MboxMbps), f(s.PNICDrops), f(s.BacklogDrops), f(s.TUNDrops), f(s.MboxTUNDrops),
+		})
+	}
+	return csvTable([]string{"t_s", "mbox_mbps", "pnic_drops", "backlog_drops", "tun_drops", "mbox_tun_drops"}, rows)
+}
+
+// CSV exports the Figure 9 channel latencies.
+func (r *Fig9Result) CSV() string {
+	rows := make([][]string, 0, len(r.Order))
+	for _, name := range r.Order {
+		rows = append(rows, []string{name, f(float64(r.Times[name]) / 1e3)})
+	}
+	return csvTable([]string{"channel", "latency_us"}, rows)
+}
+
+// CSV exports the Figure 10 timeline.
+func (r *Fig10Result) CSV() string {
+	rows := make([][]string, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		rows = append(rows, []string{f(s.T), f(s.Flow1Gbps), f(s.Flow2Kpps), f(s.EnqueueDrops)})
+	}
+	return csvTable([]string{"t_s", "flow1_gbps", "flow2_kpps", "enqueue_drops"}, rows)
+}
+
+// CSV exports the Figure 11 timeline.
+func (r *Fig11Result) CSV() string {
+	rows := make([][]string, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		rows = append(rows, []string{f(s.T), f(s.NetGbps)})
+	}
+	return csvTable([]string{"t_s", "net_gbps"}, rows)
+}
+
+// CSV exports the Figure 12 state tables.
+func (r *Fig12Result) CSV() string {
+	var rows [][]string
+	for _, c := range r.Cases {
+		for _, m := range c.Metrics {
+			out := ""
+			if m.HasOut {
+				out = f(m.OutRateMbps)
+			}
+			rows = append(rows, []string{
+				string(c.Case), string(m.Element), f(m.InRateMbps), out, m.State.String(),
+			})
+		}
+	}
+	return csvTable([]string{"case", "middlebox", "bt_in_mbps", "bt_out_mbps", "state"}, rows)
+}
+
+// CSV exports the Figure 13 timeline.
+func (r *Fig13Result) CSV() string {
+	rows := make([][]string, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		rows = append(rows, []string{f(s.T), f(s.Tenant1Mbps), f(s.Tenant2Mbps)})
+	}
+	return csvTable([]string{"t_s", "tenant1_mbps", "tenant2_mbps"}, rows)
+}
+
+// CSV exports the Table 1 rule book.
+func (r *Table1Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Resource.String(), row.ExpectedLoc.String(), row.ObservedLoc.String(),
+			row.Inferred.String(), fmt.Sprint(row.OK),
+		})
+	}
+	return csvTable([]string{"resource", "expected_location", "observed_location", "inferred", "ok"}, rows)
+}
+
+// CSV exports the Table 2 overhead comparison.
+func (r *Table2Result) CSV() string {
+	rows := [][]string{
+		{"blocked", "without", f(r.BlockedWithout.MeanMbps), f(r.BlockedWithout.Variance)},
+		{"blocked", "with", f(r.BlockedWith.MeanMbps), f(r.BlockedWith.Variance)},
+		{"overloaded", "without", f(r.OverloadedWithout.MeanMbps), f(r.OverloadedWithout.Variance)},
+		{"overloaded", "with", f(r.OverloadedWith.MeanMbps), f(r.OverloadedWith.Variance)},
+	}
+	return csvTable([]string{"regime", "counters", "mean_mbps", "variance"}, rows)
+}
+
+// CSV exports the Figure 15 per-middlebox overheads.
+func (r *Fig15Result) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Name, f(row.Normalized * 100)})
+	}
+	return csvTable([]string{"middlebox", "normalized_throughput_pct"}, rows)
+}
+
+// CSV exports the Figure 16 polling-cost curve.
+func (r *Fig16Result) CSV() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{f(p.FrequencyHz), f(p.CPUPercent)})
+	}
+	return csvTable([]string{"frequency_hz", "cpu_pct"}, rows)
+}
+
+// CSV exports the ablation table.
+func (r *AblationResult) CSV() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Choice, row.Metric, f(row.With), f(row.Without), fmt.Sprint(row.Holds)})
+	}
+	return csvTable([]string{"choice", "metric", "with", "without", "holds"}, rows)
+}

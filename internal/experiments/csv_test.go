@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"perfsight/internal/diagnosis"
+)
+
+func lines(s string) []string {
+	return strings.Split(strings.TrimSpace(s), "\n")
+}
+
+func TestCSVHeadersAndRowWidths(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"fig3", (&Fig3Result{Points: []Fig3Point{{1, 1, 9.5}, {2, 2, 9.0}}}).CSV()},
+		{"fig8", (&Fig8Result{Samples: []Fig8Sample{{T: 1, MboxMbps: 400}}}).CSV()},
+		{"fig9", (&Fig9Result{Times: map[string]time.Duration{"a": 1000}, Order: []string{"a"}}).CSV()},
+		{"fig10", (&Fig10Result{Samples: []Fig10Sample{{T: 1, Flow1Gbps: 0.5}}}).CSV()},
+		{"fig11", (&Fig11Result{Samples: []Fig11Sample{{T: 1, NetGbps: 3.2}}}).CSV()},
+		{"fig13", (&Fig13Result{Samples: []Fig13Sample{{T: 1, Tenant1Mbps: 180, Tenant2Mbps: 200}}}).CSV()},
+		{"table2", (&Table2Result{}).CSV()},
+		{"fig15", (&Fig15Result{Rows: []Fig15Row{{Name: "Proxy", Normalized: 0.99}}}).CSV()},
+		{"fig16", (&Fig16Result{Points: []Fig16Point{{10, 0.5}}}).CSV()},
+		{"ablations", (&AblationResult{Rows: []AblationRow{{Choice: "x", Metric: "y", Holds: true}}}).CSV()},
+	}
+	for _, tc := range cases {
+		ls := lines(tc.csv)
+		if len(ls) < 2 {
+			t.Errorf("%s: no data rows:\n%s", tc.name, tc.csv)
+			continue
+		}
+		width := len(strings.Split(ls[0], ","))
+		for i, l := range ls[1:] {
+			if got := len(strings.Split(l, ",")); got != width {
+				t.Errorf("%s row %d: %d fields, header has %d", tc.name, i, got, width)
+			}
+		}
+	}
+}
+
+func TestCSVTable1AndFig12(t *testing.T) {
+	t1 := &Table1Result{Rows: []Table1Row{{
+		Resource:    diagnosis.ResourceCPU,
+		ExpectedLoc: diagnosis.LocTUNAggregated,
+		ObservedLoc: diagnosis.LocTUNAggregated,
+		Inferred:    diagnosis.ResourceCPU,
+		OK:          true,
+	}}}
+	if !strings.Contains(t1.CSV(), "cpu,tun-aggregated,tun-aggregated,cpu,true") {
+		t.Errorf("table1 csv:\n%s", t1.CSV())
+	}
+
+	f12 := &Fig12Result{Cases: []Fig12CaseResult{{
+		Case: Fig12ProblematicNFS,
+		Metrics: []Fig12Metrics{{
+			Element: "m0/vm-lb/app", InRateMbps: 300, OutRateMbps: 70, HasOut: true,
+			State: diagnosis.StateWriteBlocked,
+		}},
+	}}}
+	if !strings.Contains(f12.CSV(), "problematic-nfs,m0/vm-lb/app,300,70,WriteBlocked") {
+		t.Errorf("fig12 csv:\n%s", f12.CSV())
+	}
+}

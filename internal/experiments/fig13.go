@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"perfsight/internal/cluster"
+	"perfsight/internal/core"
+	"perfsight/internal/diagnosis"
+	"perfsight/internal/machine"
+	"perfsight/internal/middlebox"
+	"perfsight/internal/stream"
+)
+
+// Fig13Sample is one per-second point of the multi-tenant timeline.
+type Fig13Sample struct {
+	T           float64
+	Tenant1Mbps float64
+	Tenant2Mbps float64
+}
+
+// Fig13Phase records the operator's diagnosis at each stage.
+type Fig13Phase struct {
+	Name     string
+	Location diagnosis.DropLocation
+	Inferred diagnosis.Resource
+	Scope    diagnosis.Scope
+	Note     string
+}
+
+// Fig13Result reproduces the §7.3 operator workflow (Figures 13/14): two
+// tenants' proxies share a machine; tenant 2 is bottlenecked by its own
+// proxy (~200 Mbps); a memory-intensive management task then hits both;
+// the operator migrates it away; finally tenant 2's proxy is scaled out
+// and its throughput reaches the offered 360 Mbps.
+type Fig13Result struct {
+	Samples []Fig13Sample
+	Phases  []Fig13Phase
+	// Phase averages for tenant 2 (the paper's headline numbers).
+	T2Bottleneck, T2MemPhase, T2Recovered, T2ScaledOut float64
+	T1Baseline                                         float64
+}
+
+// Correct checks the headline shape: bottleneck ~200, dip, recovery, then
+// ~360 after scale-out.
+func (r *Fig13Result) Correct() bool {
+	return r.T2Bottleneck > 150e6 && r.T2Bottleneck < 260e6 &&
+		r.T2MemPhase < 0.7*r.T2Bottleneck &&
+		r.T2Recovered > 0.85*r.T2Bottleneck &&
+		r.T2ScaledOut > 300e6
+}
+
+// String renders the timeline and phase diagnoses.
+func (r *Fig13Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 13: multi-tenant throughput under operator actions\n")
+	b.WriteString("t(s)  tenant1(Mbps)  tenant2(Mbps)\n")
+	for _, s := range r.Samples {
+		fmt.Fprintf(&b, "%4.0f  %13.0f  %13.0f\n", s.T, s.Tenant1Mbps, s.Tenant2Mbps)
+	}
+	b.WriteString("\noperator diagnoses:\n")
+	for _, p := range r.Phases {
+		fmt.Fprintf(&b, "  %-14s %s / %s (%s) — %s\n", p.Name+":", p.Location, p.Inferred, p.Scope, p.Note)
+	}
+	fmt.Fprintf(&b, "\ntenant2: bottleneck %.0f Mbps (paper ~200), mem-contention %.0f, recovered %.0f, scaled out %.0f (paper 360)\n",
+		r.T2Bottleneck/1e6, r.T2MemPhase/1e6, r.T2Recovered/1e6, r.T2ScaledOut/1e6)
+	fmt.Fprintf(&b, "tenant1 baseline %.0f Mbps (paper 180)\n", r.T1Baseline/1e6)
+	return b.String()
+}
+
+// RunFig13 executes the operator scenario.
+func RunFig13() (*Fig13Result, error) {
+	l := NewLab(time.Millisecond)
+	l.C.RmemPerConn = 212992
+	shared := machine.DefaultConfig("m-shared")
+	shared.Stack.VNICRing = 256
+	shared.Stack.SocketRxBytes = 512 << 10 // era-appropriate socket pools
+	m := l.C.AddMachine(shared)
+	l.DefaultMachine("m-spare") // target for the scale-out instance
+
+	const (
+		t1 = core.TenantID("tenant1")
+		t2 = core.TenantID("tenant2")
+		// Proxy capacity ~200 Mbps on one vCPU: 2.5e9 cycles/s at ~95
+		// cycles/byte (plus per-packet costs).
+		bottleneckCPB = 88
+		fastCPB       = 10
+	)
+
+	// Tenant 1: client -> proxy1 -> server, offered 180 Mbps.
+	l.C.AddHost("server1", 0)
+	out1 := l.C.Connect("t1-out", cluster.VMEndpoint("m-shared", "vm-p1"), cluster.HostEndpoint("server1"), stream.Config{})
+	p1 := middlebox.NewForwarder("m-shared/vm-p1/app", 1e9,
+		middlebox.ForwardConfig{CyclesPerByte: fastCPB, CyclesPerPacket: 2500}, middlebox.ConnOutput{C: out1})
+	l.C.PlaceVM("m-shared", "vm-p1", 1.0, 1e9, p1)
+	c1 := l.C.AddHost("client1", 0)
+	var t1Srcs []*cluster.HostSource
+	for j := 0; j < 6; j++ {
+		in := l.C.Connect(flowID(fmt.Sprintf("t1-in%d", j)),
+			cluster.HostEndpoint("client1"), cluster.VMEndpoint("m-shared", "vm-p1"), stream.Config{})
+		t1Srcs = append(t1Srcs, c1.AddSource(in, 30e6))
+	}
+
+	// Tenant 2: client -> proxy2 -> server, offered 360 Mbps but the proxy
+	// can only process ~200 Mbps.
+	l.C.AddHost("server2", 0)
+	out2 := l.C.Connect("t2-out", cluster.VMEndpoint("m-shared", "vm-p2"), cluster.HostEndpoint("server2"), stream.Config{})
+	p2 := middlebox.NewForwarder("m-shared/vm-p2/app", 1e9,
+		middlebox.ForwardConfig{CyclesPerByte: bottleneckCPB, CyclesPerPacket: 3000}, middlebox.ConnOutput{C: out2})
+	l.C.PlaceVM("m-shared", "vm-p2", 1.0, 1e9, p2)
+	c2 := l.C.AddHost("client2", 0)
+	var t2Srcs []*cluster.HostSource
+	for j := 0; j < 8; j++ {
+		in := l.C.Connect(flowID(fmt.Sprintf("t2-in%d", j)),
+			cluster.HostEndpoint("client2"), cluster.VMEndpoint("m-shared", "vm-p2"), stream.Config{})
+		t2Srcs = append(t2Srcs, c2.AddSource(in, 45e6))
+	}
+
+	if err := l.BuildAgents(); err != nil {
+		return nil, err
+	}
+	// The cloud operator's view spans every VM on the shared machine; the
+	// per-tenant views cover each tenant's own virtual network.
+	const op = core.TenantID("operator")
+	for _, tid := range []core.TenantID{t1, t2, op} {
+		l.C.AssignStack(tid, "m-shared")
+	}
+	l.C.AssignVM(t1, "m-shared", "vm-p1")
+	l.C.AssignVM(t2, "m-shared", "vm-p2")
+	l.C.AssignVM(op, "m-shared", "vm-p1")
+	l.C.AssignVM(op, "m-shared", "vm-p2")
+	l.C.AddChain(t1, "m-shared/vm-p1/app")
+	l.C.AddChain(t2, "m-shared/vm-p2/app")
+
+	res := &Fig13Result{}
+	var out2b *stream.Conn
+	var prev1, prev2, prev2b int64
+	sample := func() {
+		l.Run(time.Second)
+		d1 := out1.DeliveredBytes()
+		d2 := out2.DeliveredBytes()
+		var d2b int64
+		if out2b != nil {
+			d2b = out2b.DeliveredBytes()
+		}
+		res.Samples = append(res.Samples, Fig13Sample{
+			T:           l.C.Now().Seconds(),
+			Tenant1Mbps: float64(d1-prev1) * 8 / 1e6,
+			Tenant2Mbps: float64(d2-prev2+d2b-prev2b) * 8 / 1e6,
+		})
+		prev1, prev2, prev2b = d1, d2, d2b
+	}
+	// resync skips the bytes delivered during a diagnosis window (which
+	// advances virtual time) so the next sample stays a 1-second delta.
+	resync := func() {
+		prev1 = out1.DeliveredBytes()
+		prev2 = out2.DeliveredBytes()
+		if out2b != nil {
+			prev2b = out2b.DeliveredBytes()
+		}
+	}
+	avg2 := func(from, to float64) float64 {
+		var s float64
+		n := 0
+		for _, x := range res.Samples {
+			if x.T > from && x.T <= to {
+				s += x.Tenant2Mbps
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return s / float64(n) * 1e6
+	}
+
+	// Phase 1 (0-10 s): tenant 2 bottlenecked at its proxy. TCP flow
+	// control keeps the stack loss-free, so the operator turns to the
+	// middlebox-state application (§5.1 bottleneck detection): a middlebox
+	// that is neither Read- nor WriteBlocked while its tenant underperforms
+	// is the bottleneck.
+	for i := 0; i < 3; i++ {
+		sample()
+	}
+	rc, err := diagnosis.LocateRootCause(l.Ctl, t2, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	resync()
+	for i := 0; i < 4; i++ {
+		sample()
+	}
+	note := "no middlebox isolated"
+	if len(rc.RootCauses) > 0 {
+		note = fmt.Sprintf("tenant 2 bottlenecked at %s (state %s)",
+			rc.RootCauses[0], rc.Metrics[rc.RootCauses[0]].State)
+	}
+	res.Phases = append(res.Phases, Fig13Phase{Name: "bottleneck", Note: note})
+
+	// Phase 2 (10-20 s): memory-intensive management task on the host.
+	hog := m.AddHog(&machine.Hog{Name: "mgmt", Kind: machine.HogMem, MemDemandBps: 26e9, CyclesPerByte: 0.33})
+	for i := 0; i < 3; i++ {
+		sample()
+	}
+	rep, err := diagnosis.FindContentionAndBottleneck(l.Ctl, op, 3*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	resync()
+	for i := 0; i < 4; i++ {
+		sample()
+	}
+	res.Phases = append(res.Phases, Fig13Phase{
+		Name: "mem-task", Location: rep.TopLocation, Inferred: rep.Inferred, Scope: rep.Scope,
+		Note: "both tenants' proxies dropping at their TUNs",
+	})
+
+	// Phase 3 (20-30 s): the operator migrates the management task away.
+	m.RemoveHog(hog)
+	for i := 0; i < 10; i++ {
+		sample()
+	}
+
+	// Phase 4 (30-40 s): scale out tenant 2's proxy and reroute half of
+	// its flows to the new instance on the spare machine.
+	out2b = l.C.Connect("t2b-out", cluster.VMEndpoint("m-spare", "vm-p2b"), cluster.HostEndpoint("server2"), stream.Config{})
+	p2b := middlebox.NewForwarder("m-spare/vm-p2b/app", 1e9,
+		middlebox.ForwardConfig{CyclesPerByte: bottleneckCPB, CyclesPerPacket: 3000}, middlebox.ConnOutput{C: out2b})
+	l.C.PlaceVM("m-spare", "vm-p2b", 1.0, 1e9, p2b)
+	if err := l.RefreshAgent("m-spare"); err != nil {
+		return nil, err
+	}
+	l.C.AssignVM(t2, "m-spare", "vm-p2b")
+	for j := 4; j < 8; j++ {
+		l.C.RerouteFlow(flowID(fmt.Sprintf("t2-in%d", j)),
+			cluster.HostEndpoint("client2"), cluster.VMEndpoint("m-spare", "vm-p2b"))
+	}
+	for i := 0; i < 10; i++ {
+		sample()
+	}
+	res.Phases = append(res.Phases, Fig13Phase{
+		Name: "scale-out", Location: diagnosis.LocNone, Inferred: diagnosis.ResourceUnknown,
+		Note: "half of tenant 2's flows rerouted to vm-p2b on m-spare",
+	})
+
+	res.T1Baseline = 0
+	var n1 float64
+	for _, s := range res.Samples {
+		if s.T <= 10 {
+			res.T1Baseline += s.Tenant1Mbps * 1e6
+			n1++
+		}
+	}
+	if n1 > 0 {
+		res.T1Baseline /= n1
+	}
+	res.T2Bottleneck = avg2(3, 10)
+	res.T2MemPhase = avg2(12, 20)
+	res.T2Recovered = avg2(23, 30)
+	res.T2ScaledOut = avg2(34, 40)
+	return res, nil
+}

@@ -1,0 +1,219 @@
+package machine_test
+
+import (
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
+	. "perfsight/internal/machine"
+	"perfsight/internal/middlebox"
+)
+
+func tick(m *Machine, n int) {
+	for i := 0; i < n; i++ {
+		m.Tick(time.Duration(i+1)*time.Millisecond, time.Millisecond)
+	}
+}
+
+func TestAddRemoveVM(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	m.AddVM("vm0", 1.0, 1e9)
+	m.AddVM("vm1", 1.0, 1e9)
+	if len(m.VMs()) != 2 || m.VM("vm0") == nil {
+		t.Fatal("placement failed")
+	}
+	m.RemoveVM("vm0")
+	if m.VM("vm0") != nil || len(m.VMs()) != 1 {
+		t.Fatal("removal failed")
+	}
+	if m.Stack.VMs["vm0"] != nil {
+		t.Fatal("stack column not removed")
+	}
+}
+
+func TestDuplicateVMPanics(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	m.AddVM("vm0", 1.0, 1e9)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	m.AddVM("vm0", 1.0, 1e9)
+}
+
+func TestElementsIncludeEverything(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	sink := middlebox.NewSink("m0/vm0/app", 1e9)
+	m.AddVM("vm0", 1.0, 1e9, sink)
+	ids := map[core.ElementID]bool{}
+	for _, e := range m.Elements() {
+		ids[e.ID()] = true
+	}
+	for _, want := range []core.ElementID{"m0/pnic", "m0/vswitch", "m0/vm0/tun", "m0/vm0/app", "m0/host"} {
+		if !ids[want] {
+			t.Errorf("missing element %s", want)
+		}
+	}
+}
+
+func TestTrafficDeliveryToApp(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	sink := middlebox.NewSink("m0/vm0/app", 1e9)
+	m.AddVM("vm0", 1.0, 1e9, sink)
+	m.Stack.VSwitch.InstallToVM("f", "vm0")
+	for i := 0; i < 100; i++ {
+		m.OfferWire([]dataplane.Batch{{Flow: "f", Packets: 10, Bytes: 14480}}, time.Millisecond)
+		m.Tick(time.Duration(i+1)*time.Millisecond, time.Millisecond)
+	}
+	if sink.ReceivedBytes() == 0 {
+		t.Fatal("nothing reached the app")
+	}
+	if m.Stack.PNic.ES.Rx.Packets.Load() == 0 {
+		t.Fatal("pNIC counters idle")
+	}
+}
+
+func TestEgressReachesWire(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	src := middlebox.NewRawSource("m0/vm0/app", 1e9, "out", 100e6, 1448, nil)
+	m.AddVM("vm0", 1.0, 1e9, src)
+	m.Stack.VSwitch.InstallToPNIC("out")
+	var wire int64
+	for i := 0; i < 200; i++ {
+		m.Tick(time.Duration(i+1)*time.Millisecond, time.Millisecond)
+		for _, b := range m.CollectWire() {
+			wire += b.Bytes
+		}
+	}
+	if wire == 0 {
+		t.Fatal("no egress")
+	}
+	gotBps := float64(wire) * 8 / 0.2
+	if gotBps < 50e6 || gotBps > 130e6 {
+		t.Fatalf("egress %.0f bps; want ~100 Mbps", gotBps)
+	}
+}
+
+func TestCPUHogConsumesFairShare(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	m.AddVM("vm0", 1.0, 1e9)
+	h := m.AddHog(&Hog{Name: "h", Kind: HogCPU, VM: "vm0", CPUDemandCores: 1})
+	tick(m, 100)
+	if h.AchievedCycles() == 0 {
+		t.Fatal("hog starved on an idle machine")
+	}
+	util := m.HostElement().(*HostStats).CPUUtil()
+	// 1 core of 8 demanded: ~12.5% utilization.
+	if util < 0.08 || util > 0.25 {
+		t.Fatalf("cpu util %.2f; want ~0.125", util)
+	}
+}
+
+func TestMemHogAchievesDemandAndBusUtil(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	m.AddVM("vm0", 1.0, 1e9)
+	h := m.AddHog(&Hog{Name: "h", Kind: HogMem, VM: "vm0", MemDemandBps: 2e9, CyclesPerByte: 0.33})
+	tick(m, 200)
+	bps := float64(h.AchievedMemBytes()) / 0.2
+	if bps < 1.9e9 || bps > 2.1e9 {
+		t.Fatalf("hog achieved %.2g B/s; want 2e9", bps)
+	}
+	if h.AchievedMemBps() <= 0 {
+		t.Fatal("instantaneous rate not tracked")
+	}
+	if u := m.HostElement().(*HostStats).MembusUtil(); u < 0.05 {
+		t.Fatalf("bus util %.3f too low", u)
+	}
+}
+
+func TestRemoveHogStopsConsumption(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	h := m.AddHog(&Hog{Name: "h", Kind: HogMem, MemDemandBps: 1e9, CyclesPerByte: 0.33})
+	tick(m, 50)
+	before := h.AchievedMemBytes()
+	m.RemoveHog(h)
+	tick(m, 50)
+	if h.AchievedMemBytes() != before {
+		t.Fatal("removed hog kept running")
+	}
+}
+
+func TestMemSpacePressureSetsAllocFail(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	m.AddVM("vm0", 1.0, 1e9)
+	tick(m, 2)
+	if m.Stack.Driver.AllocFailRate != 0 {
+		t.Fatal("alloc failures without pressure")
+	}
+	m.AddHog(&Hog{Name: "leak", Kind: HogMemSpace, AllocBytes: 16 << 30})
+	tick(m, 2)
+	if m.Stack.Driver.AllocFailRate == 0 {
+		t.Fatal("full RAM did not trigger alloc failures")
+	}
+}
+
+func TestHostStatsSnapshot(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	tick(m, 10)
+	rec := m.HostElement().Snapshot(123)
+	if rec.Element != "m0/host" || rec.Timestamp != 123 {
+		t.Fatalf("host snapshot identity: %+v", rec)
+	}
+	if _, ok := rec.Get(core.AttrCPUUtil); !ok {
+		t.Fatal("cpu_util missing")
+	}
+	if _, ok := rec.Get(core.AttrMembusUtil); !ok {
+		t.Fatal("membus_util missing")
+	}
+}
+
+func TestInVMHogStealsFromApp(t *testing.T) {
+	// Two identical CPU-bound forwarder VMs; one shares its vCPU with a
+	// hog. Its throughput must fall well below the clean one's.
+	build := func(withHog bool) float64 {
+		m := New(DefaultConfig("m0"))
+		out := &countingOutput{}
+		fwd := middlebox.NewForwarder("m0/vm0/app", 1e9,
+			middlebox.ForwardConfig{CyclesPerByte: 50}, out)
+		m.AddVM("vm0", 1.0, 1e9, fwd)
+		m.Stack.VSwitch.InstallToVM("f", "vm0")
+		if withHog {
+			m.AddHog(&Hog{Name: "h", Kind: HogCPU, VM: "vm0", CPUDemandCores: 4})
+		}
+		for i := 0; i < 300; i++ {
+			m.OfferWire([]dataplane.Batch{{Flow: "f", Packets: 40, Bytes: 40 * 1448}}, time.Millisecond)
+			m.Tick(time.Duration(i+1)*time.Millisecond, time.Millisecond)
+		}
+		return float64(fwd.ProcessedBytes())
+	}
+	clean := build(false)
+	hogged := build(true)
+	if hogged > 0.5*clean {
+		t.Fatalf("in-VM hog barely hurt the app: %.0f vs %.0f", hogged, clean)
+	}
+}
+
+// countingOutput is an infinitely fast middlebox output.
+type countingOutput struct{ bytes int64 }
+
+func (c *countingOutput) Free() int64                   { return 1 << 40 }
+func (c *countingOutput) Write(b dataplane.Batch) int64 { c.bytes += b.Bytes; return b.Bytes }
+func (c *countingOutput) Pump(time.Duration)            {}
+
+func TestOversubscriptionInflatesIOCosts(t *testing.T) {
+	m := New(DefaultConfig("m0"))
+	m.AddVM("vm0", 1.0, 1e9)
+	tick(m, 5)
+	if m.Stack.VMs["vm0"].Qemu.CostScale > 1.05 {
+		t.Fatalf("idle machine inflated io costs: %v", m.Stack.VMs["vm0"].Qemu.CostScale)
+	}
+	for i := 0; i < 6; i++ {
+		m.AddHog(&Hog{Name: "h", Kind: HogCPU, CPUDemandCores: 2})
+	}
+	tick(m, 5)
+	if m.Stack.VMs["vm0"].Qemu.CostScale < 2 {
+		t.Fatalf("overloaded machine did not inflate io costs: %v", m.Stack.VMs["vm0"].Qemu.CostScale)
+	}
+}

@@ -1,0 +1,143 @@
+// Package middlebox implements the middlebox software the paper deploys in
+// VMs — load balancer (Balance), content-filter proxy (CherryProxy), NFS
+// log server, HTTP server/client, firewall, NAT, IPS, cache, redundancy
+// eliminator, transcoder — together with the open-loop traffic sources and
+// sinks used by the contention experiments.
+//
+// Every middlebox embeds Base, which implements the §5.2 decomposition of
+// a middlebox's time:
+//
+//	t_total = t_input + t_process + t_output
+//	t_input/output = t_block + t_memcpy
+//
+// Each tick the app moves what its input, its CPU grant and its output
+// allow; the tick's wall time is then apportioned: memcpy time at Cmem for
+// the bytes moved, processing time for the cycles spent, and the leftover
+// charged as block time on whichever side was the binding constraint.
+// These are precisely the in/out bytes and times Algorithm 2 consumes.
+package middlebox
+
+import (
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/stats"
+)
+
+// DefaultCmem is the user/kernel memcpy bandwidth (bytes/s). It is two to
+// three orders of magnitude above typical vNIC rates, which is what makes
+// the paper's b/t < C blocked test discriminating.
+const DefaultCmem = 12.8e9
+
+// DefaultTimerCycles is the CPU cost of one time-counter update (two clock
+// reads + accumulate), ~0.29 µs at 2.5 GHz (§7.4).
+const DefaultTimerCycles = 725
+
+// IOChunk is the bytes moved per instrumented read/write call: time
+// counters bracket syscalls, not packets, so the Table 2 overhead scales
+// with call count.
+const IOChunk = 16384
+
+// Base provides identity, instrumentation and time accounting for apps.
+type Base struct {
+	id          core.ElementID
+	IO          *stats.IOStats
+	Hist        *stats.SizeHistogram // optional packet-size tracking
+	CapacityBps float64              // the VM's vNIC capacity C
+	Cmem        float64
+	// TimerCycles is the per-call instrumentation cost charged to the vCPU
+	// when time counters are enabled (Table 2's overhead source).
+	TimerCycles float64
+}
+
+// NewBase builds instrumentation for a middlebox with vNIC capacity C.
+func NewBase(id core.ElementID, capacityBps float64) Base {
+	return Base{
+		id:          id,
+		IO:          stats.NewIOStats(),
+		CapacityBps: capacityBps,
+		Cmem:        DefaultCmem,
+		TimerCycles: DefaultTimerCycles,
+	}
+}
+
+// ID implements machine.App.
+func (b *Base) ID() core.ElementID { return b.id }
+
+// SetTimeCountersEnabled toggles the I/O time instrumentation.
+func (b *Base) SetTimeCountersEnabled(on bool) { b.IO.SetTimeCountersEnabled(on) }
+
+// EnableSizeHistogram turns on the optional packet-size statistic.
+func (b *Base) EnableSizeHistogram() {
+	if b.Hist == nil {
+		b.Hist = stats.NewSizeHistogram()
+	}
+}
+
+// Snapshot implements machine.App: the middlebox's Record carries the
+// Algorithm 2 inputs (in/out bytes and times, capacity) plus the type tag
+// the controller's GetAttr(tid, mb, "type") filter matches on.
+func (b *Base) Snapshot(ts int64) core.Record {
+	rec := core.Record{Timestamp: ts, Element: b.id}
+	rec.Attrs = append(rec.Attrs,
+		core.Attr{Name: core.AttrKind, Value: float64(core.KindMiddlebox)},
+		core.Attr{Name: core.AttrType, Value: 1},
+		core.Attr{Name: core.AttrCapacityBps, Value: b.CapacityBps},
+	)
+	rec.Attrs = append(rec.Attrs, b.IO.Attrs()...)
+	if b.Hist != nil {
+		rec.Attrs = append(rec.Attrs, b.Hist.Attrs()...)
+	}
+	return rec
+}
+
+// TickIO summarizes one tick of I/O for time accounting.
+type TickIO struct {
+	Dt       time.Duration
+	InBytes  int64 // bytes the input method returned
+	OutBytes int64 // bytes the output method accepted
+	// ProcCycles is the compute spent, converted to time by the caller.
+	ProcNS int64
+	// InLimited: the tick ended starved for input (ReadBlocked direction).
+	InLimited bool
+	// OutLimited: the tick ended stalled on output space (WriteBlocked).
+	OutLimited bool
+	// InPackets/OutPackets drive the per-packet instrumentation charge.
+	InPackets  int
+	OutPackets int
+}
+
+// Account applies the §5.2 time split to the IO counters and returns the
+// instrumentation cycles to charge the vCPU (0 when timers are disabled).
+func (b *Base) Account(t TickIO) (instrumentationCycles float64) {
+	memcpyIn := time.Duration(float64(t.InBytes) / b.Cmem * 1e9)
+	memcpyOut := time.Duration(float64(t.OutBytes) / b.Cmem * 1e9)
+	proc := time.Duration(t.ProcNS)
+	leftover := t.Dt - memcpyIn - memcpyOut - proc
+	if leftover < 0 {
+		leftover = 0
+	}
+	inTime := memcpyIn
+	outTime := memcpyOut
+	switch {
+	case t.InLimited:
+		inTime += leftover
+	case t.OutLimited:
+		outTime += leftover
+	default:
+		// CPU-bound (or fully busy): leftover is processing time and does
+		// not inflate the I/O counters.
+	}
+	b.IO.InBytes.Add(uint64(t.InBytes))
+	b.IO.OutBytes.Add(uint64(t.OutBytes))
+	b.IO.InTime.Observe(inTime)
+	b.IO.OutTime.Observe(outTime)
+
+	if b.IO.InTime.Enabled() {
+		// Two timestamp reads per instrumented I/O call; calls move
+		// IOChunk bytes each.
+		calls := (t.InBytes+IOChunk-1)/IOChunk + (t.OutBytes+IOChunk-1)/IOChunk
+		return float64(calls) * 2 * b.TimerCycles
+	}
+	return 0
+}

@@ -1,0 +1,64 @@
+package middlebox
+
+import "perfsight/internal/core"
+
+// MboxKind names the middlebox types used across the evaluation (Fig 15
+// compares their instrumentation overhead).
+type MboxKind int
+
+const (
+	KindProxy MboxKind = iota
+	KindLB
+	KindCache
+	KindRE
+	KindIPS
+	KindFirewall
+	KindNAT
+	KindTranscoder
+)
+
+// String returns the kind's display name.
+func (k MboxKind) String() string {
+	switch k {
+	case KindProxy:
+		return "proxy"
+	case KindLB:
+		return "lb"
+	case KindCache:
+		return "cache"
+	case KindRE:
+		return "re"
+	case KindIPS:
+		return "ips"
+	case KindFirewall:
+		return "firewall"
+	case KindNAT:
+		return "nat"
+	case KindTranscoder:
+		return "transcoder"
+	}
+	return "unknown"
+}
+
+// NewOfKind builds a forwarding middlebox of the named kind with its
+// representative costs.
+func NewOfKind(k MboxKind, id core.ElementID, capacityBps float64, out Output) *Forwarder {
+	switch k {
+	case KindLB:
+		return NewLoadBalancer(id, capacityBps, out)
+	case KindCache:
+		return NewCache(id, capacityBps, 0.3, out)
+	case KindRE:
+		return NewRedundancyEliminator(id, capacityBps, 0.5, out)
+	case KindIPS:
+		return NewIPS(id, capacityBps, out)
+	case KindFirewall:
+		return NewFirewall(id, capacityBps, 0.05, out)
+	case KindNAT:
+		return NewNAT(id, capacityBps, out)
+	case KindTranscoder:
+		return NewTranscoder(id, capacityBps, out)
+	default:
+		return NewProxy(id, capacityBps, out)
+	}
+}

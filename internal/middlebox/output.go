@@ -1,0 +1,87 @@
+package middlebox
+
+import (
+	"time"
+
+	"perfsight/internal/dataplane"
+	"perfsight/internal/stream"
+)
+
+// Output abstracts where a middlebox's output method writes: a TCP-like
+// stream connection toward the next hop, or raw (UDP-like) packets pushed
+// straight into the guest socket send buffer.
+type Output interface {
+	// Free returns the bytes the output can accept without blocking.
+	Free() int64
+	// Write submits up to b.Bytes; it returns the bytes accepted.
+	Write(b dataplane.Batch) int64
+	// Pump advances the output once per tick (stream pacing; no-op for raw).
+	Pump(dt time.Duration)
+}
+
+// ConnOutput sends over a stream connection.
+type ConnOutput struct {
+	C *stream.Conn
+}
+
+// Free implements Output.
+func (o ConnOutput) Free() int64 { return o.C.SendBufFree() }
+
+// Write implements Output: bytes enter the conn's send buffer; the conn
+// packetizes them itself when pumping.
+func (o ConnOutput) Write(b dataplane.Batch) int64 { return o.C.Write(b.Bytes) }
+
+// Pump implements Output.
+func (o ConnOutput) Pump(dt time.Duration) { o.C.Pump(dt) }
+
+// RawOutput sends open-loop packets of fixed size on a flow. The socket it
+// writes to is installed by the hosting VM at placement time.
+type RawOutput struct {
+	Flow       dataplane.FlowID
+	PacketSize int
+	FB         dataplane.Feedback // optional delivery/drop accounting
+	Sock       SocketWriter
+}
+
+// SocketWriter is the slice of the guest socket a raw output needs.
+type SocketWriter interface {
+	TxFree() int64
+	Write(b dataplane.Batch) int64
+}
+
+// Free implements Output.
+func (o RawOutput) Free() int64 { return o.Sock.TxFree() }
+
+// Write implements Output.
+func (o RawOutput) Write(b dataplane.Batch) int64 {
+	size := o.PacketSize
+	if size <= 0 {
+		size = 1448
+	}
+	pkts := int((b.Bytes + int64(size) - 1) / int64(size))
+	if pkts < 1 {
+		pkts = 1
+	}
+	return o.Sock.Write(dataplane.Batch{
+		Flow:    o.Flow,
+		Packets: pkts,
+		Bytes:   b.Bytes,
+		FB:      o.FB,
+		Egress:  true,
+	})
+}
+
+// Pump implements Output.
+func (o RawOutput) Pump(time.Duration) {}
+
+// NullOutput accepts and discards everything (a perfect downstream).
+type NullOutput struct{}
+
+// Free implements Output.
+func (NullOutput) Free() int64 { return int64(^uint64(0) >> 1) }
+
+// Write implements Output.
+func (NullOutput) Write(b dataplane.Batch) int64 { return b.Bytes }
+
+// Pump implements Output.
+func (NullOutput) Pump(time.Duration) {}

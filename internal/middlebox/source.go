@@ -1,0 +1,260 @@
+package middlebox
+
+import (
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
+	"perfsight/internal/machine"
+	"perfsight/internal/stream"
+)
+
+// appBusFactor is the memory-bus bytes per wire byte charged by the
+// simple source/sink apps (one user/kernel copy plus touch), matching the
+// dataplane calibration (dataplane.DefaultCosts().AppMembusFactor).
+const appBusFactor = 4.0
+
+// ConnSource is a closed-loop traffic generator: an HTTP-POST client or
+// any application pushing data over a stream connection. RateBps == 0
+// means "as fast as possible" (limited only by the connection's windows,
+// i.e. by TCP — the Fig 12(b) fast client).
+type ConnSource struct {
+	Base
+	Conn          *stream.Conn
+	RateBps       float64
+	CyclesPerByte float64
+	CPUHz         float64
+
+	generated int64
+}
+
+// NewConnSource builds a client app writing to conn.
+func NewConnSource(id core.ElementID, capacityBps float64, conn *stream.Conn, rateBps float64) *ConnSource {
+	return &ConnSource{
+		Base:          NewBase(id, capacityBps),
+		Conn:          conn,
+		RateBps:       rateBps,
+		CyclesPerByte: 1.5,
+		CPUHz:         DefaultCPUHz,
+	}
+}
+
+// GeneratedBytes returns bytes accepted into the connection so far.
+func (s *ConnSource) GeneratedBytes() int64 { return s.generated }
+
+// CPUDemand implements machine.App.
+func (s *ConnSource) CPUDemand(dt time.Duration) float64 {
+	rate := s.RateBps
+	if rate == 0 {
+		rate = s.CapacityBps
+	}
+	return rate / 8 * dt.Seconds() * s.CyclesPerByte * 2
+}
+
+// Step implements machine.App.
+func (s *ConnSource) Step(ctx *machine.AppContext) {
+	budget := int64(s.RateBps / 8 * ctx.Dt.Seconds())
+	unlimited := s.RateBps == 0
+	if byCPU := ctx.VCPU.BytesFor(s.CyclesPerByte); unlimited || byCPU < budget {
+		if unlimited {
+			budget = byCPU
+		} else if byCPU < budget {
+			budget = byCPU
+		}
+	}
+	if byBus := ctx.Bus.WireBytesFor(appBusFactor); byBus < budget {
+		budget = byBus
+	}
+	want := budget
+
+	// Write and pump in a short loop: a busy sender refills its send
+	// buffer as the stack drains it, so per-tick throughput is not capped
+	// by one send-buffer's worth.
+	var accepted int64
+	for i := 0; i < 8 && budget > 0; i++ {
+		got := s.Conn.Write(budget)
+		if i == 0 {
+			s.Conn.Pump(ctx.Dt) // grants this tick's pace credit
+		} else {
+			s.Conn.Pump(0) // re-pump within the tick
+		}
+		accepted += got
+		budget -= got
+		if got == 0 {
+			break
+		}
+	}
+	cycles := float64(accepted) * s.CyclesPerByte
+	ctx.VCPU.SpendCycles(cycles)
+	ctx.Bus.SpendWireBytes(accepted, appBusFactor)
+	s.generated += accepted
+
+	instr := s.Account(TickIO{
+		Dt:         ctx.Dt,
+		OutBytes:   accepted,
+		ProcNS:     int64(cycles / s.CPUHz * 1e9),
+		OutLimited: accepted < want,
+		OutPackets: int(accepted / 1448),
+	})
+	ctx.VCPU.SpendCycles(instr)
+	s.Conn.Pump(0)
+}
+
+// RawSource is an open-loop generator: a UDP flood or best-effort sender
+// (the Fig 10 small-packet flood, the Fig 8 tx-flood VMs). It pushes
+// fixed-size packets on a flow with no congestion response.
+type RawSource struct {
+	Base
+	Out           RawOutput
+	RateBps       float64
+	PacketSize    int
+	CyclesPerByte float64
+	CyclesPerPkt  float64
+	CPUHz         float64
+
+	sentPackets int64
+	sentBytes   int64
+}
+
+// NewRawSource builds a flood app sending on flow at rateBps with the
+// given packet size. fb, if non-nil, receives delivery/drop feedback.
+func NewRawSource(id core.ElementID, capacityBps float64, flow dataplane.FlowID, rateBps float64, packetSize int, fb dataplane.Feedback) *RawSource {
+	if packetSize <= 0 {
+		packetSize = 1448
+	}
+	return &RawSource{
+		Base:          NewBase(id, capacityBps),
+		Out:           RawOutput{Flow: flow, PacketSize: packetSize, FB: fb},
+		RateBps:       rateBps,
+		PacketSize:    packetSize,
+		CyclesPerByte: 2,
+		CyclesPerPkt:  1500,
+		CPUHz:         DefaultCPUHz,
+	}
+}
+
+// SentPackets returns packets pushed into the stack so far.
+func (s *RawSource) SentPackets() int64 { return s.sentPackets }
+
+// SentBytes returns bytes pushed into the stack so far.
+func (s *RawSource) SentBytes() int64 { return s.sentBytes }
+
+// CPUDemand implements machine.App.
+func (s *RawSource) CPUDemand(dt time.Duration) float64 {
+	bytes := s.RateBps / 8 * dt.Seconds()
+	return bytes*s.CyclesPerByte + bytes/float64(s.PacketSize)*s.CyclesPerPkt
+}
+
+// Step implements machine.App.
+func (s *RawSource) Step(ctx *machine.AppContext) {
+	s.Out.Sock = ctx.VM.Socket
+	want := int64(s.RateBps / 8 * ctx.Dt.Seconds())
+	byCPU := int64(float64(ctx.VCPU.Remaining()) /
+		(s.CyclesPerByte + s.CyclesPerPkt/float64(s.PacketSize)))
+	if byCPU < want {
+		want = byCPU
+	}
+	if byBus := ctx.Bus.WireBytesFor(appBusFactor); byBus < want {
+		want = byBus
+	}
+	if want <= 0 {
+		s.Account(TickIO{Dt: ctx.Dt, OutLimited: true})
+		return
+	}
+	accepted := s.Out.Write(dataplane.Batch{Bytes: want})
+	pkts := int(accepted / int64(s.PacketSize))
+	cycles := float64(accepted)*s.CyclesPerByte + float64(pkts)*s.CyclesPerPkt
+	ctx.VCPU.SpendCycles(cycles)
+	ctx.Bus.SpendWireBytes(accepted, appBusFactor)
+	s.sentBytes += accepted
+	s.sentPackets += int64(pkts)
+
+	instr := s.Account(TickIO{
+		Dt:         ctx.Dt,
+		OutBytes:   accepted,
+		ProcNS:     int64(cycles / s.CPUHz * 1e9),
+		OutLimited: accepted < want,
+		OutPackets: pkts,
+	})
+	ctx.VCPU.SpendCycles(instr)
+}
+
+// Sink is a pure receiver measuring what arrives (the Fig 10 rate-limited
+// receiver VM, tenant application VMs). It reads everything cheaply.
+type Sink struct {
+	Base
+	CyclesPerByte float64
+	CPUHz         float64
+
+	received      int64
+	receivedPkts  int64
+	windowBytes   int64
+	windowStart   time.Duration
+	lastWindowBps float64
+}
+
+// NewSink builds a receiving app.
+func NewSink(id core.ElementID, capacityBps float64) *Sink {
+	return &Sink{Base: NewBase(id, capacityBps), CyclesPerByte: 1.5, CPUHz: DefaultCPUHz}
+}
+
+// ReceivedBytes returns cumulative bytes read.
+func (s *Sink) ReceivedBytes() int64 { return s.received }
+
+// ReceivedPackets returns cumulative packets read.
+func (s *Sink) ReceivedPackets() int64 { return s.receivedPkts }
+
+// CPUDemand implements machine.App.
+func (s *Sink) CPUDemand(dt time.Duration) float64 {
+	return s.CapacityBps / 8 * dt.Seconds() * s.CyclesPerByte * 2
+}
+
+// Step implements machine.App.
+func (s *Sink) Step(ctx *machine.AppContext) {
+	sock := ctx.VM.Socket
+	inAvail := sock.RxAvailable()
+	cpuBytes := ctx.VCPU.BytesFor(s.CyclesPerByte)
+	if byBus := ctx.Bus.WireBytesFor(appBusFactor); byBus < cpuBytes {
+		cpuBytes = byBus
+	}
+	moved := inAvail
+	if cpuBytes < moved {
+		moved = cpuBytes
+	}
+	var pkts int
+	var readBytes int64
+	if moved > 0 {
+		for _, b := range sock.Read(moved) {
+			pkts += b.Packets
+			readBytes += b.Bytes
+		}
+	}
+	cycles := float64(readBytes) * s.CyclesPerByte
+	ctx.VCPU.SpendCycles(cycles)
+	ctx.Bus.SpendWireBytes(readBytes, appBusFactor)
+	s.received += readBytes
+	s.receivedPkts += int64(pkts)
+	s.windowBytes += readBytes
+
+	instr := s.Account(TickIO{
+		Dt:        ctx.Dt,
+		InBytes:   readBytes,
+		ProcNS:    int64(cycles / s.CPUHz * 1e9),
+		InLimited: moved >= inAvail,
+		InPackets: pkts,
+	})
+	ctx.VCPU.SpendCycles(instr)
+}
+
+// WindowThroughputBps returns the receive rate since the last call and
+// resets the window (experiment plumbing).
+func (s *Sink) WindowThroughputBps(now time.Duration) float64 {
+	elapsed := now - s.windowStart
+	if elapsed <= 0 {
+		return s.lastWindowBps
+	}
+	s.lastWindowBps = float64(s.windowBytes) * 8 / elapsed.Seconds()
+	s.windowBytes = 0
+	s.windowStart = now
+	return s.lastWindowBps
+}

@@ -1,0 +1,342 @@
+// Package operator builds the cloud-operator workflow of §7.3 and the
+// scalability note of §7.4 on top of the diagnosis applications:
+//
+//   - Ticket aggregation: tenants submit trouble tickets; the operator
+//     diagnoses each tenant's virtual network and correlates the reports.
+//     Tickets whose implicated elements overlap on shared machines are one
+//     infrastructure problem, not many tenant problems ("cloud operators
+//     can aggregate tenants' tickets to diagnose if they have elements
+//     overlapping with each other").
+//   - The advisor: every diagnosis maps to a concrete remediation — the
+//     §2.2 taxonomy assigns each root-cause class an owner and a fix
+//     (tenant redeploys a larger VM; operator migrates contending work;
+//     tenant scales a bottleneck middlebox out; tenant reloads buggy
+//     software).
+package operator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"perfsight/internal/controller"
+	"perfsight/internal/core"
+	"perfsight/internal/diagnosis"
+)
+
+// Ticket is one tenant's complaint plus the diagnosis PerfSight ran for it.
+type Ticket struct {
+	Tenant core.TenantID
+	// Stack is the Algorithm 1 report (nil if not run).
+	Stack *diagnosis.ContentionReport
+	// Chain is the Algorithm 2 report (nil if the tenant has no chains).
+	Chain *diagnosis.RootCauseReport
+}
+
+// Diagnose opens a ticket for a tenant by running both diagnostic
+// applications over window T. Either application may be inapplicable
+// (no stack elements assigned, or no middleboxes); the ticket carries
+// whatever succeeded.
+func Diagnose(ctl *controller.Controller, tenant core.TenantID, T time.Duration) (Ticket, error) {
+	t := Ticket{Tenant: tenant}
+	stack, serr := diagnosis.FindContentionAndBottleneck(ctl, tenant, T)
+	if serr == nil {
+		t.Stack = stack
+	}
+	chain, cerr := diagnosis.LocateRootCause(ctl, tenant, T)
+	if cerr == nil {
+		t.Chain = chain
+	}
+	if serr != nil && cerr != nil {
+		return t, fmt.Errorf("operator: tenant %s: %v; %v", tenant, serr, cerr)
+	}
+	return t, nil
+}
+
+// Action enumerates the remediations of §2.2/§7.3.
+type Action int
+
+const (
+	ActionNone Action = iota
+	// ActionMigrateInterference: operator moves contending work off the
+	// machine (the §7.3 management-task migration).
+	ActionMigrateInterference
+	// ActionResizeVM: tenant redeploys the bottleneck VM with a larger
+	// allocation (§2.2 "the tenant can redeploy the middlebox in a
+	// 'larger' VM").
+	ActionResizeVM
+	// ActionScaleOut: tenant adds another instance of the overloaded
+	// middlebox and splits traffic (the §7.3 load-balancer scale-out).
+	ActionScaleOut
+	// ActionReloadSoftware: the root cause shows a performance bug; the
+	// tenant reloads the VM with a suitable software version (§2.2).
+	ActionReloadSoftware
+	// ActionAddCapacity: the physical NIC itself is the shortage; the
+	// operator must re-place tenants or add bandwidth.
+	ActionAddCapacity
+	// ActionThrottleSource: the chain is underloaded — the problem is the
+	// traffic source, not the dataplane.
+	ActionThrottleSource
+)
+
+var actionNames = map[Action]string{
+	ActionNone:                "no-action",
+	ActionMigrateInterference: "migrate-interfering-workload",
+	ActionResizeVM:            "resize-vm",
+	ActionScaleOut:            "scale-out-middlebox",
+	ActionReloadSoftware:      "reload-software",
+	ActionAddCapacity:         "add-nic-capacity",
+	ActionThrottleSource:      "source-underloaded",
+}
+
+func (a Action) String() string {
+	if s, ok := actionNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("action(%d)", int(a))
+}
+
+// Owner says who must act (§2.2: bottlenecks are the tenant's to fix,
+// contention usually requires the operator).
+type Owner int
+
+const (
+	OwnerNobody Owner = iota
+	OwnerTenant
+	OwnerOperator
+)
+
+func (o Owner) String() string {
+	switch o {
+	case OwnerTenant:
+		return "tenant"
+	case OwnerOperator:
+		return "operator"
+	}
+	return "nobody"
+}
+
+// Recommendation is one advised remediation.
+type Recommendation struct {
+	Action Action
+	Owner  Owner
+	// Target is the element or VM the action applies to, if any.
+	Target core.ElementID
+	Reason string
+}
+
+func (r Recommendation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s", r.Owner, r.Action)
+	if r.Target != "" {
+		fmt.Fprintf(&b, " target=%s", r.Target)
+	}
+	if r.Reason != "" {
+		fmt.Fprintf(&b, " — %s", r.Reason)
+	}
+	return b.String()
+}
+
+// Advise maps a ticket's diagnoses to remediations.
+func Advise(t Ticket) []Recommendation {
+	var recs []Recommendation
+
+	if s := t.Stack; s != nil && s.TotalLoss > 0 {
+		switch s.Scope {
+		case diagnosis.ScopeBottleneck:
+			recs = append(recs, Recommendation{
+				Action: ActionResizeVM,
+				Owner:  OwnerTenant,
+				Target: core.ElementID(s.BottleneckVM),
+				Reason: fmt.Sprintf("loss confined to %s's datapath (%s)", s.BottleneckVM, s.Inferred),
+			})
+		case diagnosis.ScopeContention:
+			switch s.Inferred {
+			case diagnosis.ResourceIncomingBandwidth, diagnosis.ResourceOutgoingBandwidth:
+				recs = append(recs, Recommendation{
+					Action: ActionAddCapacity,
+					Owner:  OwnerOperator,
+					Reason: fmt.Sprintf("pNIC is the shortage (%s)", s.Inferred),
+				})
+			default:
+				recs = append(recs, Recommendation{
+					Action: ActionMigrateInterference,
+					Owner:  OwnerOperator,
+					Reason: fmt.Sprintf("%s contention at %s across VMs %v",
+						s.Inferred, s.TopLocation, s.DroppingVMs),
+				})
+			}
+		}
+	}
+
+	if c := t.Chain; c != nil {
+		// Scale-out advice only makes sense when something in the chain is
+		// actually distressed: at least one blocked member (propagation
+		// pruned down to the cause) or an Overloaded label. A chain whose
+		// members are all Normal is healthy, however many candidates remain.
+		anyBlocked := false
+		for _, m := range c.Metrics {
+			if m.State != diagnosis.StateNormal {
+				anyBlocked = true
+				break
+			}
+		}
+		switch {
+		case c.SourceUnderloaded:
+			recs = append(recs, Recommendation{
+				Action: ActionThrottleSource,
+				Owner:  OwnerNobody,
+				Reason: "every middlebox is ReadBlocked; the traffic source is underloaded",
+			})
+		case !anyBlocked:
+			// Healthy chain: nothing to remediate.
+		default:
+			for _, id := range c.RootCauses {
+				m := c.Metrics[id]
+				action := ActionScaleOut
+				reason := "unblocked middlebox saturated while neighbours are blocked"
+				if !c.Overloaded[id] {
+					reason = "remaining candidate after pruning blocked chains"
+				}
+				// Both Overloaded-by-load and buggy middleboxes surface the
+				// same way; the advisor recommends scale-out first and a
+				// software reload if scale-out does not restore throughput.
+				recs = append(recs, Recommendation{
+					Action: action,
+					Owner:  OwnerTenant,
+					Target: id,
+					Reason: fmt.Sprintf("%s (b/t_in %.0f Mbps, b/t_out %.0f Mbps)",
+						reason, m.InRateBps/1e6, m.OutRateBps/1e6),
+				})
+			}
+		}
+	}
+
+	if len(recs) == 0 {
+		recs = append(recs, Recommendation{Action: ActionNone, Owner: OwnerNobody,
+			Reason: "no loss and no blocked middleboxes observed"})
+	}
+	return recs
+}
+
+// AggregateVerdict classifies a set of tickets.
+type AggregateVerdict int
+
+const (
+	// VerdictIndependent: tickets implicate disjoint elements — each is a
+	// separate tenant-local problem.
+	VerdictIndependent AggregateVerdict = iota
+	// VerdictSharedInfrastructure: several tenants' tickets implicate the
+	// same machine's shared elements — one infrastructure problem.
+	VerdictSharedInfrastructure
+)
+
+func (v AggregateVerdict) String() string {
+	if v == VerdictSharedInfrastructure {
+		return "shared-infrastructure"
+	}
+	return "independent"
+}
+
+// Aggregate is the cross-tenant correlation of §7.4.
+type Aggregate struct {
+	Verdict AggregateVerdict
+	// Hotspots lists elements implicated by more than one tenant, with the
+	// tenants naming them.
+	Hotspots map[core.ElementID][]core.TenantID
+	// Machines ranks machines by how many tenants implicated them.
+	Machines map[core.MachineID]int
+}
+
+// String renders an operator summary.
+func (a *Aggregate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verdict: %s", a.Verdict)
+	if len(a.Hotspots) > 0 {
+		ids := make([]core.ElementID, 0, len(a.Hotspots))
+		for id := range a.Hotspots {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		b.WriteString("; hotspots:")
+		for _, id := range ids {
+			fmt.Fprintf(&b, " %s(tenants %v)", id, a.Hotspots[id])
+		}
+	}
+	return b.String()
+}
+
+// implicated returns the elements a ticket blames: the top loss elements
+// of the stack report plus any chain root causes.
+func implicated(t Ticket) []core.ElementID {
+	var out []core.ElementID
+	if s := t.Stack; s != nil && s.TotalLoss > 0 {
+		for _, e := range s.Ranked {
+			if e.Loss > 0 {
+				out = append(out, e.Element)
+			}
+		}
+	}
+	if c := t.Chain; c != nil {
+		out = append(out, c.RootCauses...)
+	}
+	return out
+}
+
+// AggregateTickets correlates tenants' tickets: when two or more tenants
+// implicate elements on the same machine's shared stack (or literally the
+// same element), the problem is infrastructure-level.
+func AggregateTickets(tickets []Ticket) *Aggregate {
+	agg := &Aggregate{
+		Hotspots: make(map[core.ElementID][]core.TenantID),
+		Machines: make(map[core.MachineID]int),
+	}
+	byElement := make(map[core.ElementID][]core.TenantID)
+	machineTenants := make(map[core.MachineID]map[core.TenantID]bool)
+
+	for _, t := range tickets {
+		seenMachines := map[core.MachineID]bool{}
+		for _, id := range implicated(t) {
+			byElement[id] = append(byElement[id], t.Tenant)
+			m := id.Machine()
+			if !seenMachines[m] {
+				seenMachines[m] = true
+				if machineTenants[m] == nil {
+					machineTenants[m] = map[core.TenantID]bool{}
+				}
+				machineTenants[m][t.Tenant] = true
+			}
+		}
+	}
+
+	for id, tenants := range byElement {
+		if len(uniqueTenants(tenants)) > 1 {
+			agg.Hotspots[id] = uniqueTenants(tenants)
+		}
+	}
+	for m, tenants := range machineTenants {
+		agg.Machines[m] = len(tenants)
+		if len(tenants) > 1 {
+			agg.Verdict = VerdictSharedInfrastructure
+		}
+	}
+	for id := range agg.Hotspots {
+		_ = id
+		agg.Verdict = VerdictSharedInfrastructure
+	}
+	return agg
+}
+
+func uniqueTenants(in []core.TenantID) []core.TenantID {
+	seen := map[core.TenantID]bool{}
+	var out []core.TenantID
+	for _, t := range in {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,47 @@
+package procfs
+
+import (
+	"testing"
+)
+
+// FuzzParseNetDev must never panic on arbitrary file contents, and must
+// round-trip anything it accepts.
+func FuzzParseNetDev(f *testing.F) {
+	f.Add(string(FormatNetDev([]NetDevStats{{Name: "eth0", RxBytes: 1}})))
+	f.Add("h1\nh2\neth0: 1 2 3 4 5 6 7 8\n")
+	f.Add("h1\nh2\nbroken line\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		devs, err := ParseNetDev([]byte(data))
+		if err != nil {
+			return
+		}
+		again, err := ParseNetDev(FormatNetDev(devs))
+		if err != nil {
+			t.Fatalf("accepted devices failed to re-parse: %v", err)
+		}
+		if len(again) != len(devs) {
+			t.Fatalf("device count changed: %d -> %d", len(devs), len(again))
+		}
+	})
+}
+
+// FuzzParseSoftnet must never panic and must round-trip what it accepts.
+func FuzzParseSoftnet(f *testing.F) {
+	f.Add(string(FormatSoftnet([]SoftnetStats{{Processed: 10, Dropped: 2, Queued: 1}})))
+	f.Add("zzzz\n")
+	f.Add("00000001 00000002")
+	f.Fuzz(func(t *testing.T, data string) {
+		rows, err := ParseSoftnet([]byte(data))
+		if err != nil {
+			return
+		}
+		again, err := ParseSoftnet(FormatSoftnet(rows))
+		if err != nil {
+			t.Fatalf("accepted rows failed to re-parse: %v", err)
+		}
+		if len(again) != len(rows) {
+			t.Fatalf("row count changed: %d -> %d", len(rows), len(again))
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package procfs provides the in-memory virtual file tree through which
+// kernel-resident elements publish their counters, mirroring how the real
+// PerfSight agent reads them on Linux (§4.2/§6): net_device statistics via
+// device files (ifconfig-style), and softnet_data per-CPU statistics via
+// /proc/net/softnet_stat. The agent reads and *parses text*, exercising the
+// same collection path as on the paper's testbed rather than calling into
+// the elements directly.
+package procfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is a tree of virtual files whose contents are generated on read.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string]func() []byte
+}
+
+// New returns an empty file system.
+func New() *FS {
+	return &FS{files: make(map[string]func() []byte)}
+}
+
+// Mount registers a generator for path, replacing any existing file.
+func (f *FS) Mount(path string, gen func() []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.files[path] = gen
+}
+
+// Unmount removes a file.
+func (f *FS) Unmount(path string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.files, path)
+}
+
+// ReadFile renders the file at path.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	f.mu.RLock()
+	gen := f.files[path]
+	f.mu.RUnlock()
+	if gen == nil {
+		return nil, fmt.Errorf("procfs: %s: no such file", path)
+	}
+	return gen(), nil
+}
+
+// List returns all mounted paths, sorted.
+func (f *FS) List() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.files))
+	for p := range f.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NetDevStats is the counter set a net_device exposes.
+type NetDevStats struct {
+	Name      string
+	RxBytes   uint64
+	RxPackets uint64
+	RxDropped uint64
+	TxBytes   uint64
+	TxPackets uint64
+	TxDropped uint64
+	QueueLen  int
+	QueueCap  int
+}
+
+// FormatNetDev renders /proc/net/dev-style lines for the given devices,
+// with a header, plus queue occupancy columns (tx queue state is readable
+// via sysfs on Linux; folded into one file here).
+func FormatNetDev(devs []NetDevStats) []byte {
+	var b strings.Builder
+	b.WriteString("Inter-|   Receive                    |  Transmit                    | Queue\n")
+	b.WriteString(" face |bytes    packets drop         |bytes    packets drop         | len cap\n")
+	for _, d := range devs {
+		fmt.Fprintf(&b, "%s: %d %d %d %d %d %d %d %d\n",
+			d.Name, d.RxBytes, d.RxPackets, d.RxDropped,
+			d.TxBytes, d.TxPackets, d.TxDropped, d.QueueLen, d.QueueCap)
+	}
+	return []byte(b.String())
+}
+
+// ParseNetDev parses FormatNetDev output.
+func ParseNetDev(data []byte) ([]NetDevStats, error) {
+	lines := strings.Split(string(data), "\n")
+	var out []NetDevStats
+	for i, line := range lines {
+		if i < 2 || strings.TrimSpace(line) == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("procfs: netdev line %d: missing device name: %q", i, line)
+		}
+		var d NetDevStats
+		d.Name = strings.TrimSpace(name)
+		n, err := fmt.Sscanf(strings.TrimSpace(rest), "%d %d %d %d %d %d %d %d",
+			&d.RxBytes, &d.RxPackets, &d.RxDropped,
+			&d.TxBytes, &d.TxPackets, &d.TxDropped, &d.QueueLen, &d.QueueCap)
+		if err != nil || n != 8 {
+			return nil, fmt.Errorf("procfs: netdev line %d: parse %q: %v", i, line, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// SoftnetStats is one per-CPU backlog queue's counter set.
+type SoftnetStats struct {
+	Processed uint64 // packets dequeued by the NAPI routine
+	Dropped   uint64 // enqueue failures (backlog full)
+	Queued    uint64 // current occupancy
+}
+
+// FormatSoftnet renders /proc/net/softnet_stat-style hex columns, one line
+// per CPU.
+func FormatSoftnet(rows []SoftnetStats) []byte {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%08x %08x %08x\n", r.Processed, r.Dropped, r.Queued)
+	}
+	return []byte(b.String())
+}
+
+// ParseSoftnet parses FormatSoftnet output.
+func ParseSoftnet(data []byte) ([]SoftnetStats, error) {
+	var out []SoftnetStats
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var r SoftnetStats
+		n, err := fmt.Sscanf(line, "%x %x %x", &r.Processed, &r.Dropped, &r.Queued)
+		if err != nil || n != 3 {
+			return nil, fmt.Errorf("procfs: softnet line %d: parse %q: %v", i, line, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

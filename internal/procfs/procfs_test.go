@@ -1,0 +1,129 @@
+package procfs
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFSMountReadUnmount(t *testing.T) {
+	fs := New()
+	if _, err := fs.ReadFile("/proc/x"); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+	fs.Mount("/proc/x", func() []byte { return []byte("hello") })
+	data, err := fs.ReadFile("/proc/x")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read: %q, %v", data, err)
+	}
+	fs.Unmount("/proc/x")
+	if _, err := fs.ReadFile("/proc/x"); err == nil {
+		t.Fatal("read after unmount succeeded")
+	}
+}
+
+func TestFSGeneratorsAreLive(t *testing.T) {
+	fs := New()
+	n := 0
+	fs.Mount("/live", func() []byte { n++; return []byte{byte('0' + n)} })
+	fs.ReadFile("/live")
+	data, _ := fs.ReadFile("/live")
+	if string(data) != "2" {
+		t.Fatalf("generator not re-invoked: %q", data)
+	}
+}
+
+func TestFSList(t *testing.T) {
+	fs := New()
+	fs.Mount("/b", func() []byte { return nil })
+	fs.Mount("/a", func() []byte { return nil })
+	got := fs.List()
+	if !reflect.DeepEqual(got, []string{"/a", "/b"}) {
+		t.Fatalf("list = %v", got)
+	}
+}
+
+func TestNetDevRoundTrip(t *testing.T) {
+	in := []NetDevStats{
+		{Name: "eth0", RxBytes: 1, RxPackets: 2, RxDropped: 3, TxBytes: 4, TxPackets: 5, TxDropped: 6, QueueLen: 7, QueueCap: 8},
+		{Name: "tap-vm0", RxBytes: 100, TxBytes: 200, QueueCap: 500},
+	}
+	out, err := ParseNetDev(FormatNetDev(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestNetDevParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseNetDev([]byte("header\nheader2\nnot a device line\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestNetDevRoundTripProperty fuzzes the counters.
+func TestNetDevRoundTripProperty(t *testing.T) {
+	f := func(rxB, rxP, rxD, txB, txP, txD uint32, qlen, qcap uint8) bool {
+		in := []NetDevStats{{
+			Name:    "dev0",
+			RxBytes: uint64(rxB), RxPackets: uint64(rxP), RxDropped: uint64(rxD),
+			TxBytes: uint64(txB), TxPackets: uint64(txP), TxDropped: uint64(txD),
+			QueueLen: int(qlen), QueueCap: int(qcap),
+		}}
+		out, err := ParseNetDev(FormatNetDev(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftnetRoundTrip(t *testing.T) {
+	in := []SoftnetStats{
+		{Processed: 0xdeadbeef, Dropped: 0x12, Queued: 0x300},
+		{Processed: 1, Dropped: 0, Queued: 0},
+	}
+	out, err := ParseSoftnet(FormatSoftnet(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestSoftnetParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseSoftnet([]byte("zz yy xx\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestSoftnetEmpty(t *testing.T) {
+	out, err := ParseSoftnet(FormatSoftnet(nil))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty round trip: %v, %v", out, err)
+	}
+}
+
+// TestSoftnetRoundTripProperty fuzzes the hex encoding.
+func TestSoftnetRoundTripProperty(t *testing.T) {
+	f := func(rows []struct{ P, D, Q uint32 }) bool {
+		in := make([]SoftnetStats, len(rows))
+		for i, r := range rows {
+			in[i] = SoftnetStats{Processed: uint64(r.P), Dropped: uint64(r.D), Queued: uint64(r.Q)}
+		}
+		out, err := ParseSoftnet(FormatSoftnet(in))
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

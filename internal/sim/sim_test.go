@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStepAdvancesClock(t *testing.T) {
+	e := NewEngine(time.Millisecond)
+	if e.Now() != 0 {
+		t.Fatalf("fresh engine at %v", e.Now())
+	}
+	e.Step()
+	if e.Now() != time.Millisecond {
+		t.Fatalf("after one step: %v", e.Now())
+	}
+	e.Run(10 * time.Millisecond)
+	if e.Now() != 11*time.Millisecond {
+		t.Fatalf("after Run(10ms): %v", e.Now())
+	}
+}
+
+func TestEngineDefaultTick(t *testing.T) {
+	e := NewEngine(0)
+	if e.Dt() != DefaultTick {
+		t.Fatalf("dt = %v; want %v", e.Dt(), DefaultTick)
+	}
+}
+
+func TestEngineTickerOrderAndArgs(t *testing.T) {
+	e := NewEngine(time.Millisecond)
+	var order []int
+	var gotNow time.Duration
+	var gotDt time.Duration
+	e.AddFunc(func(now, dt time.Duration) { order = append(order, 1); gotNow, gotDt = now, dt })
+	e.AddFunc(func(now, dt time.Duration) { order = append(order, 2) })
+	e.Step()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("ticker order %v", order)
+	}
+	if gotNow != time.Millisecond || gotDt != time.Millisecond {
+		t.Fatalf("ticker args now=%v dt=%v", gotNow, gotDt)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(time.Millisecond)
+	e.RunUntil(5 * time.Millisecond)
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("RunUntil landed at %v", e.Now())
+	}
+	e.RunUntil(3 * time.Millisecond) // in the past: no-op
+	if e.Now() != 5*time.Millisecond {
+		t.Fatalf("RunUntil moved backwards to %v", e.Now())
+	}
+}
+
+func TestFairShareUnderloaded(t *testing.T) {
+	alloc := FairShare(100, []float64{10, 20, 30})
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if alloc[i] != want[i] {
+			t.Fatalf("alloc = %v; want %v", alloc, want)
+		}
+	}
+}
+
+func TestFairShareOverloadedEqualSplit(t *testing.T) {
+	alloc := FairShare(90, []float64{100, 100, 100})
+	for i, a := range alloc {
+		if math.Abs(a-30) > 1e-9 {
+			t.Fatalf("alloc[%d] = %v; want 30", i, a)
+		}
+	}
+}
+
+func TestFairShareWaterFilling(t *testing.T) {
+	// Small demand fully satisfied; the rest split the remainder.
+	alloc := FairShare(100, []float64{10, 200, 200})
+	if alloc[0] != 10 {
+		t.Fatalf("small claim got %v; want 10", alloc[0])
+	}
+	if math.Abs(alloc[1]-45) > 1e-9 || math.Abs(alloc[2]-45) > 1e-9 {
+		t.Fatalf("large claims got %v, %v; want 45 each", alloc[1], alloc[2])
+	}
+}
+
+func TestFairShareZeroAndNegativeDemands(t *testing.T) {
+	alloc := FairShare(100, []float64{0, -5, 50})
+	if alloc[0] != 0 || alloc[1] != 0 {
+		t.Fatalf("non-positive demands allocated: %v", alloc)
+	}
+	if alloc[2] != 50 {
+		t.Fatalf("positive demand got %v; want 50", alloc[2])
+	}
+}
+
+func TestFairShareZeroCapacity(t *testing.T) {
+	alloc := FairShare(0, []float64{1, 2})
+	if alloc[0] != 0 || alloc[1] != 0 {
+		t.Fatalf("zero capacity allocated %v", alloc)
+	}
+}
+
+// TestFairShareProperties checks the max–min invariants over random inputs.
+func TestFairShareProperties(t *testing.T) {
+	f := func(capRaw uint16, demandsRaw []uint16) bool {
+		capacity := float64(capRaw)
+		demands := make([]float64, len(demandsRaw))
+		total := 0.0
+		for i, d := range demandsRaw {
+			demands[i] = float64(d)
+			total += float64(d)
+		}
+		alloc := FairShare(capacity, demands)
+		if len(alloc) != len(demands) {
+			return false
+		}
+		sum := 0.0
+		for i := range alloc {
+			if alloc[i] < -1e-9 || alloc[i] > demands[i]+1e-9 {
+				return false // bounded by demand
+			}
+			sum += alloc[i]
+		}
+		if sum > capacity+1e-6 {
+			return false // never over-allocates
+		}
+		if total >= capacity && capacity > 0 && sum < capacity-1e-6 {
+			return false // work conserving when overloaded
+		}
+		// Equal demands get equal allocations.
+		for i := range demands {
+			for j := range demands {
+				if demands[i] == demands[j] && math.Abs(alloc[i]-alloc[j]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedFairShare(t *testing.T) {
+	// Weight 2 gets twice the share of weight 1 when both are trimmed.
+	alloc := WeightedFairShare(90, []float64{100, 100}, []float64{1, 2})
+	if math.Abs(alloc[0]-30) > 1e-9 || math.Abs(alloc[1]-60) > 1e-9 {
+		t.Fatalf("weighted alloc = %v; want [30 60]", alloc)
+	}
+	// Underloaded: everyone gets demand regardless of weight.
+	alloc = WeightedFairShare(300, []float64{100, 100}, []float64{1, 2})
+	if alloc[0] != 100 || alloc[1] != 100 {
+		t.Fatalf("underloaded weighted alloc = %v", alloc)
+	}
+}
+
+func TestWeightedFairShareMismatchedLensPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	WeightedFairShare(1, []float64{1}, []float64{1, 2})
+}
+
+func TestBytesInAndBitsPerSec(t *testing.T) {
+	if got := BytesIn(8e9, time.Millisecond); got != 1e6 {
+		t.Fatalf("BytesIn(8Gbps, 1ms) = %d; want 1e6", got)
+	}
+	if got := BitsPerSec(1e6, time.Millisecond); got != 8e9 {
+		t.Fatalf("BitsPerSec(1e6, 1ms) = %g; want 8e9", got)
+	}
+	if got := BitsPerSec(100, 0); got != 0 {
+		t.Fatalf("BitsPerSec with zero interval = %g", got)
+	}
+}
+
+func TestRateHelpers(t *testing.T) {
+	if Mbps(5e6) != 5 {
+		t.Fatalf("Mbps(5e6) = %g", Mbps(5e6))
+	}
+	if Gbps(5e9) != 5 {
+		t.Fatalf("Gbps(5e9) = %g", Gbps(5e9))
+	}
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) hit only %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGJitterBounds(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(100, 0.05)
+		if v < 95 || v > 105 {
+			t.Fatalf("jitter out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(11)
+	var sum, sq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sq/n - mean*mean)
+	if math.Abs(mean-10) > 0.1 {
+		t.Fatalf("mean %v; want ~10", mean)
+	}
+	if math.Abs(std-2) > 0.15 {
+		t.Fatalf("std %v; want ~2", std)
+	}
+}
+
+func TestZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced zero stream")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	for _, tc := range []struct{ v, lo, hi, want float64 }{
+		{5, 0, 10, 5},
+		{-1, 0, 10, 0},
+		{11, 0, 10, 10},
+	} {
+		if got := Clamp(tc.v, tc.lo, tc.hi); got != tc.want {
+			t.Fatalf("Clamp(%v,%v,%v) = %v; want %v", tc.v, tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"sync/atomic"
+
+	"perfsight/internal/core"
+)
+
+// SizeHistogram tracks a packet-size distribution in fixed buckets. The
+// paper (§4.1) notes operators "can implement more complicated statistics
+// at an element such as packet size distribution tracking if they can
+// accept the resulting performance impact"; this is that optional
+// statistic, and BenchmarkSizeHistogram quantifies the impact.
+//
+// Buckets follow common MTU-relevant boundaries. The histogram is lock-free
+// and, like the time counter, can be disabled to take it off the fast path.
+type SizeHistogram struct {
+	buckets [len(SizeBucketBounds) + 1]atomic.Uint64
+	enabled atomic.Bool
+}
+
+// SizeBucketBounds are the inclusive upper bounds of the histogram buckets,
+// in bytes. A final implicit bucket captures everything larger.
+var SizeBucketBounds = [...]int{64, 128, 256, 512, 1024, 1518, 9000}
+
+// NewSizeHistogram returns an enabled histogram.
+func NewSizeHistogram() *SizeHistogram {
+	h := &SizeHistogram{}
+	h.enabled.Store(true)
+	return h
+}
+
+// SetEnabled turns the histogram on or off.
+func (h *SizeHistogram) SetEnabled(on bool) { h.enabled.Store(on) }
+
+// Observe records one packet of the given size.
+func (h *SizeHistogram) Observe(size int) {
+	if !h.enabled.Load() {
+		return
+	}
+	h.buckets[bucketIndex(size)].Add(1)
+}
+
+// ObserveN records n packets of the given (average) size.
+func (h *SizeHistogram) ObserveN(size, n int) {
+	if n <= 0 || !h.enabled.Load() {
+		return
+	}
+	h.buckets[bucketIndex(size)].Add(uint64(n))
+}
+
+func bucketIndex(size int) int {
+	for i, b := range SizeBucketBounds {
+		if size <= b {
+			return i
+		}
+	}
+	return len(SizeBucketBounds)
+}
+
+// Counts returns a copy of the bucket counts. Index i < len(SizeBucketBounds)
+// counts packets with size <= SizeBucketBounds[i]; the last index counts the
+// rest.
+func (h *SizeHistogram) Counts() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Total returns the number of observed packets.
+func (h *SizeHistogram) Total() uint64 {
+	var t uint64
+	for i := range h.buckets {
+		t += h.buckets[i].Load()
+	}
+	return t
+}
+
+// Attrs renders the histogram as record attributes named size_le_<bound>
+// and size_gt_<maxbound>.
+func (h *SizeHistogram) Attrs() []core.Attr {
+	out := make([]core.Attr, 0, len(h.buckets))
+	for i, b := range SizeBucketBounds {
+		out = append(out, core.Attr{
+			Name:  sizeAttrName(b, false),
+			Value: float64(h.buckets[i].Load()),
+		})
+	}
+	out = append(out, core.Attr{
+		Name:  sizeAttrName(SizeBucketBounds[len(SizeBucketBounds)-1], true),
+		Value: float64(h.buckets[len(h.buckets)-1].Load()),
+	})
+	return out
+}
+
+func sizeAttrName(bound int, above bool) string {
+	if above {
+		return "size_gt_" + itoa(bound)
+	}
+	return "size_le_" + itoa(bound)
+}
+
+// itoa avoids pulling strconv into the datapath hot file for one use.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"perfsight/internal/core"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Inc()
+	if c.Load() != 6 {
+		t.Fatalf("counter = %d; want 6", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 80000 {
+		t.Fatalf("concurrent count = %d; want 80000", c.Load())
+	}
+}
+
+func TestPacketByteIgnoresNonPositive(t *testing.T) {
+	var p PacketByte
+	p.Add(-1, -5)
+	p.Add(0, 0)
+	p.Add(3, 100)
+	if p.Packets.Load() != 3 || p.Bytes.Load() != 100 {
+		t.Fatalf("pkts=%d bytes=%d", p.Packets.Load(), p.Bytes.Load())
+	}
+}
+
+func TestTimeCounterObserve(t *testing.T) {
+	tc := NewTimeCounter()
+	tc.Observe(5 * time.Microsecond)
+	tc.Observe(-time.Second) // ignored
+	if tc.Load() != 5000 {
+		t.Fatalf("time counter = %d ns; want 5000", tc.Load())
+	}
+	tc.Reset()
+	if tc.Load() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestTimeCounterStartStop(t *testing.T) {
+	tc := NewTimeCounter()
+	tok := tc.Start()
+	if tok == 0 {
+		t.Fatal("enabled Start returned zero token")
+	}
+	tc.Stop(tok)
+	if tc.Load() < 0 {
+		t.Fatal("negative accumulation")
+	}
+}
+
+func TestTimeCounterDisabled(t *testing.T) {
+	tc := NewTimeCounter()
+	tc.SetEnabled(false)
+	if tc.Enabled() {
+		t.Fatal("still enabled")
+	}
+	if tok := tc.Start(); tok != 0 {
+		t.Fatal("disabled Start returned token")
+	}
+	tc.Observe(time.Second)
+	tc.Stop(12345)
+	if tc.Load() != 0 {
+		t.Fatalf("disabled counter accumulated %d", tc.Load())
+	}
+}
+
+func TestIOStatsAttrs(t *testing.T) {
+	s := NewIOStats()
+	s.InBytes.Add(10)
+	s.OutBytes.Add(20)
+	s.InTime.Observe(time.Microsecond)
+	s.OutTime.Observe(2 * time.Microsecond)
+	rec := core.Record{Attrs: s.Attrs()}
+	if v, _ := rec.Get(core.AttrInBytes); v != 10 {
+		t.Fatalf("in_bytes = %v", v)
+	}
+	if v, _ := rec.Get(core.AttrOutTimeNS); v != 2000 {
+		t.Fatalf("out_time_ns = %v", v)
+	}
+	s.SetTimeCountersEnabled(false)
+	s.InTime.Observe(time.Second)
+	if s.InTime.Load() != 1000 {
+		t.Fatal("disabled IO timer accumulated")
+	}
+}
+
+func TestElementStatsAttrs(t *testing.T) {
+	var es ElementStats
+	es.Rx.Add(2, 100)
+	es.Tx.Add(1, 50)
+	es.Drop.Add(1, 50)
+	rec := core.Record{Attrs: es.Attrs()}
+	for name, want := range map[string]float64{
+		core.AttrRxPackets:   2,
+		core.AttrRxBytes:     100,
+		core.AttrTxPackets:   1,
+		core.AttrTxBytes:     50,
+		core.AttrDropPackets: 1,
+		core.AttrDropBytes:   50,
+	} {
+		if v, _ := rec.Get(name); v != want {
+			t.Fatalf("%s = %v; want %v", name, v, want)
+		}
+	}
+}
+
+// fakeElement is a minimal core.Element for registry tests.
+type fakeElement struct {
+	id    core.ElementID
+	kind  core.ElementKind
+	attrs []core.Attr
+}
+
+func (f fakeElement) ID() core.ElementID     { return f.id }
+func (f fakeElement) Kind() core.ElementKind { return f.kind }
+func (f fakeElement) Snapshot(ts int64) core.Record {
+	return core.Record{Timestamp: ts, Element: f.id, Attrs: f.attrs}
+}
+
+func TestRegistryCRUD(t *testing.T) {
+	r := NewRegistry()
+	e1 := fakeElement{id: "a"}
+	e2 := fakeElement{id: "b"}
+	r.Register(e1)
+	r.Register(e2)
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if _, ok := r.Get("a"); !ok {
+		t.Fatal("Get(a) failed")
+	}
+	r.Unregister("a")
+	if _, ok := r.Get("a"); ok {
+		t.Fatal("a still present after Unregister")
+	}
+	snaps := r.Snapshot(99)
+	if len(snaps) != 1 || snaps[0].Timestamp != 99 {
+		t.Fatalf("snapshot: %v", snaps)
+	}
+}
+
+func TestAuditFlagsMissingCounters(t *testing.T) {
+	r := NewRegistry()
+	// A TUN without drop counters and queue gauges is underinstrumented.
+	r.Register(fakeElement{id: "m0/vm0/tun", kind: core.KindTUN, attrs: []core.Attr{
+		{Name: core.AttrRxPackets}, {Name: core.AttrTxPackets},
+	}})
+	// A fully-instrumented NAPI routine passes.
+	r.Register(fakeElement{id: "m0/napi", kind: core.KindNAPIRoutine, attrs: []core.Attr{
+		{Name: core.AttrRxPackets}, {Name: core.AttrTxPackets},
+	}})
+	// A middlebox missing I/O time counters is flagged.
+	r.Register(fakeElement{id: "m0/vm0/app", kind: core.KindMiddlebox, attrs: []core.Attr{
+		{Name: core.AttrRxPackets}, {Name: core.AttrTxPackets},
+		{Name: core.AttrInBytes}, {Name: core.AttrOutBytes},
+	}})
+
+	findings := r.Audit(0)
+	byID := map[core.ElementID][]string{}
+	for _, f := range findings {
+		byID[f.Element] = f.Missing
+	}
+	if _, ok := byID["m0/napi"]; ok {
+		t.Fatal("fully instrumented element flagged")
+	}
+	if missing := byID["m0/vm0/tun"]; len(missing) == 0 {
+		t.Fatal("underinstrumented TUN not flagged")
+	}
+	mb := byID["m0/vm0/app"]
+	found := false
+	for _, m := range mb {
+		if m == core.AttrInTimeNS {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("middlebox missing attrs %v should include in_time_ns", mb)
+	}
+}
+
+func TestSizeHistogramBuckets(t *testing.T) {
+	h := NewSizeHistogram()
+	h.Observe(64)    // bucket 0 (<=64)
+	h.Observe(65)    // bucket 1 (<=128)
+	h.Observe(1500)  // <=1518
+	h.Observe(64000) // jumbo overflow
+	counts := h.Counts()
+	if counts[0] != 1 || counts[1] != 1 {
+		t.Fatalf("small buckets: %v", counts)
+	}
+	if counts[len(counts)-1] != 1 {
+		t.Fatalf("overflow bucket: %v", counts)
+	}
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestSizeHistogramDisabled(t *testing.T) {
+	h := NewSizeHistogram()
+	h.SetEnabled(false)
+	h.Observe(100)
+	h.ObserveN(100, 50)
+	if h.Total() != 0 {
+		t.Fatal("disabled histogram counted")
+	}
+}
+
+func TestSizeHistogramAttrsNames(t *testing.T) {
+	h := NewSizeHistogram()
+	h.ObserveN(100, 3)
+	rec := core.Record{Attrs: h.Attrs()}
+	if v, ok := rec.Get("size_le_128"); !ok || v != 3 {
+		t.Fatalf("size_le_128 = %v, present=%v", v, ok)
+	}
+	if _, ok := rec.Get("size_gt_9000"); !ok {
+		t.Fatal("overflow attr missing")
+	}
+}
+
+// TestSizeHistogramConservation: total always equals observations.
+func TestSizeHistogramConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		h := NewSizeHistogram()
+		for _, s := range sizes {
+			h.Observe(int(s))
+		}
+		return h.Total() == uint64(len(sizes))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

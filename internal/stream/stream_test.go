@@ -1,0 +1,228 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"perfsight/internal/dataplane"
+)
+
+// sinkWindow is a fixed-window receiver.
+type sinkWindow int64
+
+func (w sinkWindow) RxFree() int64 { return int64(w) }
+
+// collectEmitter accepts everything and records emissions.
+type collectEmitter struct {
+	emitted []dataplane.Batch
+	accept  int64 // per-call acceptance cap (-1 = all)
+}
+
+func (c *collectEmitter) emit(b dataplane.Batch) int64 {
+	if c.accept >= 0 && b.Bytes > c.accept {
+		b.Bytes = c.accept
+	}
+	c.emitted = append(c.emitted, b)
+	return b.Bytes
+}
+
+func newConn(cfg Config, e *collectEmitter, w Window) *Conn {
+	return NewConn("f", cfg, e.emit, w)
+}
+
+func TestConnWriteBoundedBySendBuf(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{SendBufBytes: 1000}, e, sinkWindow(1<<20))
+	if got := c.Write(600); got != 600 {
+		t.Fatalf("first write %d", got)
+	}
+	if got := c.Write(600); got != 400 {
+		t.Fatalf("second write %d; want 400 (buffer cap)", got)
+	}
+	if got := c.Write(10); got != 0 {
+		t.Fatalf("full buffer accepted %d", got)
+	}
+	if c.SendBufFree() != 0 || c.Buffered() != 1000 {
+		t.Fatalf("free=%d buffered=%d", c.SendBufFree(), c.Buffered())
+	}
+}
+
+func TestConnPumpRespectsCwnd(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{InitCwnd: 2000, SendBufBytes: 1 << 20}, e, sinkWindow(1<<20))
+	c.Write(10000)
+	c.Pump(time.Millisecond)
+	var sent int64
+	for _, b := range e.emitted {
+		sent += b.Bytes
+	}
+	if sent > 2000 {
+		t.Fatalf("sent %d beyond initial cwnd 2000", sent)
+	}
+	if st := c.Stats(); st.InFlight != sent {
+		t.Fatalf("inflight %d != sent %d", st.InFlight, sent)
+	}
+}
+
+func TestConnPumpRespectsReceiveWindow(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{InitCwnd: 1 << 20, SendBufBytes: 1 << 20}, e, sinkWindow(500))
+	c.Write(10000)
+	c.Pump(time.Millisecond)
+	if st := c.Stats(); st.InFlight > 500 {
+		t.Fatalf("inflight %d beyond rwnd 500", st.InFlight)
+	}
+}
+
+func TestConnDeliveryGrowsWindowAndThroughput(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{InitCwnd: 1448 * 2, SendBufBytes: 1 << 20}, e, sinkWindow(1<<30))
+	total := int64(0)
+	for tick := 0; tick < 200; tick++ {
+		c.Write(1 << 20)
+		c.Pump(time.Millisecond)
+		// Deliver everything emitted this tick (a perfect network).
+		for _, b := range e.emitted {
+			c.Delivered(b.Packets, b.Bytes)
+			total += b.Bytes
+		}
+		e.emitted = nil
+	}
+	if total == 0 {
+		t.Fatal("nothing delivered")
+	}
+	st := c.Stats()
+	if st.Cwnd <= 1448*2 {
+		t.Fatalf("cwnd did not grow: %d", st.Cwnd)
+	}
+	if st.Delivered != total {
+		t.Fatalf("delivered accounting %d != %d", st.Delivered, total)
+	}
+}
+
+func TestConnLossShrinksWindowAndRetransmits(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{InitCwnd: 100000, SendBufBytes: 1 << 20}, e, sinkWindow(1<<30))
+	c.Write(50000)
+	c.Pump(time.Millisecond)
+	before := c.Stats()
+	c.Dropped(10, 14480, "m0/vm0/tun")
+	after := c.Stats()
+	if after.Cwnd >= before.Cwnd {
+		t.Fatalf("cwnd did not shrink: %d -> %d", before.Cwnd, after.Cwnd)
+	}
+	if after.Lost != 14480 {
+		t.Fatalf("lost = %d", after.Lost)
+	}
+	if after.LastDrop != "m0/vm0/tun" {
+		t.Fatalf("drop location %s", after.LastDrop)
+	}
+	if after.Buffered < 14480 {
+		t.Fatal("lost bytes not queued for retransmission")
+	}
+	// The retransmission must eventually be re-emitted.
+	e.emitted = nil
+	for i := 0; i < 50 && len(e.emitted) == 0; i++ {
+		c.Pump(time.Millisecond)
+	}
+	if len(e.emitted) == 0 {
+		t.Fatal("no retransmission emitted")
+	}
+}
+
+func TestConnCwndFloor(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{MinCwnd: 1000, SendBufBytes: 1 << 20}, e, sinkWindow(1<<30))
+	for i := 0; i < 50; i++ {
+		c.Dropped(1, 5000, "x")
+	}
+	if st := c.Stats(); st.Cwnd < 1000 {
+		t.Fatalf("cwnd %d below floor", st.Cwnd)
+	}
+}
+
+func TestConnEmitterBackpressureReclaims(t *testing.T) {
+	e := &collectEmitter{accept: 100} // source socket nearly full
+	c := newConn(Config{InitCwnd: 1 << 20, SendBufBytes: 1 << 20}, e, sinkWindow(1<<30))
+	c.Write(5000)
+	c.Pump(time.Millisecond)
+	st := c.Stats()
+	if st.InFlight != 100 {
+		t.Fatalf("inflight %d; want 100 (only what the socket accepted)", st.InFlight)
+	}
+	if st.Buffered != 4900 {
+		t.Fatalf("buffered %d; want 4900 reclaimed", st.Buffered)
+	}
+}
+
+func TestConnPacingLimitsBurst(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{InitCwnd: 8 << 20, MaxCwnd: 8 << 20, SendBufBytes: 8 << 20, MSS: 1448}, e, sinkWindow(1<<30))
+	c.Write(8 << 20)
+	c.Pump(time.Millisecond)
+	var sent int64
+	for _, b := range e.emitted {
+		sent += b.Bytes
+	}
+	// From cold start the pace floor is 16 MSS per tick.
+	if sent > 16*1448 {
+		t.Fatalf("cold-start burst %d; want <= %d", sent, 16*1448)
+	}
+	// A same-tick re-pump must not grant fresh pace credit.
+	e.emitted = nil
+	c.Pump(0)
+	for _, b := range e.emitted {
+		sent += b.Bytes
+	}
+	if sent > 16*1448 {
+		t.Fatalf("re-pump added credit: %d", sent)
+	}
+}
+
+func TestConnPaceTracksDeliveryRate(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{InitCwnd: 8 << 20, MaxCwnd: 8 << 20, SendBufBytes: 8 << 20}, e, sinkWindow(1<<30))
+	// Sustain deliveries so rateEst rises; pace should follow.
+	var lastTickBytes int64
+	for tick := 0; tick < 300; tick++ {
+		c.Write(1 << 20)
+		e.emitted = nil
+		c.Pump(time.Millisecond)
+		lastTickBytes = 0
+		for _, b := range e.emitted {
+			lastTickBytes += b.Bytes
+			c.Delivered(b.Packets, b.Bytes)
+		}
+	}
+	if lastTickBytes <= 16*1448 {
+		t.Fatalf("pace never grew beyond the floor: %d/tick", lastTickBytes)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	cfg.fill()
+	if cfg.MSS != 1448 || cfg.Beta != 0.7 || cfg.SendBufBytes != 256<<10 ||
+		cfg.MaxCwnd != 8<<20 || cfg.AIFactor != 8 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.InitCwnd != int64(10*cfg.MSS) {
+		t.Fatalf("init cwnd %d", cfg.InitCwnd)
+	}
+}
+
+func TestConnFlowIdentity(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{}, e, sinkWindow(1<<30))
+	if c.Flow() != dataplane.FlowID("f") {
+		t.Fatalf("flow %s", c.Flow())
+	}
+	c.Write(1000)
+	c.Pump(time.Millisecond)
+	if len(e.emitted) == 0 || e.emitted[0].Flow != "f" {
+		t.Fatal("emitted batch lost its flow identity")
+	}
+	if e.emitted[0].FB == nil {
+		t.Fatal("emitted batch must carry the conn as feedback")
+	}
+}

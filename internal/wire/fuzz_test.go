@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"perfsight/internal/core"
+)
+
+// FuzzRead throws arbitrary bytes at the frame reader: it must never
+// panic, and whatever it accepts must re-encode.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid frame and some near-misses.
+	var buf bytes.Buffer
+	Write(&buf, &Message{Type: TypeQuery, ID: 7, Query: &Query{All: true}})
+	f.Add(buf.Bytes())
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, msg); err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		back, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to parse: %v", err)
+		}
+		if back.Type != msg.Type || back.ID != msg.ID {
+			t.Fatalf("identity lost: %+v vs %+v", msg, back)
+		}
+	})
+}
+
+// FuzzRecordJSON exercises record marshalling through the protocol with
+// arbitrary attribute names/values.
+func FuzzRecordJSON(f *testing.F) {
+	f.Add("rx_bytes", 1.5, int64(42))
+	f.Add("", -1.0, int64(0))
+	f.Fuzz(func(t *testing.T, name string, val float64, ts int64) {
+		in := &Message{Type: TypeResponse, Records: []core.Record{{
+			Timestamp: ts,
+			Element:   "m0/pnic",
+			Attrs:     []core.Attr{{Name: name, Value: val}},
+		}}}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			// Non-finite floats are not representable in JSON; rejecting
+			// them is correct behaviour.
+			return
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(out.Records) != 1 || out.Records[0].Timestamp != ts {
+			t.Fatalf("record identity lost: %+v", out.Records)
+		}
+	})
+}

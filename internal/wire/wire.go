@@ -1,0 +1,123 @@
+// Package wire defines the message protocol between the PerfSight
+// controller and its per-server agents: length-prefixed JSON frames over
+// TCP. The payloads carry the §4.2 unified record format, so the protocol
+// is oblivious to element diversity — extending the statistics set needs
+// no protocol change.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"perfsight/internal/core"
+)
+
+// MaxFrame bounds a frame to keep a misbehaving peer from ballooning
+// memory.
+const MaxFrame = 16 << 20
+
+// MsgType enumerates protocol messages.
+type MsgType string
+
+const (
+	// TypeQuery asks an agent for element statistics.
+	TypeQuery MsgType = "query"
+	// TypeResponse carries the requested records.
+	TypeResponse MsgType = "response"
+	// TypeListElements asks for the agent's element inventory.
+	TypeListElements MsgType = "list"
+	// TypeElementList carries the inventory.
+	TypeElementList MsgType = "elements"
+	// TypePing / TypePong measure agent liveness and response time.
+	TypePing MsgType = "ping"
+	TypePong MsgType = "pong"
+	// TypeError reports a failure for the request with the same ID.
+	TypeError MsgType = "error"
+)
+
+// Query requests statistics from an agent.
+type Query struct {
+	// Elements to fetch; empty with All=true fetches everything.
+	Elements []core.ElementID `json:"elements,omitempty"`
+	// Attrs filters the returned attributes (empty = all).
+	Attrs []string `json:"attrs,omitempty"`
+	All   bool     `json:"all,omitempty"`
+}
+
+// ElementMeta describes one element in an inventory response.
+type ElementMeta struct {
+	ID   core.ElementID   `json:"id"`
+	Kind core.ElementKind `json:"kind"`
+}
+
+// Message is one protocol frame.
+type Message struct {
+	Type     MsgType        `json:"type"`
+	ID       uint64         `json:"id"`
+	Machine  core.MachineID `json:"machine,omitempty"`
+	Query    *Query         `json:"query,omitempty"`
+	Records  []core.Record  `json:"records,omitempty"`
+	Elements []ElementMeta  `json:"element_list,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// Write frames and sends a message: 4-byte big-endian length, then JSON.
+func Write(w io.Writer, m *Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame too large: %d bytes", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return nil
+}
+
+// Read receives one framed message.
+func Read(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return &m, nil
+}
+
+// FilterAttrs returns a copy of rec keeping only the named attributes
+// (all when names is empty).
+func FilterAttrs(rec core.Record, names []string) core.Record {
+	if len(names) == 0 {
+		return rec
+	}
+	out := core.Record{Timestamp: rec.Timestamp, Element: rec.Element}
+	for _, n := range names {
+		if v, ok := rec.Get(n); ok {
+			out.Attrs = append(out.Attrs, core.Attr{Name: n, Value: v})
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"perfsight/internal/core"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	in := &Message{
+		Type:    TypeResponse,
+		ID:      42,
+		Machine: "m0",
+		Records: []core.Record{{
+			Timestamp: 123,
+			Element:   "m0/pnic",
+			Attrs:     []core.Attr{{Name: "rx_bytes", Value: 1e9}},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(1); i <= 3; i++ {
+		Write(&buf, &Message{Type: TypePing, ID: i})
+	}
+	for i := uint64(1); i <= 3; i++ {
+		m, err := Read(&buf)
+		if err != nil || m.ID != i {
+			t.Fatalf("frame %d: %v, %v", i, m, err)
+		}
+	}
+	if _, err := Read(&buf); err != io.EOF {
+		t.Fatalf("want EOF after last frame, got %v", err)
+	}
+}
+
+func TestReadRejectsOversizedFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := Read(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReadRejectsEmptyFrame(t *testing.T) {
+	var hdr [4]byte
+	if _, err := Read(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+func TestReadRejectsTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	Write(&buf, &Message{Type: TypePing, ID: 1})
+	data := buf.Bytes()[:buf.Len()-2]
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestReadRejectsMalformedJSON(t *testing.T) {
+	payload := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	data := append(hdr[:], payload...)
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestFilterAttrs(t *testing.T) {
+	rec := core.Record{Element: "e", Attrs: []core.Attr{
+		{Name: "a", Value: 1}, {Name: "b", Value: 2}, {Name: "c", Value: 3},
+	}}
+	got := FilterAttrs(rec, []string{"c", "a", "missing"})
+	if len(got.Attrs) != 2 {
+		t.Fatalf("filtered attrs: %v", got.Attrs)
+	}
+	if v, _ := got.Get("c"); v != 3 {
+		t.Fatal("filter lost value")
+	}
+	// Empty filter passes everything through untouched.
+	if all := FilterAttrs(rec, nil); len(all.Attrs) != 3 {
+		t.Fatal("nil filter dropped attrs")
+	}
+}
+
+// TestQueryRoundTripProperty fuzzes query payloads through the framing.
+func TestQueryRoundTripProperty(t *testing.T) {
+	f := func(ids []string, attrs []string, all bool, id uint64) bool {
+		q := &Query{All: all}
+		for _, s := range ids {
+			q.Elements = append(q.Elements, core.ElementID(s))
+		}
+		q.Attrs = attrs
+		in := &Message{Type: TypeQuery, ID: id, Query: q}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil || out.Type != TypeQuery || out.ID != id || out.Query == nil {
+			return false
+		}
+		if out.Query.All != all || len(out.Query.Elements) != len(q.Elements) {
+			return false
+		}
+		for i := range q.Elements {
+			if out.Query.Elements[i] != q.Elements[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
