@@ -1,0 +1,26 @@
+# Pre-PR check: everything here must pass before sending a change.
+#   make check        vet + build + race tests
+#   make bench        telemetry overhead benchmarks (EXPERIMENTS.md table)
+#   make all          both
+
+GO ?= go
+
+.PHONY: all check vet build test bench
+
+all: check bench
+
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Telemetry self-overhead: counter/histogram primitives plus the
+# instrumented-vs-uninstrumented agent query path (budget: ~5%).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkUninstrumentedQuery|BenchmarkInstrumentedQuery' -benchtime 1s .

@@ -8,11 +8,18 @@
 package perfsight_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
+	"perfsight/internal/agent"
+	"perfsight/internal/cluster"
+	"perfsight/internal/core"
 	"perfsight/internal/experiments"
+	"perfsight/internal/machine"
+	"perfsight/internal/middlebox"
 	"perfsight/internal/stats"
+	"perfsight/internal/telemetry"
 )
 
 // BenchmarkFig3MemoryContention regenerates the motivating Figure 3 sweep
@@ -240,5 +247,73 @@ func BenchmarkSizeHistogram(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		h.Observe(64 + i%1400)
+	}
+}
+
+// BenchmarkTelemetryCounter measures one self-telemetry counter update —
+// the budget is the same ~3 ns the paper allows a dataplane counter.
+func BenchmarkTelemetryCounter(b *testing.B) {
+	c := telemetry.NewRegistry().Counter("perfsight_bench_ops_total", "benchmark counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkTelemetryHistogram measures one log-linear histogram
+// observation (binary search over bucket bounds plus a CAS on the sum).
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	h := telemetry.NewRegistry().Histogram("perfsight_bench_duration_ns", "benchmark histogram")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(100 + i%100000))
+	}
+}
+
+// benchAgent builds a realistic agent — a default machine with two
+// middlebox VMs, every stack element adapted — for the query-path
+// overhead comparison.
+func benchAgent(b *testing.B) *agent.Agent {
+	b.Helper()
+	c := cluster.New(time.Millisecond)
+	m := c.AddMachine(machine.DefaultConfig("bench"))
+	for i := 0; i < 2; i++ {
+		vm := core.VMID(fmt.Sprintf("vm%d", i))
+		sink := middlebox.NewSink(core.ElementID(fmt.Sprintf("bench/%s/app", vm)), 1e9)
+		c.PlaceVM("bench", vm, 1.0, 1e9, sink)
+	}
+	c.Run(50 * time.Millisecond)
+	a, err := agent.Build(m, agent.BuildOptions{Clock: c.NowNS})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkUninstrumentedQuery is the baseline full-inventory Fetch with
+// telemetry off (the seed behaviour).
+func BenchmarkUninstrumentedQuery(b *testing.B) {
+	a := benchAgent(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Fetch(nil, nil, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstrumentedQuery is the same Fetch with self-telemetry
+// enabled; the ISSUE budget is ~5% over BenchmarkUninstrumentedQuery
+// (per-query counters, a latency histogram, and a per-adapter gather
+// histogram update).
+func BenchmarkInstrumentedQuery(b *testing.B) {
+	a := benchAgent(b).EnableTelemetry(telemetry.NewRegistry())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Fetch(nil, nil, true); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"perfsight/internal/machine"
 	"perfsight/internal/middlebox"
 	"perfsight/internal/stream"
+	"perfsight/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	vms := flag.Int("vms", 4, "middlebox VMs to host")
 	rate := flag.Float64("rate-mbps", 200, "offered client load per VM, Mbit/s")
 	fault := flag.String("fault", "", "inject a fault: membw@DUR, cpu@DUR, vmcpu@DUR, rxflood@DUR (e.g. membw@30s)")
+	telemetryAddr := flag.String("telemetry", "", "serve self-metrics (/metrics, /healthz) on this address, e.g. :9100 (empty = disabled)")
 	flag.Parse()
 
 	mid := core.MachineID(*machineID)
@@ -72,6 +74,26 @@ func main() {
 	a, err := agent.Build(m, agent.BuildOptions{Clock: c.NowNS})
 	if err != nil {
 		log.Fatalf("build agent: %v", err)
+	}
+
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		a.EnableTelemetry(reg)
+		c.EnableTelemetry(reg)
+		c.EnableDropTracing(mid, 4096)
+		started := time.Now()
+		taddr, err := telemetry.Serve(*telemetryAddr, reg, func() telemetry.Health {
+			return telemetry.Health{
+				Component: "agent",
+				Identity:  *machineID,
+				Elements:  len(a.Elements()),
+				UptimeSec: time.Since(started).Seconds(),
+			}
+		})
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		log.Printf("telemetry on http://%s/metrics", taddr)
 	}
 
 	// Advance the dataplane in real time.

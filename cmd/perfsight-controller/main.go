@@ -19,6 +19,7 @@ import (
 	"perfsight/internal/core"
 	"perfsight/internal/diagnosis"
 	"perfsight/internal/operator"
+	"perfsight/internal/telemetry"
 )
 
 func main() {
@@ -27,11 +28,20 @@ func main() {
 	diagnose := flag.Bool("diagnose", false, "run the contention/bottleneck diagnosis once")
 	advise := flag.Bool("advise", false, "diagnose and print remediation advice")
 	window := flag.Duration("window", 3*time.Second, "measurement window for diagnosis")
+	telemetryAddr := flag.String("telemetry", "", "serve self-metrics (/metrics, /healthz) on this address, e.g. :9101 (empty = disabled)")
 	flag.Parse()
 
 	topo := core.NewTopology()
 	ctl := controller.New(topo)
 	const tid = core.TenantID("operator")
+
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	if *telemetryAddr != "" {
+		reg = telemetry.NewRegistry()
+		tracer = ctl.EnableTelemetry(reg)
+		diagnosis.EnableTelemetry(reg)
+	}
 
 	for _, spec := range strings.Split(*agents, ",") {
 		name, addr, ok := strings.Cut(strings.TrimSpace(spec), "=")
@@ -40,6 +50,9 @@ func main() {
 		}
 		mid := core.MachineID(name)
 		client := controller.NewTCPClient(addr)
+		if reg != nil {
+			client.EnableTelemetry(reg, tracer)
+		}
 		if d, err := client.Ping(); err != nil {
 			log.Fatalf("agent %s at %s unreachable: %v", name, addr, err)
 		} else {
@@ -55,6 +68,22 @@ func main() {
 		}
 		ctl.RegisterAgent(mid, client)
 		log.Printf("  %d elements discovered", len(metas))
+	}
+
+	if reg != nil {
+		started := time.Now()
+		taddr, err := telemetry.Serve(*telemetryAddr, reg, func() telemetry.Health {
+			return telemetry.Health{
+				Component: "controller",
+				Identity:  "controller",
+				Elements:  len(ctl.TenantElements(tid, nil)),
+				UptimeSec: time.Since(started).Seconds(),
+			}
+		})
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		log.Printf("telemetry on http://%s/metrics", taddr)
 	}
 
 	switch {

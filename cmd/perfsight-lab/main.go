@@ -11,7 +11,9 @@ import (
 	"strings"
 	"time"
 
+	"perfsight/internal/diagnosis"
 	"perfsight/internal/experiments"
+	"perfsight/internal/telemetry"
 )
 
 type experiment struct {
@@ -23,7 +25,26 @@ func main() {
 	runFlag := flag.String("run", "all", "comma-separated experiments to run (fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1,table2,fig15,fig16,ablations) or 'all'")
 	runs := flag.Int("runs", 10, "repetitions for the overhead experiments (the paper uses 100)")
 	outDir := flag.String("out", "", "directory to write per-experiment .txt reports and .csv data series")
+	telemetryAddr := flag.String("telemetry", "", "serve diagnosis self-metrics (/metrics, /healthz) while experiments run (empty = disabled)")
 	flag.Parse()
+
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		diagnosis.EnableTelemetry(reg)
+		started := time.Now()
+		taddr, err := telemetry.Serve(*telemetryAddr, reg, func() telemetry.Health {
+			return telemetry.Health{
+				Component: "lab",
+				Identity:  "perfsight-lab",
+				UptimeSec: time.Since(started).Seconds(),
+			}
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry on http://%s/metrics\n", taddr)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

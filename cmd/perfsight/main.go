@@ -5,6 +5,11 @@
 //	perfsight -scenario list
 //	perfsight -scenario membw
 //	perfsight -scenario chain
+//
+// The top subcommand polls a running agent's or controller's /metrics
+// endpoint and renders a live self-metrics table:
+//
+//	perfsight top -endpoint http://localhost:9100/metrics -interval 1s
 package main
 
 import (
@@ -31,6 +36,10 @@ type scenario struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		runTop(os.Args[2:])
+		return
+	}
 	name := flag.String("scenario", "list", "scenario to run (or 'list')")
 	flag.Parse()
 

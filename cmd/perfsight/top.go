@@ -1,0 +1,96 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"perfsight/internal/telemetry"
+)
+
+// runTop polls a /metrics endpoint and renders a live self-metrics table
+// (the "perfsight top" subcommand): current value plus per-second rate
+// for counters, computed from successive scrapes.
+func runTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	endpoint := fs.String("endpoint", "http://localhost:9100/metrics", "metrics endpoint to poll")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	once := fs.Bool("once", false, "scrape once and exit (no screen clearing)")
+	buckets := fs.Bool("buckets", false, "include histogram bucket rows")
+	fs.Parse(args)
+
+	var prev map[string]float64
+	var prevAt time.Time
+	for {
+		samples, err := scrape(*endpoint)
+		now := time.Now()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfsight top: %v\n", err)
+			if *once {
+				os.Exit(1)
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		if !*once {
+			fmt.Print("\033[2J\033[H") // clear screen, home cursor
+		}
+		fmt.Printf("perfsight top — %s — %s\n\n", *endpoint, now.Format("15:04:05"))
+		fmt.Printf("%-64s %16s %12s\n", "METRIC", "VALUE", "RATE/S")
+		cur := make(map[string]float64, len(samples))
+		for _, s := range samples {
+			if s.Bucket && !*buckets {
+				continue
+			}
+			cur[s.Key] = s.Value
+			rate := ""
+			if strings.HasSuffix(s.Name, "_total") && prev != nil {
+				if p, ok := prev[s.Key]; ok {
+					dt := now.Sub(prevAt).Seconds()
+					if dt > 0 {
+						rate = fmt.Sprintf("%.1f", (s.Value-p)/dt)
+					}
+				}
+			}
+			fmt.Printf("%-64s %16s %12s\n", s.Key, formatValue(s.Value), rate)
+		}
+		if *once {
+			return
+		}
+		prev, prevAt = cur, now
+		time.Sleep(*interval)
+	}
+}
+
+// scrape fetches and parses one exposition, sorted by series key.
+func scrape(endpoint string) ([]telemetry.Sample, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(endpoint)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", endpoint, resp.Status)
+	}
+	samples, err := telemetry.ParseText(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].Key < samples[j].Key })
+	return samples, nil
+}
+
+// formatValue renders large values compactly (durations stay in ns).
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e9:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}

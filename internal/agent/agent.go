@@ -1,11 +1,14 @@
 package agent
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfsight/internal/core"
@@ -24,6 +27,11 @@ type Agent struct {
 
 	queryCount uint64
 	busyNS     int64
+
+	// tel holds the optional self-telemetry block (see EnableTelemetry);
+	// nil means uninstrumented, and every hot-path check is one atomic
+	// pointer load.
+	tel atomic.Pointer[metrics]
 }
 
 // New builds an agent for a machine. clock supplies record timestamps
@@ -73,11 +81,17 @@ func (a *Agent) Elements() []core.ElementID {
 // returned alongside it.
 func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Record, error) {
 	start := time.Now()
+	tel := a.tel.Load()
 	defer func() {
+		elapsed := time.Since(start)
 		a.mu.Lock()
 		a.queryCount++
-		a.busyNS += time.Since(start).Nanoseconds()
+		a.busyNS += elapsed.Nanoseconds()
 		a.mu.Unlock()
+		if tel != nil {
+			tel.queries.Inc()
+			tel.queryDur.Observe(float64(elapsed.Nanoseconds()))
+		}
 	}()
 
 	if all {
@@ -96,7 +110,15 @@ func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Re
 			}
 			continue
 		}
-		rec, err := ad.Fetch(ts)
+		var rec core.Record
+		var err error
+		if tel != nil {
+			g := time.Now()
+			rec, err = ad.Fetch(ts)
+			tel.observeGather(ad.Kind(), time.Since(g))
+		} else {
+			rec, err = ad.Fetch(ts)
+		}
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -104,6 +126,9 @@ func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Re
 			continue
 		}
 		recs = append(recs, wire.FilterAttrs(rec, attrs))
+	}
+	if firstErr != nil && tel != nil {
+		tel.queryErrors.Inc()
 	}
 	return recs, firstErr
 }
@@ -128,20 +153,46 @@ func (a *Agent) Serve(l net.Listener) error {
 
 func (a *Agent) handle(conn net.Conn) {
 	defer conn.Close()
+	if tel := a.tel.Load(); tel != nil {
+		tel.conns.Inc()
+	}
 	for {
 		msg, err := wire.Read(conn)
 		if err != nil {
-			return // EOF or broken peer; connection-scoped, agent keeps serving
+			// EOF or broken peer; connection-scoped, agent keeps serving.
+			// A clean peer close is not a wire error — only malformed or
+			// truncated frames count.
+			if tel := a.tel.Load(); tel != nil && !errors.Is(err, io.EOF) {
+				tel.wireRead.Inc()
+			}
+			return
 		}
 		resp := a.dispatch(msg)
 		if err := wire.Write(conn, resp); err != nil {
+			if tel := a.tel.Load(); tel != nil {
+				tel.wireWrite.Inc()
+			}
 			log.Printf("perfsight-agent %s: write response: %v", a.machine, err)
 			return
 		}
 	}
 }
 
+// dispatch answers one request. The response echoes the request's
+// trace_id and carries the agent-side handling time so the controller's
+// query-lifecycle tracer can split transport from gather work.
 func (a *Agent) dispatch(msg *wire.Message) *wire.Message {
+	start := time.Now()
+	resp := a.dispatchInner(msg)
+	resp.TraceID = msg.TraceID
+	resp.AgentNS = time.Since(start).Nanoseconds()
+	if tel := a.tel.Load(); tel != nil {
+		tel.countRequest(msg.Type)
+	}
+	return resp
+}
+
+func (a *Agent) dispatchInner(msg *wire.Message) *wire.Message {
 	switch msg.Type {
 	case wire.TypePing:
 		return &wire.Message{Type: wire.TypePong, ID: msg.ID, Machine: a.machine}

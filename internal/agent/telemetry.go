@@ -1,0 +1,105 @@
+package agent
+
+import (
+	"sync"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/telemetry"
+	"perfsight/internal/wire"
+)
+
+// metrics is the agent's self-telemetry block (§4.2 argues the monitor
+// itself must stay cheap and accountable; these series make that claim
+// checkable on a live agent). All fields are pre-resolved at
+// EnableTelemetry time so the per-query cost is a few atomic updates.
+type metrics struct {
+	reg *telemetry.Registry
+
+	queries     *telemetry.Counter
+	queryErrors *telemetry.Counter
+	queryDur    *telemetry.Histogram
+	wireRead    *telemetry.Counter
+	wireWrite   *telemetry.Counter
+	conns       *telemetry.Counter
+
+	reqMu    sync.RWMutex
+	requests map[wire.MsgType]*telemetry.Counter
+
+	gatherMu sync.RWMutex
+	gather   map[core.ElementKind]*telemetry.Histogram
+}
+
+// EnableTelemetry wires the agent's self-metrics into reg and returns
+// the agent for chaining. Call once at startup, before Serve; the
+// instrumented query path is benchmarked (BenchmarkInstrumentedQuery)
+// to stay within a few percent of the bare one.
+func (a *Agent) EnableTelemetry(reg *telemetry.Registry) *Agent {
+	m := &metrics{
+		reg: reg,
+		queries: reg.Counter("perfsight_agent_queries_total",
+			"statistics queries answered"),
+		queryErrors: reg.Counter("perfsight_agent_query_errors_total",
+			"queries that returned an error (unknown element, adapter failure)"),
+		queryDur: reg.Histogram("perfsight_agent_query_duration_ns",
+			"full gather latency per query, nanoseconds"),
+		wireRead: reg.Counter("perfsight_agent_wire_errors_total",
+			"protocol frame failures", telemetry.Label{Key: "dir", Value: "read"}),
+		wireWrite: reg.Counter("perfsight_agent_wire_errors_total",
+			"protocol frame failures", telemetry.Label{Key: "dir", Value: "write"}),
+		conns: reg.Counter("perfsight_agent_connections_total",
+			"controller connections accepted"),
+		requests: make(map[wire.MsgType]*telemetry.Counter),
+		gather:   make(map[core.ElementKind]*telemetry.Histogram),
+	}
+	reg.GaugeFunc("perfsight_agent_elements",
+		"elements registered with the agent", func() float64 {
+			a.mu.RLock()
+			defer a.mu.RUnlock()
+			return float64(len(a.adapters))
+		})
+	reg.GaugeFunc("perfsight_agent_busy_seconds",
+		"cumulative time spent gathering statistics (Fig 16 overhead)", func() float64 {
+			_, busy := a.Stats()
+			return busy.Seconds()
+		})
+	a.tel.Store(m)
+	return a
+}
+
+// observeGather records one adapter fetch, bucketed by element kind (the
+// per-channel cost structure of Fig 9: device files vs /proc vs sockets).
+func (m *metrics) observeGather(kind core.ElementKind, d time.Duration) {
+	m.gatherMu.RLock()
+	h := m.gather[kind]
+	m.gatherMu.RUnlock()
+	if h == nil {
+		m.gatherMu.Lock()
+		if h = m.gather[kind]; h == nil {
+			h = m.reg.Histogram("perfsight_agent_gather_duration_ns",
+				"per-adapter statistics gather latency, nanoseconds",
+				telemetry.Label{Key: "channel", Value: kind.String()})
+			m.gather[kind] = h
+		}
+		m.gatherMu.Unlock()
+	}
+	h.Observe(float64(d.Nanoseconds()))
+}
+
+// countRequest bumps the per-message-type request counter.
+func (m *metrics) countRequest(t wire.MsgType) {
+	m.reqMu.RLock()
+	c := m.requests[t]
+	m.reqMu.RUnlock()
+	if c == nil {
+		m.reqMu.Lock()
+		if c = m.requests[t]; c == nil {
+			c = m.reg.Counter("perfsight_agent_requests_total",
+				"protocol requests dispatched, by message type",
+				telemetry.Label{Key: "type", Value: string(t)})
+			m.requests[t] = c
+		}
+		m.reqMu.Unlock()
+	}
+	c.Inc()
+}

@@ -16,6 +16,7 @@ import (
 	"perfsight/internal/sim"
 	"perfsight/internal/stats"
 	"perfsight/internal/stream"
+	"perfsight/internal/telemetry"
 )
 
 // Endpoint designates one end of a flow: a VM on a machine, or an
@@ -68,6 +69,12 @@ type Cluster struct {
 	pending      map[core.MachineID][]dataplane.Batch
 	registries   map[core.MachineID]*stats.Registry
 	topo         *core.Topology
+
+	// Optional self-telemetry (EnableTelemetry): wall-clock cost of each
+	// simulated tick, and where newly attached drop tracers register.
+	telReg  *telemetry.Registry
+	tickDur *telemetry.Histogram
+	ticks   *telemetry.Counter
 }
 
 // New builds an empty cluster with the given tick size.
@@ -166,7 +173,9 @@ func (c *Cluster) syncRegistry(m core.MachineID) {
 }
 
 // EnableDropTracing attaches a drop tracer to a machine's stack and
-// returns it; capacity bounds the retained event ring.
+// returns it; capacity bounds the retained event ring (<= 0 picks the
+// dataplane default — read it back with Capacity()). With cluster
+// telemetry on, the tracer's event/ring gauges register automatically.
 func (c *Cluster) EnableDropTracing(m core.MachineID, capacity int) *dataplane.DropTracer {
 	mm := c.machines[m]
 	if mm == nil {
@@ -174,7 +183,35 @@ func (c *Cluster) EnableDropTracing(m core.MachineID, capacity int) *dataplane.D
 	}
 	tr := dataplane.NewDropTracer(capacity)
 	mm.Stack.AttachTracer(tr)
+	if c.telReg != nil {
+		tr.RegisterMetrics(c.telReg, string(m))
+	}
 	return tr
+}
+
+// EnableTelemetry wires the cluster's self-metrics into reg: wall-clock
+// duration of each simulated tick (the stack-tick hot path) plus
+// machine/host inventory gauges. Call before Run; tracers attached by
+// EnableDropTracing afterwards register their gauges in the same reg.
+func (c *Cluster) EnableTelemetry(reg *telemetry.Registry) *Cluster {
+	c.telReg = reg
+	c.tickDur = reg.Histogram("perfsight_dataplane_tick_duration_ns",
+		"wall-clock cost of one simulated cluster tick, nanoseconds")
+	c.ticks = reg.Counter("perfsight_dataplane_ticks_total",
+		"simulated cluster ticks executed")
+	reg.GaugeFunc("perfsight_dataplane_machines",
+		"physical machines in the cluster", func() float64 {
+			return float64(len(c.machines))
+		})
+	reg.GaugeFunc("perfsight_dataplane_hosts",
+		"external hosts in the cluster", func() float64 {
+			return float64(len(c.hosts))
+		})
+	reg.GaugeFunc("perfsight_dataplane_virtual_seconds",
+		"simulated time elapsed", func() float64 {
+			return c.Engine.Now().Seconds()
+		})
+	return c
 }
 
 // Registry returns the per-machine element registry the agent serves.
@@ -364,6 +401,13 @@ func (w *vmWindow) RxFree() int64 {
 // tick advances the whole cluster one step: hosts emit, machines run, and
 // wire traffic is routed with one tick of store-and-forward latency.
 func (c *Cluster) tick(now, dt time.Duration) {
+	if c.tickDur != nil {
+		start := time.Now()
+		defer func() {
+			c.tickDur.Observe(float64(time.Since(start).Nanoseconds()))
+			c.ticks.Inc()
+		}()
+	}
 	next := make(map[core.MachineID][]dataplane.Batch, len(c.machines))
 
 	// External hosts generate and pump first.

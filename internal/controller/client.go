@@ -14,6 +14,7 @@ import (
 
 	"perfsight/internal/agent"
 	"perfsight/internal/core"
+	"perfsight/internal/telemetry"
 	"perfsight/internal/wire"
 )
 
@@ -66,6 +67,11 @@ type TCPClient struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	nextID uint64
+
+	tracer     *telemetry.Tracer
+	wireErrors *telemetry.Counter
+	reconnects *telemetry.Counter
+	agentDur   *telemetry.Histogram
 }
 
 // NewTCPClient returns a client for the agent at addr.
@@ -73,11 +79,41 @@ func NewTCPClient(addr string) *TCPClient {
 	return &TCPClient{Addr: addr, Timeout: 5 * time.Second}
 }
 
+// EnableTelemetry instruments the client: every round trip becomes a
+// query-lifecycle trace (encode → transport → agent_gather → decode) and
+// wire failures/reconnects are counted. tracer is typically shared
+// across every client of one controller so trace IDs are unique
+// fleet-wide; both may be created with Controller.EnableTelemetry.
+func (c *TCPClient) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.Tracer) *TCPClient {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = tracer
+	c.wireErrors = reg.Counter("perfsight_controller_wire_errors_total",
+		"failed agent round trips (dial, frame, or id mismatch)")
+	c.reconnects = reg.Counter("perfsight_controller_reconnects_total",
+		"agent connections re-dialed after a stale-connection failure")
+	c.agentDur = reg.Histogram("perfsight_controller_agent_gather_duration_ns",
+		"agent-reported handling time per query, nanoseconds")
+	return c
+}
+
 func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
 	req.ID = c.nextID
+
+	qt := c.tracer.Begin(c.Addr) // nil tracer → inert trace
+	defer qt.End()
+	req.TraceID = qt.ID()
+
+	stopEncode := qt.Time(telemetry.StageEncode)
+	payload, err := wire.Encode(req)
+	stopEncode()
+	if err != nil {
+		qt.Fail()
+		return nil, err
+	}
 
 	try := func() (*wire.Message, error) {
 		if c.conn == nil {
@@ -90,13 +126,36 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 		if c.Timeout > 0 {
 			c.conn.SetDeadline(time.Now().Add(c.Timeout))
 		}
-		if err := wire.Write(c.conn, req); err != nil {
+		wireStart := time.Now()
+		if err := wire.WriteFrame(c.conn, payload); err != nil {
 			return nil, err
 		}
-		resp, err := wire.Read(c.conn)
+		raw, err := wire.ReadFrame(c.conn)
 		if err != nil {
 			return nil, err
 		}
+		transport := time.Since(wireStart)
+		stopDecode := qt.Time(telemetry.StageDecode)
+		resp, err := wire.Decode(raw)
+		stopDecode()
+		if err != nil {
+			return nil, err
+		}
+		// The synchronous round trip includes the agent's own handling
+		// time; subtract what the agent reports so the transport stage
+		// is wire time, not gather time.
+		if resp.AgentNS > 0 {
+			agentTime := time.Duration(resp.AgentNS)
+			if agentTime > transport {
+				agentTime = transport
+			}
+			qt.Record(telemetry.StageGather, agentTime)
+			transport -= agentTime
+			if c.agentDur != nil {
+				c.agentDur.Observe(float64(resp.AgentNS))
+			}
+		}
+		qt.Record(telemetry.StageTransport, transport)
 		return resp, nil
 	}
 
@@ -107,18 +166,29 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 			c.conn.Close()
 			c.conn = nil
 		}
+		if c.reconnects != nil {
+			c.reconnects.Inc()
+		}
 		resp, err = try()
 		if err != nil {
 			if c.conn != nil {
 				c.conn.Close()
 				c.conn = nil
 			}
+			if c.wireErrors != nil {
+				c.wireErrors.Inc()
+			}
+			qt.Fail()
 			return nil, err
 		}
 	}
 	if resp.ID != req.ID {
 		c.conn.Close()
 		c.conn = nil
+		if c.wireErrors != nil {
+			c.wireErrors.Inc()
+		}
+		qt.Fail()
 		return nil, fmt.Errorf("controller: agent %s: response id %d for request %d", c.Addr, resp.ID, req.ID)
 	}
 	return resp, nil

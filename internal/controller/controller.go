@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfsight/internal/core"
@@ -21,6 +22,10 @@ type Controller struct {
 	// live deployments it is time.Sleep; simulations advance virtual time
 	// instead. Defaults to time.Sleep.
 	Wait func(time.Duration)
+
+	// tel holds the optional self-telemetry block (see EnableTelemetry);
+	// nil means uninstrumented.
+	tel atomic.Pointer[ctlMetrics]
 }
 
 // New builds a controller over the given topology.
@@ -89,7 +94,9 @@ func (c *Controller) GetAttr(tid core.TenantID, eid core.ElementID, attrs ...str
 
 // Sample fetches full records for a set of elements, batching one query
 // per machine.
-func (c *Controller) Sample(tid core.TenantID, ids []core.ElementID) (map[core.ElementID]core.Record, error) {
+func (c *Controller) Sample(tid core.TenantID, ids []core.ElementID) (recs map[core.ElementID]core.Record, err error) {
+	start := time.Now()
+	defer func() { c.observeSweep(start, err) }()
 	byMachine := make(map[core.MachineID][]core.ElementID)
 	for _, id := range ids {
 		m, err := c.locate(tid, id)

@@ -1,0 +1,52 @@
+package controller
+
+import (
+	"time"
+
+	"perfsight/internal/telemetry"
+)
+
+// ctlMetrics is the controller's self-telemetry block. Like the agent's,
+// it is resolved once at EnableTelemetry time and read through a single
+// atomic pointer load on the query path.
+type ctlMetrics struct {
+	sweeps      *telemetry.Counter
+	sweepErrors *telemetry.Counter
+	sweepDur    *telemetry.Histogram
+}
+
+// EnableTelemetry wires the controller's self-metrics into reg and
+// returns a query-lifecycle tracer for its agent clients. Pass the
+// tracer to each TCPClient.EnableTelemetry so trace IDs are unique
+// across the whole fleet and per-stage timings land in one place.
+func (c *Controller) EnableTelemetry(reg *telemetry.Registry) *telemetry.Tracer {
+	m := &ctlMetrics{
+		sweeps: reg.Counter("perfsight_controller_sweeps_total",
+			"multi-machine Sample sweeps issued"),
+		sweepErrors: reg.Counter("perfsight_controller_sweep_errors_total",
+			"sweeps that returned at least one error"),
+		sweepDur: reg.Histogram("perfsight_controller_sweep_duration_ns",
+			"full Sample sweep latency across all machines, nanoseconds"),
+	}
+	reg.GaugeFunc("perfsight_controller_agents",
+		"agents registered with the controller", func() float64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			return float64(len(c.agents))
+		})
+	c.tel.Store(m)
+	return telemetry.NewTracer(reg, "controller", 64)
+}
+
+// observeSweep records one Sample call; inert when telemetry is off.
+func (c *Controller) observeSweep(start time.Time, err error) {
+	m := c.tel.Load()
+	if m == nil {
+		return
+	}
+	m.sweeps.Inc()
+	m.sweepDur.Observe(float64(time.Since(start).Nanoseconds()))
+	if err != nil {
+		m.sweepErrors.Inc()
+	}
+}

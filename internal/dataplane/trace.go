@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"perfsight/internal/telemetry"
 )
 
 // DropEvent records one drop occurrence at an element.
@@ -89,6 +91,44 @@ func (t *DropTracer) TotalEvents() int64 {
 	return t.total
 }
 
+// Capacity returns the ring size actually in effect — callers that pass
+// capacity <= 0 to NewDropTracer get the 1024 default, and this is how
+// they find out.
+func (t *DropTracer) Capacity() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Occupancy returns how many events the ring currently retains.
+func (t *DropTracer) Occupancy() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.filled {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// RegisterMetrics exposes the tracer through a telemetry registry:
+// cumulative event count plus ring occupancy/capacity gauges, labelled
+// with the machine whose stack the tracer watches.
+func (t *DropTracer) RegisterMetrics(reg *telemetry.Registry, machine string) {
+	if t == nil || reg == nil {
+		return
+	}
+	lbl := telemetry.Label{Key: "machine", Value: machine}
+	reg.GaugeFunc("perfsight_dataplane_droptrace_events_total",
+		"drop events recorded since the tracer attached (includes rotated-out events)",
+		func() float64 { return float64(t.TotalEvents()) }, lbl)
+	reg.GaugeFunc("perfsight_dataplane_droptrace_ring_occupancy",
+		"drop events currently retained in the ring",
+		func() float64 { return float64(t.Occupancy()) }, lbl)
+	reg.GaugeFunc("perfsight_dataplane_droptrace_ring_capacity",
+		"configured ring capacity (after the <=0 default is applied)",
+		func() float64 { return float64(t.Capacity()) }, lbl)
+}
+
 // SiteSummary aggregates retained events per element.
 type SiteSummary struct {
 	Element       string
@@ -136,7 +176,8 @@ func (t *DropTracer) Summary() []SiteSummary {
 func (t *DropTracer) String() string {
 	var b strings.Builder
 	sums := t.Summary()
-	fmt.Fprintf(&b, "drop trace: %d events recorded\n", t.TotalEvents())
+	fmt.Fprintf(&b, "drop trace: %d events recorded (ring %d/%d)\n",
+		t.TotalEvents(), t.Occupancy(), t.Capacity())
 	for _, s := range sums {
 		fmt.Fprintf(&b, "  %-28s %6d pkts in %4d events, %d flow(s), t=[%.3fs, %.3fs]\n",
 			s.Element, s.Packets, s.Events, s.DistinctFlows,

@@ -84,7 +84,9 @@ const minLossPackets = 5
 // loss of every element in the tenant's virtualization stack over window
 // T, sort by loss, and map the dominant drop location to the resource in
 // shortage via the rule book.
-func FindContentionAndBottleneck(ctl *controller.Controller, tid core.TenantID, T time.Duration) (*ContentionReport, error) {
+func FindContentionAndBottleneck(ctl *controller.Controller, tid core.TenantID, T time.Duration) (rep *ContentionReport, err error) {
+	start := time.Now()
+	defer func() { observeRun("contention", start, contentionVerdict(rep, err)) }()
 	ids := ctl.TenantElements(tid, func(_ core.ElementID, info core.ElementInfo) bool {
 		return info.Kind.InVirtualizationStack() || info.Kind == core.KindUnknown || info.Kind == core.KindPNIC
 	})

@@ -80,7 +80,9 @@ func (r *RootCauseReport) String() string {
 // prune each ReadBlocked middlebox together with its successors and each
 // WriteBlocked middlebox together with its predecessors. What remains is
 // the plausible root cause set.
-func LocateRootCause(ctl *controller.Controller, tid core.TenantID, T time.Duration) (*RootCauseReport, error) {
+func LocateRootCause(ctl *controller.Controller, tid core.TenantID, T time.Duration) (rep *RootCauseReport, err error) {
+	start := time.Now()
+	defer func() { observeRun("rootcause", start, rootCauseVerdict(rep, err)) }()
 	mbs := ctl.TenantElements(tid, func(_ core.ElementID, info core.ElementInfo) bool {
 		return info.Kind == core.KindMiddlebox
 	})

@@ -1,0 +1,98 @@
+package diagnosis
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perfsight/internal/telemetry"
+)
+
+// diagMetrics is the diagnosis layer's self-telemetry: how often each
+// algorithm runs, how long a run takes end to end (the SampleInterval
+// windows dominate), and what it concluded. Verdict counts let an
+// operator see at a glance whether a fleet is mostly healthy or mostly
+// "contention at pnic".
+type diagMetrics struct {
+	reg  *telemetry.Registry
+	runs map[string]*telemetry.Counter
+	durs map[string]*telemetry.Histogram
+
+	mu       sync.Mutex
+	verdicts map[[2]string]*telemetry.Counter
+}
+
+// tel is package-level because Algorithm 1 and 2 are package functions;
+// nil means uninstrumented.
+var tel atomic.Pointer[diagMetrics]
+
+// EnableTelemetry wires diagnosis self-metrics into reg. The two
+// algorithm labels are "contention" (Algorithm 1, FindContentionAndBottleneck)
+// and "rootcause" (Algorithm 2, LocateRootCause).
+func EnableTelemetry(reg *telemetry.Registry) {
+	m := &diagMetrics{
+		reg:      reg,
+		runs:     make(map[string]*telemetry.Counter),
+		durs:     make(map[string]*telemetry.Histogram),
+		verdicts: make(map[[2]string]*telemetry.Counter),
+	}
+	for _, alg := range []string{"contention", "rootcause"} {
+		m.runs[alg] = reg.Counter("perfsight_diagnosis_runs_total",
+			"diagnosis algorithm invocations",
+			telemetry.Label{Key: "algorithm", Value: alg})
+		m.durs[alg] = reg.Histogram("perfsight_diagnosis_run_duration_ns",
+			"end-to-end diagnosis run latency including sampling windows, nanoseconds",
+			telemetry.Label{Key: "algorithm", Value: alg})
+	}
+	tel.Store(m)
+}
+
+// observeRun records one algorithm run and its verdict.
+func observeRun(algorithm string, start time.Time, verdict string) {
+	m := tel.Load()
+	if m == nil {
+		return
+	}
+	m.runs[algorithm].Inc()
+	m.durs[algorithm].Observe(float64(time.Since(start).Nanoseconds()))
+	key := [2]string{algorithm, verdict}
+	m.mu.Lock()
+	c := m.verdicts[key]
+	if c == nil {
+		c = m.reg.Counter("perfsight_diagnosis_verdicts_total",
+			"diagnosis conclusions, by algorithm and verdict",
+			telemetry.Label{Key: "algorithm", Value: algorithm},
+			telemetry.Label{Key: "verdict", Value: verdict})
+		m.verdicts[key] = c
+	}
+	m.mu.Unlock()
+	c.Inc()
+}
+
+// contentionVerdict folds an Algorithm 1 outcome into a label value.
+func contentionVerdict(rep *ContentionReport, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case rep == nil:
+		return "none"
+	default:
+		return rep.Scope.String() // none / contention / bottleneck
+	}
+}
+
+// rootCauseVerdict folds an Algorithm 2 outcome into a label value.
+func rootCauseVerdict(rep *RootCauseReport, err error) string {
+	switch {
+	case err != nil:
+		return "error"
+	case rep == nil:
+		return "none"
+	case rep.SourceUnderloaded:
+		return "underloaded"
+	case len(rep.RootCauses) > 0:
+		return "rootcause"
+	default:
+		return "none"
+	}
+}

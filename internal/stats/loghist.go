@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// LogLinear is a log-linear histogram: bucket upper bounds grow linearly
+// within each decade and geometrically across decades (1, 2, ... 9, 10,
+// 20, ... 90, 100, ...). This is the classic shape for latency data — a
+// bounded number of buckets covers many orders of magnitude while keeping
+// relative quantile error below one linear step.
+//
+// Like the other §4.1 counters it is updated on hot paths, so Observe is
+// a bounds search plus one atomic add (plus an atomic CAS for the sum).
+// Negative and non-finite values are rejected (they are recorded nowhere,
+// not even in the overflow bucket). Safe for concurrent use.
+type LogLinear struct {
+	bounds []float64 // ascending inclusive upper bounds
+	counts []atomic.Uint64
+	// over counts observations above the last bound.
+	over    atomic.Uint64
+	total   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+// NewLogLinear builds a histogram whose buckets span [min, max] with
+// stepsPerDecade linear subdivisions per decade. min must be > 0; max is
+// rounded up to the next decade boundary. Invalid arguments fall back to
+// a 1..1e9, 9-steps-per-decade layout (nanosecond latencies up to 1 s).
+func NewLogLinear(min, max float64, stepsPerDecade int) *LogLinear {
+	if !(min > 0) || !(max > min) || stepsPerDecade < 1 {
+		min, max, stepsPerDecade = 1, 1e9, 9
+	}
+	var bounds []float64
+	for decade := min; decade < max; decade *= 10 {
+		for i := 1; i <= stepsPerDecade; i++ {
+			b := decade * (1 + 9*float64(i)/float64(stepsPerDecade))
+			bounds = append(bounds, b)
+			if b >= max {
+				break
+			}
+		}
+		if bounds[len(bounds)-1] >= max {
+			break
+		}
+	}
+	h := &LogLinear{bounds: bounds}
+	h.counts = make([]atomic.Uint64, len(bounds))
+	return h
+}
+
+// Observe records one value. Negative, NaN and ±Inf values are rejected.
+func (h *LogLinear) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if i := h.bucketOf(v); i < len(h.counts) {
+		h.counts[i].Add(1)
+	} else {
+		h.over.Add(1)
+	}
+	h.total.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// bucketOf returns the index whose bound is the first >= v, or
+// len(bounds) for overflow (rendered and counted via over).
+func (h *LogLinear) bucketOf(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the number of accepted observations.
+func (h *LogLinear) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of accepted observations.
+func (h *LogLinear) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the bucket upper bounds (shared; do not modify).
+func (h *LogLinear) Bounds() []float64 { return h.bounds }
+
+// Counts returns a copy of the per-bucket counts; the final extra entry
+// counts observations above the last bound.
+func (h *LogLinear) Counts() []uint64 {
+	out := make([]uint64, len(h.bounds)+1)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	out[len(h.bounds)] = h.over.Load()
+	return out
+}
+
+// Quantile estimates the q-quantile (q clamped to [0,1]) by linear
+// interpolation within the containing bucket. It returns (0, false) when
+// nothing was observed. q=0 returns the lower edge of the first occupied
+// bucket; q=1 the upper bound of the last occupied one. Values in the
+// overflow bucket report the last finite bound — the histogram cannot
+// resolve beyond its range.
+func (h *LogLinear) Quantile(q float64) (float64, bool) {
+	total := h.total.Load()
+	if total == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	if q == 0 {
+		for i := range h.counts {
+			if h.counts[i].Load() > 0 {
+				if i == 0 {
+					return 0, true
+				}
+				return h.bounds[i-1], true
+			}
+		}
+		return h.bounds[len(h.bounds)-1], true
+	}
+	// Rank of the target observation, 1-based.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := float64(rank-cum) / float64(n)
+			return lower + (upper-lower)*frac, true
+		}
+		cum += n
+	}
+	// Remaining mass is in the overflow bucket.
+	return h.bounds[len(h.bounds)-1], true
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestLogLinearBoundsShape(t *testing.T) {
+	h := NewLogLinear(1, 1000, 9)
+	b := h.Bounds()
+	if len(b) == 0 {
+		t.Fatal("no bounds generated")
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not strictly ascending at %d: %v <= %v", i, b[i], b[i-1])
+		}
+	}
+	if b[0] != 2 {
+		t.Fatalf("first bound = %v, want 2", b[0])
+	}
+	if last := b[len(b)-1]; last < 1000 {
+		t.Fatalf("last bound %v does not cover max 1000", last)
+	}
+}
+
+func TestLogLinearZeroSamples(t *testing.T) {
+	h := NewLogLinear(1, 1e6, 9)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("fresh histogram count=%d sum=%v, want zeros", h.Count(), h.Sum())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v, ok := h.Quantile(q); ok || v != 0 {
+			t.Fatalf("Quantile(%v) on empty = (%v, %v), want (0, false)", q, v, ok)
+		}
+	}
+}
+
+func TestLogLinearSingleSample(t *testing.T) {
+	h := NewLogLinear(1, 1e6, 9)
+	h.Observe(42)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() != 42 {
+		t.Fatalf("sum = %v, want 42", h.Sum())
+	}
+	// Every quantile of a single sample must land inside the sample's
+	// bucket (40, 50] for the 9-steps-per-decade layout.
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		v, ok := h.Quantile(q)
+		if !ok {
+			t.Fatalf("Quantile(%v) not ok with one sample", q)
+		}
+		if v < 40 || v > 50 {
+			t.Fatalf("Quantile(%v) = %v, want within (40, 50]", q, v)
+		}
+	}
+}
+
+func TestLogLinearQuantileBoundaries(t *testing.T) {
+	h := NewLogLinear(1, 1e6, 9)
+	for i := 0; i < 100; i++ {
+		h.Observe(100) // bucket (90, 100]
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1000) // bucket (900, 1000]
+	}
+	if v, ok := h.Quantile(0); !ok || v != 90 {
+		t.Fatalf("p0 = (%v, %v), want lower edge 90", v, ok)
+	}
+	if v, ok := h.Quantile(1); !ok || v != 1000 {
+		t.Fatalf("p100 = (%v, %v), want upper bound 1000", v, ok)
+	}
+	if v, _ := h.Quantile(0.5); v > 100 {
+		t.Fatalf("p50 = %v, want <= 100 (first bucket holds half the mass)", v)
+	}
+	if v, _ := h.Quantile(0.99); v < 900 || v > 1000 {
+		t.Fatalf("p99 = %v, want within (900, 1000]", v)
+	}
+	// Out-of-range q clamps rather than erroring.
+	if v, ok := h.Quantile(-3); !ok || v != 90 {
+		t.Fatalf("q=-3 = (%v, %v), want clamp to p0", v, ok)
+	}
+	if v, ok := h.Quantile(7); !ok || v != 1000 {
+		t.Fatalf("q=7 = (%v, %v), want clamp to p100", v, ok)
+	}
+}
+
+func TestLogLinearRejectsNegativeAndNonFinite(t *testing.T) {
+	h := NewLogLinear(1, 1e6, 9)
+	h.Observe(-1)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("rejected values leaked in: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	h.Observe(0) // zero is a legal observation (first bucket)
+	if h.Count() != 1 {
+		t.Fatalf("zero not accepted: count=%d", h.Count())
+	}
+}
+
+func TestLogLinearOverflowBucket(t *testing.T) {
+	h := NewLogLinear(1, 100, 9)
+	big := h.Bounds()[len(h.Bounds())-1] * 50
+	h.Observe(big)
+	counts := h.Counts()
+	if counts[len(counts)-1] != 1 {
+		t.Fatalf("overflow not counted: %v", counts)
+	}
+	if v, ok := h.Quantile(1); !ok || v != h.Bounds()[len(h.Bounds())-1] {
+		t.Fatalf("p100 with only overflow = (%v, %v), want last finite bound", v, ok)
+	}
+	if h.Sum() != big {
+		t.Fatalf("sum = %v, want %v", h.Sum(), big)
+	}
+}
+
+func TestLogLinearBadArgsFallBack(t *testing.T) {
+	for _, h := range []*LogLinear{
+		NewLogLinear(0, 10, 9),
+		NewLogLinear(10, 1, 9),
+		NewLogLinear(1, 10, 0),
+	} {
+		if len(h.Bounds()) == 0 {
+			t.Fatal("fallback layout has no buckets")
+		}
+		h.Observe(5)
+		if h.Count() != 1 {
+			t.Fatal("fallback histogram does not record")
+		}
+	}
+}
+
+func TestLogLinearConcurrent(t *testing.T) {
+	h := NewLogLinear(1, 1e9, 9)
+	var wg sync.WaitGroup
+	const G, N = 8, 1000
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				h.Observe(float64(1 + (g*N+i)%100000))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != G*N {
+		t.Fatalf("count = %d, want %d", h.Count(), G*N)
+	}
+}

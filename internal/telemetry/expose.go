@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers followed by samples,
+// families sorted by name and label sets in registration order.
+// Histograms render cumulative _bucket{le=...} series plus _sum/_count.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, name := range r.Names() {
+		r.mu.RLock()
+		f := r.families[name]
+		r.mu.RUnlock()
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeText(w io.Writer) error {
+	f.mu.RLock()
+	order := append([]string(nil), f.order...)
+	metrics := make([]*metric, 0, len(order))
+	for _, ls := range order {
+		metrics = append(metrics, f.metrics[ls])
+	}
+	f.mu.RUnlock()
+
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+		return err
+	}
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].labels < metrics[j].labels })
+	for _, m := range metrics {
+		if err := m.writeText(w, f.name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *metric) writeText(w io.Writer, name string) error {
+	switch {
+	case m.c != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, m.labels, m.c.Value())
+		return err
+	case m.g != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, m.labels, formatFloat(m.g.Value()))
+		return err
+	case m.gf != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, m.labels, formatFloat(m.gf()))
+		return err
+	case m.h != nil:
+		return m.writeHistogram(w, name)
+	}
+	return nil
+}
+
+// writeHistogram renders the cumulative bucket series. Empty buckets are
+// skipped (log-linear layouts have many); the +Inf bucket, _sum and
+// _count always appear, so the output stays valid Prometheus histogram
+// data.
+func (m *metric) writeHistogram(w io.Writer, name string) error {
+	h := m.h.h
+	bounds, counts := h.Bounds(), h.Counts()
+	var cum uint64
+	for i, n := range counts[:len(counts)-1] {
+		cum += n
+		if n == 0 {
+			continue
+		}
+		if err := writeBucket(w, name, m.labels, formatFloat(bounds[i]), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if err := writeBucket(w, name, m.labels, "+Inf", cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, m.labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, m.labels, h.Count())
+	return err
+}
+
+func writeBucket(w io.Writer, name, labels, le string, cum uint64) error {
+	sep := "{"
+	if labels != "" {
+		sep = labels[:len(labels)-1] + ","
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", name, sep, le, cum)
+	return err
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Health is the /healthz payload: component identity plus liveness data.
+type Health struct {
+	Status    string  `json:"status"`
+	Component string  `json:"component"`
+	Identity  string  `json:"identity"`
+	Elements  int     `json:"elements,omitempty"`
+	UptimeSec float64 `json:"uptime_seconds"`
+}
+
+// Handler returns an http.Handler serving /metrics (Prometheus text) and
+// /healthz (JSON Health). health may be nil, in which case /healthz
+// reports a bare ok.
+func Handler(reg *Registry, health func() Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		h := Health{Status: "ok"}
+		if health != nil {
+			h = health()
+			if h.Status == "" {
+				h.Status = "ok"
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h)
+	})
+	return mux
+}
+
+// Serve starts the exposition endpoint on addr in a background goroutine
+// and returns the bound address (useful with ":0"). Empty addr disables
+// exposition and returns nil without error — the opt-in contract of the
+// cmd binaries' -telemetry flag.
+func Serve(addr string, reg *Registry, health func() Health) (net.Addr, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, health), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// goldenRegistry builds a registry with fully deterministic contents.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("perfsight_agent_queries_total", "statistics queries answered").Add(17)
+	reg.Counter("perfsight_agent_query_errors_total", "queries that returned an error").Add(2)
+	reg.Counter("perfsight_agent_wire_errors_total", "malformed or failed protocol frames",
+		Label{Key: "dir", Value: "read"}).Add(1)
+	reg.Gauge("perfsight_agent_elements", "elements registered with the agent").Set(31)
+	reg.GaugeFunc("perfsight_dataplane_droptrace_ring_capacity", "drop-trace ring size",
+		func() float64 { return 4096 })
+	h := reg.HistogramWithLayout("perfsight_agent_gather_duration_ns",
+		"per-adapter statistics gather latency", 1, 1e6, 9,
+		Label{Key: "channel", Value: "tun"})
+	for _, v := range []float64{120, 120, 950, 30000} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+// TestWriteTextGolden pins the exact exposition bytes. Regenerate with
+// `go test ./internal/telemetry -run Golden -update-golden` after an
+// intentional format change.
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestHandlerMetricsAndHealthz(t *testing.T) {
+	reg := goldenRegistry()
+	srv := httptest.NewServer(Handler(reg, func() Health {
+		return Health{Component: "agent", Identity: "m0", Elements: 31, UptimeSec: 1.25}
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	samples, err := ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("empty scrape")
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Identity != "m0" || h.Component != "agent" || h.Elements != 31 {
+		t.Fatalf("healthz payload %+v", h)
+	}
+}
+
+// TestScrapeUnderConcurrentUpdates hammers the registry while /metrics
+// is scraped; under -race this is the exposition path's safety proof.
+func TestScrapeUnderConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	srv := httptest.NewServer(Handler(reg, nil))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := reg.Counter("perfsight_test_updates_total", "")
+			h := reg.Histogram("perfsight_test_lat_ns", "")
+			for i := 0; i < 1500; i++ {
+				c.Inc()
+				h.Observe(float64(i))
+				reg.Gauge("perfsight_test_gauge", "", Label{Key: "g", Value: string(rune('a' + g))}).Set(float64(i))
+			}
+		}(g)
+	}
+	scrapes := 0
+	writersDone := waitCh(&wg)
+	for done := false; !done; {
+		select {
+		case <-writersDone:
+			done = true
+		default:
+			resp, err := http.Get(srv.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ParseText(resp.Body); err != nil {
+				t.Fatalf("scrape %d does not parse: %v", scrapes, err)
+			}
+			resp.Body.Close()
+			scrapes++
+		}
+	}
+	if got := reg.Counter("perfsight_test_updates_total", "").Value(); got != 6000 {
+		t.Fatalf("lost updates: %d", got)
+	}
+	if scrapes == 0 {
+		t.Fatal("no concurrent scrapes happened")
+	}
+}
+
+// waitCh adapts WaitGroup to select. Each call spawns one waiter.
+func waitCh(wg *sync.WaitGroup) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	return ch
+}
+
+func TestServeDisabledOnEmptyAddr(t *testing.T) {
+	addr, err := Serve("", NewRegistry(), nil)
+	if err != nil || addr != nil {
+		t.Fatalf("empty addr must disable exposition, got %v, %v", addr, err)
+	}
+}
+
+func TestServeBindsAndAnswers(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("perfsight_test_ok_total", "").Inc()
+	addr, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte("perfsight_test_ok_total 1")) {
+		t.Fatalf("scrape missing counter:\n%s", body)
+	}
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a fully-qualified series key
+// (name plus rendered labels) and its value.
+type Sample struct {
+	Name   string // family name, e.g. perfsight_agent_queries_total
+	Key    string // name + labels, e.g. foo{stage="encode"}
+	Value  float64
+	Bucket bool // a histogram _bucket series
+}
+
+// ParseText parses Prometheus text exposition (the subset WriteText
+// emits: HELP/TYPE comments and simple `key value` samples) into samples
+// in input order. It is what `perfsight top` uses to poll an endpoint,
+// and its round-trip with WriteText is tested.
+func ParseText(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the text after the last space outside braces; keys
+		// may contain spaces only inside quoted label values.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("telemetry: unparsable line %q", line)
+		}
+		key, valStr := strings.TrimSpace(line[:i]), line[i+1:]
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: bad value in %q: %w", line, err)
+		}
+		name := key
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			name = name[:j]
+		}
+		out = append(out, Sample{
+			Name:   name,
+			Key:    key,
+			Value:  v,
+			Bucket: strings.HasSuffix(name, "_bucket"),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: scan: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("perfsight_test_ops_total", "ops")
+	c2 := reg.Counter("perfsight_test_ops_total", "ops")
+	if c1 != c2 {
+		t.Fatal("same name returned distinct counters")
+	}
+	l := Label{Key: "kind", Value: "tun"}
+	h1 := reg.Histogram("perfsight_test_dur_ns", "d", l)
+	h2 := reg.Histogram("perfsight_test_dur_ns", "d", l)
+	if h1 != h2 {
+		t.Fatal("same name+labels returned distinct histograms")
+	}
+	h3 := reg.Histogram("perfsight_test_dur_ns", "d", Label{Key: "kind", Value: "pnic"})
+	if h1 == h3 {
+		t.Fatal("distinct labels share a histogram")
+	}
+}
+
+func TestRegistryPanicsOnBadName(t *testing.T) {
+	reg := NewRegistry()
+	for _, bad := range []string{"", "1leading", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q accepted", bad)
+				}
+			}()
+			reg.Counter(bad, "")
+		}()
+	}
+}
+
+func TestRegistryPanicsOnTypeConflict(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("perfsight_test_x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as gauge did not panic")
+		}
+	}()
+	reg.Gauge("perfsight_test_x_total", "")
+}
+
+func TestWriteTextShape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("perfsight_agent_queries_total", "queries served").Add(3)
+	reg.Gauge("perfsight_agent_elements", "registered elements").Set(31)
+	reg.GaugeFunc("perfsight_agent_uptime_seconds", "uptime", func() float64 { return 1.5 })
+	h := reg.Histogram("perfsight_agent_query_duration_ns", "latency",
+		Label{Key: "type", Value: "query"})
+	h.Observe(150)
+	h.Observe(2500)
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE perfsight_agent_queries_total counter",
+		"perfsight_agent_queries_total 3",
+		"perfsight_agent_elements 31",
+		"perfsight_agent_uptime_seconds 1.5",
+		"# TYPE perfsight_agent_query_duration_ns histogram",
+		`perfsight_agent_query_duration_ns_bucket{type="query",le="+Inf"} 2`,
+		`perfsight_agent_query_duration_ns_count{type="query"} 2`,
+		`perfsight_agent_query_duration_ns_sum{type="query"} 2650`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name for deterministic scrapes.
+	if strings.Index(out, "perfsight_agent_elements") > strings.Index(out, "perfsight_agent_uptime_seconds") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestParseTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("perfsight_wire_errors_total", "errs", Label{Key: "dir", Value: "read"}).Add(7)
+	reg.Gauge("perfsight_droptrace_ring_occupancy", "events held").Set(12)
+	reg.Histogram("perfsight_query_duration_ns", "lat").Observe(999)
+
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, s := range samples {
+		got[s.Key] = s.Value
+	}
+	if got[`perfsight_wire_errors_total{dir="read"}`] != 7 {
+		t.Fatalf("counter lost in round trip: %v", got)
+	}
+	if got["perfsight_droptrace_ring_occupancy"] != 12 {
+		t.Fatalf("gauge lost in round trip: %v", got)
+	}
+	if got["perfsight_query_duration_ns_count"] != 1 {
+		t.Fatalf("histogram count lost in round trip: %v", got)
+	}
+}
+
+func TestTracerStagesAndRing(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, "controller", 4)
+	for i := 0; i < 6; i++ {
+		qt := tr.Begin("m0")
+		qt.Record(StageEncode, 10*time.Microsecond)
+		qt.Record(StageTransport, 100*time.Microsecond)
+		qt.Record(StageGather, 50*time.Microsecond)
+		qt.Record(StageDecode, 5*time.Microsecond)
+		if i == 5 {
+			qt.Fail()
+		}
+		qt.End()
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d, want 4", len(recent))
+	}
+	if !recent[len(recent)-1].Err {
+		t.Fatal("failed trace not marked in ring")
+	}
+	if recent[0].ID >= recent[1].ID {
+		t.Fatal("ring not oldest-first")
+	}
+	if recent[0].Stages[StageTransport] != 100*time.Microsecond {
+		t.Fatalf("stage timing lost: %v", recent[0].Stages)
+	}
+
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "perfsight_controller_queries_total 6") {
+		t.Fatalf("trace counter missing:\n%s", out)
+	}
+	if !strings.Contains(out, `stage="encode"`) || !strings.Contains(out, `stage="agent_gather"`) {
+		t.Fatalf("stage histograms missing:\n%s", out)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	qt := tr.Begin("m0")
+	qt.Record(StageEncode, time.Millisecond)
+	done := qt.Time(StageDecode)
+	done()
+	qt.Fail()
+	qt.End()
+	if qt.ID() != 0 || tr.NextID() != 0 || tr.Recent() != nil {
+		t.Fatal("nil tracer leaked state")
+	}
+}
+
+// TestRegistryConcurrency hammers registration, updates and scrapes at
+// once; run with -race this is the registry's thread-safety proof.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	kinds := []string{"tun", "pnic", "qemu", "vnic"}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				reg.Counter("perfsight_test_ops_total", "").Inc()
+				reg.Histogram("perfsight_test_dur_ns", "",
+					Label{Key: "kind", Value: kinds[i%len(kinds)]}).Observe(float64(i))
+				reg.Gauge("perfsight_test_level", "").Set(float64(i))
+			}
+		}(g)
+	}
+	scraperDone := make(chan struct{})
+	go func() {
+		defer close(scraperDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				if err := reg.WriteText(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-scraperDone
+	if got := reg.Counter("perfsight_test_ops_total", "").Value(); got != 8000 {
+		t.Fatalf("lost increments: %d", got)
+	}
+}

@@ -1,0 +1,216 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one timed phase of a controller→agent query's life. The
+// canonical pipeline is encode → transport → agent_gather → decode, with
+// diagnosis riding on top when an algorithm consumes the records.
+type Stage string
+
+const (
+	StageEncode    Stage = "encode"
+	StageTransport Stage = "transport"
+	StageGather    Stage = "agent_gather"
+	StageDecode    Stage = "decode"
+	StageDiagnose  Stage = "diagnosis"
+)
+
+// Tracer assigns IDs to queries and aggregates per-stage timings into a
+// registry. One tracer is shared by every client of a component; trace
+// IDs are unique within it and travel to agents in the wire protocol's
+// trace_id field, so both ends can attribute work to the same query.
+//
+// A nil *Tracer is fully inert: Begin returns a nil *QueryTrace whose
+// methods are no-ops, so instrumented code needs no nil checks.
+type Tracer struct {
+	component string
+	nextID    atomic.Uint64
+
+	total    *Counter
+	duration *Histogram
+	stageMu  sync.RWMutex
+	stages   map[Stage]*Histogram
+	reg      *Registry
+
+	ringMu sync.Mutex
+	ring   []TraceSummary
+	next   int
+	filled bool
+}
+
+// TraceSummary is a completed trace retained in the tracer's ring for
+// inspection (perfsight top's "recent queries" view, tests).
+type TraceSummary struct {
+	ID       uint64
+	Target   string
+	Start    time.Time
+	Total    time.Duration
+	Stages   map[Stage]time.Duration
+	Err      bool
+}
+
+// NewTracer returns a tracer whose metrics live under
+// perfsight_<component>_query_*. keep bounds the retained-trace ring
+// (<=0 means 64).
+func NewTracer(reg *Registry, component string, keep int) *Tracer {
+	if keep <= 0 {
+		keep = 64
+	}
+	t := &Tracer{
+		component: component,
+		reg:       reg,
+		stages:    make(map[Stage]*Histogram),
+		ring:      make([]TraceSummary, keep),
+	}
+	prefix := "perfsight_" + component + "_query"
+	t.total = reg.Counter("perfsight_"+component+"_queries_total", "queries traced end to end")
+	t.duration = reg.Histogram(prefix+"_duration_ns", "end-to-end query latency, nanoseconds")
+	return t
+}
+
+// NextID assigns a bare trace ID without starting a trace — used by
+// callers that only need wire-level correlation.
+func (t *Tracer) NextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.nextID.Add(1)
+}
+
+func (t *Tracer) stageHist(s Stage) *Histogram {
+	t.stageMu.RLock()
+	h := t.stages[s]
+	t.stageMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	t.stageMu.Lock()
+	defer t.stageMu.Unlock()
+	if h = t.stages[s]; h == nil {
+		h = t.reg.Histogram("perfsight_"+t.component+"_query_stage_duration_ns",
+			"per-stage query latency, nanoseconds", Label{Key: "stage", Value: string(s)})
+		t.stages[s] = h
+	}
+	return h
+}
+
+// Begin starts a trace against target (an agent address or machine ID).
+func (t *Tracer) Begin(target string) *QueryTrace {
+	if t == nil {
+		return nil
+	}
+	return &QueryTrace{
+		t:      t,
+		id:     t.nextID.Add(1),
+		target: target,
+		start:  time.Now(),
+	}
+}
+
+// QueryTrace accumulates one query's stage timings. Methods on a nil
+// receiver are no-ops.
+type QueryTrace struct {
+	t      *Tracer
+	id     uint64
+	target string
+	start  time.Time
+	err    bool
+
+	mu     sync.Mutex
+	stages map[Stage]time.Duration
+}
+
+// ID returns the wire-visible trace ID (0 for a nil trace).
+func (q *QueryTrace) ID() uint64 {
+	if q == nil {
+		return 0
+	}
+	return q.id
+}
+
+// Record adds d to the named stage and observes it in the stage
+// histogram.
+func (q *QueryTrace) Record(s Stage, d time.Duration) {
+	if q == nil || d < 0 {
+		return
+	}
+	q.mu.Lock()
+	if q.stages == nil {
+		q.stages = make(map[Stage]time.Duration, 4)
+	}
+	q.stages[s] += d
+	q.mu.Unlock()
+	q.t.stageHist(s).Observe(float64(d.Nanoseconds()))
+}
+
+// Time starts timing stage s and returns a stop function that records
+// the elapsed duration:
+//
+//	defer qt.Time(StageEncode)()
+func (q *QueryTrace) Time(s Stage) func() {
+	if q == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { q.Record(s, time.Since(start)) }
+}
+
+// Fail marks the trace as errored.
+func (q *QueryTrace) Fail() {
+	if q != nil {
+		q.err = true
+	}
+}
+
+// End completes the trace: total latency is observed and the summary
+// enters the retained ring.
+func (q *QueryTrace) End() {
+	if q == nil {
+		return
+	}
+	total := time.Since(q.start)
+	q.t.total.Inc()
+	q.t.duration.Observe(float64(total.Nanoseconds()))
+
+	q.mu.Lock()
+	stages := make(map[Stage]time.Duration, len(q.stages))
+	for k, v := range q.stages {
+		stages[k] = v
+	}
+	q.mu.Unlock()
+
+	sum := TraceSummary{
+		ID: q.id, Target: q.target, Start: q.start,
+		Total: total, Stages: stages, Err: q.err,
+	}
+	t := q.t
+	t.ringMu.Lock()
+	t.ring[t.next] = sum
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.filled = 0, true
+	}
+	t.ringMu.Unlock()
+}
+
+// Recent returns retained trace summaries, oldest first.
+func (t *Tracer) Recent() []TraceSummary {
+	if t == nil {
+		return nil
+	}
+	t.ringMu.Lock()
+	defer t.ringMu.Unlock()
+	if !t.filled {
+		out := make([]TraceSummary, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]TraceSummary, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}

@@ -17,6 +17,14 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
 	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	// Telemetry correlation fields: a traced query and a timed response.
+	var traced bytes.Buffer
+	Write(&traced, &Message{Type: TypeQuery, ID: 8, TraceID: 42, Query: &Query{All: true}})
+	f.Add(traced.Bytes())
+	var timed bytes.Buffer
+	Write(&timed, &Message{Type: TypeResponse, ID: 8, TraceID: 42, AgentNS: 98765, Machine: "m0"})
+	f.Add(timed.Bytes())
+	f.Add([]byte(`{"type":"pong","id":1,"trace_id":-1}`)) // near-miss: negative trace id
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Read(bytes.NewReader(data))
@@ -33,6 +41,9 @@ func FuzzRead(f *testing.F) {
 		}
 		if back.Type != msg.Type || back.ID != msg.ID {
 			t.Fatalf("identity lost: %+v vs %+v", msg, back)
+		}
+		if back.TraceID != msg.TraceID || back.AgentNS != msg.AgentNS {
+			t.Fatalf("trace identity lost: %+v vs %+v", msg, back)
 		}
 	})
 }

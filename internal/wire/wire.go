@@ -61,14 +61,43 @@ type Message struct {
 	Records  []core.Record  `json:"records,omitempty"`
 	Elements []ElementMeta  `json:"element_list,omitempty"`
 	Error    string         `json:"error,omitempty"`
+
+	// TraceID correlates a request/response pair with the controller's
+	// query-lifecycle trace (internal/telemetry); agents echo it back.
+	// Zero means untraced.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// AgentNS is the agent-side handling time of the request in
+	// nanoseconds, set on responses so the controller can split its
+	// observed round trip into transport vs. agent-gather time.
+	AgentNS int64 `json:"agent_ns,omitempty"`
 }
 
-// Write frames and sends a message: 4-byte big-endian length, then JSON.
-func Write(w io.Writer, m *Message) error {
+// Encode marshals a message into a frame payload (without the length
+// header). Split from Write so instrumented callers can time the encode
+// and transmit stages separately.
+func Encode(m *Message) ([]byte, error) {
 	payload, err := json.Marshal(m)
 	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
+		return nil, fmt.Errorf("wire: marshal: %w", err)
 	}
+	if len(payload) > MaxFrame {
+		return nil, fmt.Errorf("wire: frame too large: %d bytes", len(payload))
+	}
+	return payload, nil
+}
+
+// Decode parses a frame payload produced by Encode/ReadFrame.
+func Decode(payload []byte) (*Message, error) {
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return &m, nil
+}
+
+// WriteFrame sends an encoded payload: 4-byte big-endian length, then
+// the bytes.
+func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame too large: %d bytes", len(payload))
 	}
@@ -83,8 +112,8 @@ func Write(w io.Writer, m *Message) error {
 	return nil
 }
 
-// Read receives one framed message.
-func Read(r io.Reader) (*Message, error) {
+// ReadFrame receives one raw frame payload.
+func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
@@ -100,11 +129,25 @@ func Read(r io.Reader) (*Message, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("wire: read payload: %w", err)
 	}
-	var m Message
-	if err := json.Unmarshal(payload, &m); err != nil {
-		return nil, fmt.Errorf("wire: unmarshal: %w", err)
+	return payload, nil
+}
+
+// Write frames and sends a message: 4-byte big-endian length, then JSON.
+func Write(w io.Writer, m *Message) error {
+	payload, err := Encode(m)
+	if err != nil {
+		return err
 	}
-	return &m, nil
+	return WriteFrame(w, payload)
+}
+
+// Read receives one framed message.
+func Read(r io.Reader) (*Message, error) {
+	payload, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(payload)
 }
 
 // FilterAttrs returns a copy of rec keeping only the named attributes

@@ -35,6 +35,65 @@ func TestMessageRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceFieldsRoundTrip pins the telemetry correlation fields: a
+// traced request and a timed response must survive the frame intact.
+func TestTraceFieldsRoundTrip(t *testing.T) {
+	in := &Message{
+		Type:    TypeResponse,
+		ID:      9,
+		Machine: "m0",
+		TraceID: 0xCAFED00D,
+		AgentNS: 123456789,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != in.TraceID || out.AgentNS != in.AgentNS {
+		t.Fatalf("trace fields lost: got trace_id=%d agent_ns=%d", out.TraceID, out.AgentNS)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in=%+v\nout=%+v", in, out)
+	}
+	// Untraced messages must not grow the frame: zero values are omitted.
+	var bare bytes.Buffer
+	if err := Write(&bare, &Message{Type: TypePing, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(bare.Bytes(), []byte("trace_id")) || bytes.Contains(bare.Bytes(), []byte("agent_ns")) {
+		t.Fatalf("zero trace fields serialized: %s", bare.Bytes())
+	}
+}
+
+// TestEncodeDecodeSplit checks the staged API (Encode/WriteFrame and
+// ReadFrame/Decode) agrees with the combined Write/Read path.
+func TestEncodeDecodeSplit(t *testing.T) {
+	in := &Message{Type: TypeQuery, ID: 3, TraceID: 77, Query: &Query{All: true}}
+	payload, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("staged round trip:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
 func TestMultipleFramesSequential(t *testing.T) {
 	var buf bytes.Buffer
 	for i := uint64(1); i <= 3; i++ {
