@@ -21,6 +21,7 @@ test:
 	$(GO) test -race ./...
 
 # Telemetry self-overhead: counter/histogram primitives plus the
-# instrumented-vs-uninstrumented agent query path (budget: ~5%).
+# instrumented-vs-uninstrumented agent query path and controller sweep
+# (budget: ~5%).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkUninstrumentedQuery|BenchmarkInstrumentedQuery' -benchtime 1s .
+	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkUninstrumentedQuery|BenchmarkInstrumentedQuery|BenchmarkUninstrumentedSweep|BenchmarkInstrumentedSweep' -benchtime 1s .

@@ -37,6 +37,8 @@ func main() {
 	rate := flag.Float64("rate-mbps", 200, "offered client load per VM, Mbit/s")
 	fault := flag.String("fault", "", "inject a fault: membw@DUR, cpu@DUR, vmcpu@DUR, rxflood@DUR (e.g. membw@30s)")
 	telemetryAddr := flag.String("telemetry", "", "serve self-metrics (/metrics, /healthz) on this address, e.g. :9100 (empty = disabled)")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "close controller connections idle beyond this, so half-open peers cannot park handler goroutines (0 = never)")
+	maxConns := flag.Int("max-conns", 64, "maximum concurrent controller connections; extras are refused at accept (0 = unlimited)")
 	flag.Parse()
 
 	mid := core.MachineID(*machineID)
@@ -75,6 +77,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("build agent: %v", err)
 	}
+	a.ReadTimeout = *readTimeout
+	a.MaxConns = *maxConns
 
 	if *telemetryAddr != "" {
 		reg := telemetry.NewRegistry()

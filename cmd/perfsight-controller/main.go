@@ -29,10 +29,25 @@ func main() {
 	advise := flag.Bool("advise", false, "diagnose and print remediation advice")
 	window := flag.Duration("window", 3*time.Second, "measurement window for diagnosis")
 	telemetryAddr := flag.String("telemetry", "", "serve self-metrics (/metrics, /healthz) on this address, e.g. :9101 (empty = disabled)")
+	def := controller.DefaultSweepConfig()
+	sweepDeadline := flag.Duration("sweep-deadline", def.Deadline, "wall-clock budget for one full collection sweep; slow agents are abandoned past it (0 = unbounded)")
+	sweepRetries := flag.Int("sweep-retries", def.Retries, "extra attempts per agent within a sweep after a transport failure")
+	sweepBackoff := flag.Duration("sweep-backoff", def.BackoffBase, "first retry delay; doubles per retry with jitter")
+	sweepBackoffMax := flag.Duration("sweep-backoff-max", def.BackoffMax, "cap on the grown retry delay (0 = uncapped)")
+	breakerThreshold := flag.Int("breaker-threshold", def.BreakerThreshold, "consecutive failures that open an agent's breaker so sweeps skip it (0 = breaker off)")
+	breakerCooldown := flag.Duration("breaker-cooldown", def.BreakerCooldown, "how long an open breaker waits before a single probe query")
 	flag.Parse()
 
 	topo := core.NewTopology()
 	ctl := controller.New(topo)
+	ctl.Sweep = controller.SweepConfig{
+		Deadline:         *sweepDeadline,
+		Retries:          *sweepRetries,
+		BackoffBase:      *sweepBackoff,
+		BackoffMax:       *sweepBackoffMax,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+	}
 	const tid = core.TenantID("operator")
 
 	var reg *telemetry.Registry

@@ -6,6 +6,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -25,8 +26,21 @@ type Agent struct {
 	mu       sync.RWMutex
 	adapters map[core.ElementID]Adapter
 
-	queryCount uint64
-	busyNS     int64
+	// queryCount/busyNS are atomics, not mu-guarded: concurrent Fetches
+	// only hold RLock and must not serialize on overhead accounting.
+	queryCount atomic.Uint64
+	busyNS     atomic.Int64
+
+	// ReadTimeout bounds how long a served connection may sit between
+	// requests before the agent closes it, so a half-open controller
+	// cannot park a handler goroutine forever. 0 = no deadline. Set
+	// before Serve.
+	ReadTimeout time.Duration
+
+	// MaxConns caps concurrent controller connections; connections over
+	// the cap are closed at accept time rather than queued. 0 = no cap.
+	// Set before Serve.
+	MaxConns int
 
 	// tel holds the optional self-telemetry block (see EnableTelemetry);
 	// nil means uninstrumented, and every hot-path check is one atomic
@@ -84,10 +98,8 @@ func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Re
 	tel := a.tel.Load()
 	defer func() {
 		elapsed := time.Since(start)
-		a.mu.Lock()
-		a.queryCount++
-		a.busyNS += elapsed.Nanoseconds()
-		a.mu.Unlock()
+		a.queryCount.Add(1)
+		a.busyNS.Add(elapsed.Nanoseconds())
 		if tel != nil {
 			tel.queries.Inc()
 			tel.queryDur.Observe(float64(elapsed.Nanoseconds()))
@@ -135,19 +147,40 @@ func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Re
 
 // Stats reports the agent's own collection overhead (Fig 16).
 func (a *Agent) Stats() (queries uint64, busy time.Duration) {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return a.queryCount, time.Duration(a.busyNS)
+	return a.queryCount.Load(), time.Duration(a.busyNS.Load())
 }
 
 // Serve answers controller connections on l until the listener closes.
+// With MaxConns set, connections over the cap are refused (closed) at
+// accept time so a misbehaving fleet of controllers cannot grow the
+// agent's goroutine count without bound.
 func (a *Agent) Serve(l net.Listener) error {
+	var sem chan struct{}
+	if a.MaxConns > 0 {
+		sem = make(chan struct{}, a.MaxConns)
+	}
 	for {
 		conn, err := l.Accept()
 		if err != nil {
 			return err
 		}
-		go a.handle(conn)
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			default:
+				if tel := a.tel.Load(); tel != nil {
+					tel.connsRefused.Inc()
+				}
+				conn.Close()
+				continue
+			}
+		}
+		go func(conn net.Conn) {
+			a.handle(conn)
+			if sem != nil {
+				<-sem
+			}
+		}(conn)
 	}
 }
 
@@ -157,17 +190,32 @@ func (a *Agent) handle(conn net.Conn) {
 		tel.conns.Inc()
 	}
 	for {
+		if a.ReadTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(a.ReadTimeout)); err != nil {
+				return
+			}
+		}
 		msg, err := wire.Read(conn)
 		if err != nil {
 			// EOF or broken peer; connection-scoped, agent keeps serving.
 			// A clean peer close is not a wire error — only malformed or
-			// truncated frames count.
+			// truncated frames count — and an idle-timeout disconnect is
+			// the agent shedding a half-open controller, tracked apart.
 			if tel := a.tel.Load(); tel != nil && !errors.Is(err, io.EOF) {
-				tel.wireRead.Inc()
+				if errors.Is(err, os.ErrDeadlineExceeded) {
+					tel.idleClosed.Inc()
+				} else {
+					tel.wireRead.Inc()
+				}
 			}
 			return
 		}
 		resp := a.dispatch(msg)
+		if a.ReadTimeout > 0 {
+			if err := conn.SetWriteDeadline(time.Now().Add(a.ReadTimeout)); err != nil {
+				return
+			}
+		}
 		if err := wire.Write(conn, resp); err != nil {
 			if tel := a.tel.Load(); tel != nil {
 				tel.wireWrite.Inc()

@@ -1,0 +1,150 @@
+package agent
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"perfsight/internal/telemetry"
+	"perfsight/internal/wire"
+)
+
+// TestServeReadTimeoutShedsIdleConn: a connection that sends nothing is
+// closed once ReadTimeout elapses, so a half-open controller cannot park
+// a handler goroutine forever.
+func TestServeReadTimeoutShedsIdleConn(t *testing.T) {
+	m := testMachine(t)
+	a := buildTestAgent(t, m, BuildOptions{})
+	reg := telemetry.NewRegistry()
+	a.EnableTelemetry(reg)
+	a.ReadTimeout = 100 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go a.Serve(ln)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Send nothing; the agent must hang up on us.
+	if _, err := conn.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("idle connection read: %v; want EOF from agent-side close", err)
+	}
+	idle := reg.Counter("perfsight_agent_idle_disconnects_total", "")
+	if idle.Value() != 1 {
+		t.Fatalf("idle disconnect counter = %d; want 1", idle.Value())
+	}
+
+	// An active connection inside the timeout still works.
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if err := wire.Write(conn2, &wire.Message{Type: wire.TypePing, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := wire.Read(conn2); err != nil || resp.Type != wire.TypePong {
+		t.Fatalf("active connection broken: %+v, %v", resp, err)
+	}
+}
+
+// TestServeMaxConnsRefusesOverCap: with MaxConns=1 a second concurrent
+// connection is closed at accept, and the slot frees once the first
+// connection ends.
+func TestServeMaxConnsRefusesOverCap(t *testing.T) {
+	m := testMachine(t)
+	a := buildTestAgent(t, m, BuildOptions{})
+	reg := telemetry.NewRegistry()
+	a.EnableTelemetry(reg)
+	a.MaxConns = 1
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go a.Serve(ln)
+
+	first, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prove the first connection holds its slot (request served).
+	if err := wire.Write(first, &wire.Message{Type: wire.TypePing, ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := wire.Read(first); err != nil || resp.Type != wire.TypePong {
+		t.Fatalf("first connection: %+v, %v", resp, err)
+	}
+
+	second, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	second.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := second.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("over-cap connection read: %v; want refused (EOF)", err)
+	}
+	refused := reg.Counter("perfsight_agent_connections_refused_total", "")
+	if refused.Value() != 1 {
+		t.Fatalf("refused counter = %d; want 1", refused.Value())
+	}
+
+	// Close the first connection; its slot must become available again.
+	first.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		third, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		werr := wire.Write(third, &wire.Message{Type: wire.TypePing, ID: 2})
+		var resp *wire.Message
+		if werr == nil {
+			third.SetReadDeadline(time.Now().Add(time.Second))
+			resp, err = wire.Read(third)
+		}
+		third.Close()
+		if werr == nil && err == nil && resp.Type == wire.TypePong {
+			return // slot recycled
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after first connection closed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFetchStatsConcurrent: the atomic query/busy accounting must hold up
+// under parallel Fetches (it used to take the full write lock).
+func TestFetchStatsConcurrent(t *testing.T) {
+	m := testMachine(t)
+	a := buildTestAgent(t, m, BuildOptions{})
+	const workers, per = 8, 25
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				a.Fetch(nil, nil, true)
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	queries, busy := a.Stats()
+	if queries != workers*per {
+		t.Fatalf("queries = %d; want %d", queries, workers*per)
+	}
+	if busy <= 0 {
+		t.Fatal("busy time not accumulated")
+	}
+}

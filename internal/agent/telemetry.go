@@ -16,12 +16,14 @@ import (
 type metrics struct {
 	reg *telemetry.Registry
 
-	queries     *telemetry.Counter
-	queryErrors *telemetry.Counter
-	queryDur    *telemetry.Histogram
-	wireRead    *telemetry.Counter
-	wireWrite   *telemetry.Counter
-	conns       *telemetry.Counter
+	queries      *telemetry.Counter
+	queryErrors  *telemetry.Counter
+	queryDur     *telemetry.Histogram
+	wireRead     *telemetry.Counter
+	wireWrite    *telemetry.Counter
+	conns        *telemetry.Counter
+	connsRefused *telemetry.Counter
+	idleClosed   *telemetry.Counter
 
 	reqMu    sync.RWMutex
 	requests map[wire.MsgType]*telemetry.Counter
@@ -49,6 +51,10 @@ func (a *Agent) EnableTelemetry(reg *telemetry.Registry) *Agent {
 			"protocol frame failures", telemetry.Label{Key: "dir", Value: "write"}),
 		conns: reg.Counter("perfsight_agent_connections_total",
 			"controller connections accepted"),
+		connsRefused: reg.Counter("perfsight_agent_connections_refused_total",
+			"controller connections closed at accept because MaxConns was reached"),
+		idleClosed: reg.Counter("perfsight_agent_idle_disconnects_total",
+			"served connections closed after sitting idle past ReadTimeout"),
 		requests: make(map[wire.MsgType]*telemetry.Counter),
 		gather:   make(map[core.ElementKind]*telemetry.Histogram),
 	}

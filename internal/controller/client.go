@@ -58,8 +58,9 @@ func (c *LocalClient) Ping() (time.Duration, error) {
 func (c *LocalClient) Close() error { return nil }
 
 // TCPClient talks to a remote agent over the wire protocol. Requests are
-// serialized on one connection; a broken connection is redialed once per
-// request.
+// serialized on one connection; an established connection that went stale
+// is redialed once per request, while a fresh dial failure surfaces
+// immediately (the controller's sweep layer owns retry and backoff).
 type TCPClient struct {
 	Addr    string
 	Timeout time.Duration
@@ -124,7 +125,9 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 			c.conn = conn
 		}
 		if c.Timeout > 0 {
-			c.conn.SetDeadline(time.Now().Add(c.Timeout))
+			if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+				return nil, fmt.Errorf("controller: set deadline for agent %s: %w", c.Addr, err)
+			}
 		}
 		wireStart := time.Now()
 		if err := wire.WriteFrame(c.conn, payload); err != nil {
@@ -159,17 +162,24 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 		return resp, nil
 	}
 
+	// Only a request that started on an established connection earns the
+	// one transparent redial: the cached conn may have gone stale since
+	// the last request. A failure on a freshly dialed connection (dial
+	// refused, or the agent died mid-handshake) is reported immediately —
+	// retry policy with backoff belongs to the sweep layer, not here.
+	hadConn := c.conn != nil
 	resp, err := try()
 	if err != nil {
-		// One reconnect attempt for a stale connection.
 		if c.conn != nil {
 			c.conn.Close()
 			c.conn = nil
 		}
-		if c.reconnects != nil {
-			c.reconnects.Inc()
+		if hadConn {
+			if c.reconnects != nil {
+				c.reconnects.Inc()
+			}
+			resp, err = try()
 		}
-		resp, err = try()
 		if err != nil {
 			if c.conn != nil {
 				c.conn.Close()

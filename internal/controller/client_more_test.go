@@ -1,10 +1,13 @@
 package controller
 
 import (
+	"net"
 	"testing"
 	"time"
 
 	"perfsight/internal/core"
+	"perfsight/internal/telemetry"
+	"perfsight/internal/wire"
 )
 
 func TestLocalClientSurface(t *testing.T) {
@@ -33,6 +36,65 @@ func TestPingAgents(t *testing.T) {
 		if d < 0 {
 			t.Fatalf("agent %s rtt %v", m, d)
 		}
+	}
+}
+
+// TestDialFailureIsNotAReconnect: a failed fresh dial must not count as a
+// reconnect nor trigger an immediate un-backed-off redial — retry policy
+// lives in the sweep layer.
+func TestDialFailureIsNotAReconnect(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewTCPClient("127.0.0.1:1").EnableTelemetry(reg, nil) // nothing listening
+	c.Timeout = 200 * time.Millisecond
+	if _, err := c.Ping(); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+	if v := reg.Counter("perfsight_controller_reconnects_total", "").Value(); v != 0 {
+		t.Fatalf("dial failure counted as %d reconnect(s)", v)
+	}
+	if v := reg.Counter("perfsight_controller_wire_errors_total", "").Value(); v != 1 {
+		t.Fatalf("wire errors = %d; want 1", v)
+	}
+}
+
+// TestStaleConnectionCountsOneReconnect: a server that drops the
+// connection after each reply forces the established-conn-went-stale
+// path, which redials exactly once and counts it.
+func TestStaleConnectionCountsOneReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				msg, err := wire.Read(conn)
+				if err != nil {
+					return
+				}
+				wire.Write(conn, &wire.Message{Type: wire.TypePong, ID: msg.ID})
+			}(conn) // one reply, then hang up
+		}
+	}()
+	reg := telemetry.NewRegistry()
+	c := NewTCPClient(ln.Addr().String()).EnableTelemetry(reg, nil)
+	defer c.Close()
+	if _, err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// The cached connection is now dead server-side; the next request
+	// must transparently redial once.
+	if _, err := c.Ping(); err != nil {
+		t.Fatalf("stale-connection reconnect failed: %v", err)
+	}
+	if v := reg.Counter("perfsight_controller_reconnects_total", "").Value(); v != 1 {
+		t.Fatalf("reconnects = %d; want 1", v)
 	}
 }
 

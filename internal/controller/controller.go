@@ -1,6 +1,8 @@
 package controller
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -23,6 +25,17 @@ type Controller struct {
 	// instead. Defaults to time.Sleep.
 	Wait func(time.Duration)
 
+	// Sweep bounds the concurrent collection sweeps (deadline, retry,
+	// backoff, breaker). Set before the first Sample/PingAgents call;
+	// defaults to DefaultSweepConfig().
+	Sweep SweepConfig
+
+	// now supplies breaker timestamps; tests may freeze it.
+	now func() time.Time
+
+	healthMu sync.Mutex
+	healths  map[core.MachineID]*agentHealth
+
 	// tel holds the optional self-telemetry block (see EnableTelemetry);
 	// nil means uninstrumented.
 	tel atomic.Pointer[ctlMetrics]
@@ -34,20 +47,28 @@ func New(topo *core.Topology) *Controller {
 		topo = core.NewTopology()
 	}
 	return &Controller{
-		topo:   topo,
-		agents: make(map[core.MachineID]AgentClient),
-		Wait:   time.Sleep,
+		topo:    topo,
+		agents:  make(map[core.MachineID]AgentClient),
+		Wait:    time.Sleep,
+		Sweep:   DefaultSweepConfig(),
+		now:     time.Now,
+		healths: make(map[core.MachineID]*agentHealth),
 	}
 }
 
 // Topology returns the controller's tenant topology.
 func (c *Controller) Topology() *core.Topology { return c.topo }
 
-// RegisterAgent attaches the agent serving a physical server.
+// RegisterAgent attaches the agent serving a physical server. Re-registering
+// a machine (agent restarted on a new address) resets its breaker: the
+// operator vouched for the new endpoint, so the next sweep tries it.
 func (c *Controller) RegisterAgent(m core.MachineID, a AgentClient) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.agents[m] = a
+	c.mu.Unlock()
+	c.healthMu.Lock()
+	delete(c.healths, m)
+	c.healthMu.Unlock()
 }
 
 // Agent returns the client for a machine.
@@ -83,52 +104,168 @@ func (c *Controller) GetAttr(tid core.TenantID, eid core.ElementID, attrs ...str
 		return core.Record{}, fmt.Errorf("controller: no agent registered for machine %q", m)
 	}
 	recs, err := a.Query(wire.Query{Elements: []core.ElementID{eid}, Attrs: attrs})
-	if len(recs) == 0 {
-		if err != nil {
-			return core.Record{}, err
+	// Select the record for the requested element rather than trusting
+	// position: an agent answering with extra or reordered records must
+	// not silently misattribute another element's counters.
+	for _, r := range recs {
+		if r.Element == eid {
+			return r, err
 		}
-		return core.Record{}, fmt.Errorf("controller: element %q returned no record", eid)
 	}
-	return recs[0], err
+	if err != nil {
+		return core.Record{}, err
+	}
+	return core.Record{}, fmt.Errorf("controller: element %q returned no record", eid)
 }
 
 // Sample fetches full records for a set of elements, batching one query
-// per machine.
-func (c *Controller) Sample(tid core.TenantID, ids []core.ElementID) (recs map[core.ElementID]core.Record, err error) {
+// per machine and fanning the machines out concurrently (§4.3's one-sweep
+// cost model). A slow or dead agent costs at most Sweep.Deadline, not a
+// serialized position in the fleet; its elements are simply absent from
+// the partial result, and the returned error joins every per-machine
+// failure (errors.Join), each prefixed with its machine.
+func (c *Controller) Sample(tid core.TenantID, ids []core.ElementID) (map[core.ElementID]core.Record, error) {
+	return c.SampleContext(context.Background(), tid, ids)
+}
+
+// SampleContext is Sample bounded by the caller's context on top of the
+// configured sweep deadline.
+func (c *Controller) SampleContext(ctx context.Context, tid core.TenantID, ids []core.ElementID) (recs map[core.ElementID]core.Record, err error) {
 	start := time.Now()
 	defer func() { c.observeSweep(start, err) }()
 	byMachine := make(map[core.MachineID][]core.ElementID)
 	for _, id := range ids {
-		m, err := c.locate(tid, id)
-		if err != nil {
-			return nil, err
+		m, lerr := c.locate(tid, id)
+		if lerr != nil {
+			return nil, lerr
 		}
 		byMachine[m] = append(byMachine[m], id)
 	}
+	if c.Sweep.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Sweep.Deadline)
+		defer cancel()
+	}
+
+	type result struct {
+		m    core.MachineID
+		recs []core.Record
+		err  error
+	}
+	results := make(chan result, len(byMachine))
+	for m, els := range byMachine {
+		go func(m core.MachineID, els []core.ElementID) {
+			c.observeFanout(1)
+			defer c.observeFanout(-1)
+			recs, err := c.collectMachine(ctx, m, wire.Query{Elements: els})
+			results <- result{m, recs, err}
+		}(m, els)
+	}
+
 	out := make(map[core.ElementID]core.Record, len(ids))
-	var firstErr error
-	machines := make([]core.MachineID, 0, len(byMachine))
-	for m := range byMachine {
+	failed := make(map[core.MachineID]error)
+	for range byMachine {
+		r := <-results
+		for _, rec := range r.recs {
+			out[rec.Element] = rec
+		}
+		if r.err != nil {
+			failed[r.m] = r.err
+		}
+	}
+	// Join failures in machine order so the error text is deterministic.
+	machines := make([]core.MachineID, 0, len(failed))
+	for m := range failed {
 		machines = append(machines, m)
 	}
 	sort.Slice(machines, func(i, j int) bool { return machines[i] < machines[j] })
+	var errs []error
 	for _, m := range machines {
-		a, ok := c.Agent(m)
-		if !ok {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("controller: no agent for machine %q", m)
+		errs = append(errs, fmt.Errorf("machine %s: %w", m, failed[m]))
+	}
+	return out, errors.Join(errs...)
+}
+
+// collectMachine runs one machine's query under the sweep's breaker,
+// retry, and deadline policy.
+func (c *Controller) collectMachine(ctx context.Context, m core.MachineID, q wire.Query) ([]core.Record, error) {
+	a, ok := c.Agent(m)
+	if !ok {
+		return nil, fmt.Errorf("controller: no agent for machine %q", m)
+	}
+	h := c.health(m)
+	probe, ok := h.allow(c.now(), c.Sweep.BreakerCooldown)
+	if !ok {
+		c.observeSkip()
+		return nil, ErrAgentSkipped
+	}
+	attempts := 1 + c.Sweep.Retries
+	if probe {
+		attempts = 1 // a half-open probe gets one shot, no retries
+	}
+	var errs []error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			c.observeRetry()
+			if err := sleepCtx(ctx, backoffDelay(c.Sweep.BackoffBase, c.Sweep.BackoffMax, i)); err != nil {
+				errs = append(errs, err)
+				break
 			}
-			continue
 		}
-		recs, err := a.Query(wire.Query{Elements: byMachine[m]})
-		if err != nil && firstErr == nil {
-			firstErr = err
+		recs, err := queryCtx(ctx, a, q)
+		if err == nil || len(recs) > 0 {
+			// The agent answered. A partial in-band error (unknown
+			// element after VM churn) is the agent working correctly,
+			// not a transport failure — no retry, breaker stays closed.
+			h.success()
+			return recs, err
 		}
-		for _, r := range recs {
-			out[r.Element] = r
+		errs = append(errs, err)
+		if ctx.Err() != nil {
+			break
 		}
 	}
-	return out, firstErr
+	h.failure(c.now(), c.Sweep.BreakerThreshold)
+	return nil, errors.Join(errs...)
+}
+
+// queryCtx bounds a synchronous AgentClient.Query with ctx. An abandoned
+// query's goroutine unblocks when the client's own I/O timeout fires and
+// is then collected; the sweep does not wait for it.
+func queryCtx(ctx context.Context, a AgentClient, q wire.Query) ([]core.Record, error) {
+	if ctx.Done() == nil {
+		return a.Query(q)
+	}
+	type reply struct {
+		recs []core.Record
+		err  error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		recs, err := a.Query(q)
+		ch <- reply{recs, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.recs, r.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("controller: query abandoned: %w", ctx.Err())
+	}
+}
+
+// sleepCtx sleeps d or until ctx expires, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // TenantElements returns the tenant's element IDs, optionally filtered by
@@ -212,10 +349,11 @@ func (iv Interval) OutRate() (bps float64, active bool) {
 }
 
 // SampleInterval takes two samples of the elements separated by window T.
-// Elements that fail to answer (agent down, VM migrated between the
-// topology snapshot and the query) are omitted; the partial intervals are
-// returned together with the first error so callers can proceed
-// best-effort — churn is normal in a cloud.
+// Elements that fail to answer either sample (agent down, VM migrated
+// between the topology snapshot and the query) are omitted; the partial
+// intervals are returned together with every error joined so callers can
+// proceed best-effort — churn is normal in a cloud — while still seeing
+// which machines failed.
 func (c *Controller) SampleInterval(tid core.TenantID, ids []core.ElementID, T time.Duration) (map[core.ElementID]Interval, error) {
 	prev, errPrev := c.Sample(tid, ids)
 	c.Wait(T)
@@ -226,11 +364,7 @@ func (c *Controller) SampleInterval(tid core.TenantID, ids []core.ElementID, T t
 			out[id] = Interval{Prev: p, Cur: cu}
 		}
 	}
-	err := errPrev
-	if err == nil {
-		err = errCur
-	}
-	return out, err
+	return out, errors.Join(errPrev, errCur)
 }
 
 // GetThroughput implements Figure 6 GETTHROUGHPUT over attribute attr
@@ -287,7 +421,12 @@ func (c *Controller) GetAvgPktSize(tid core.TenantID, eid core.ElementID, T time
 	return iv.Delta(core.AttrRxBytes) / pkts, nil
 }
 
-// PingAgents measures controller-to-agent response time per machine.
+// PingAgents measures controller-to-agent response time, fanning out one
+// ping per machine under the sweep deadline. It doubles as the fleet's
+// health probe: a reachable agent closes its breaker, an unreachable one
+// counts a failure, so an operator dashboard polling PingAgents also
+// drives breaker recovery. Machines that fail or miss the deadline are
+// absent from the result.
 func (c *Controller) PingAgents() map[core.MachineID]time.Duration {
 	c.mu.RLock()
 	agents := make(map[core.MachineID]AgentClient, len(c.agents))
@@ -295,11 +434,58 @@ func (c *Controller) PingAgents() map[core.MachineID]time.Duration {
 		agents[m] = a
 	}
 	c.mu.RUnlock()
-	out := make(map[core.MachineID]time.Duration, len(agents))
-	for m, a := range agents {
-		if d, err := a.Ping(); err == nil {
-			out[m] = d
-		}
+
+	ctx := context.Background()
+	if c.Sweep.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Sweep.Deadline)
+		defer cancel()
 	}
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		out = make(map[core.MachineID]time.Duration, len(agents))
+	)
+	for m, a := range agents {
+		wg.Add(1)
+		go func(m core.MachineID, a AgentClient) {
+			defer wg.Done()
+			c.observeFanout(1)
+			defer c.observeFanout(-1)
+			d, err := pingCtx(ctx, a)
+			h := c.health(m)
+			if err != nil {
+				h.failure(c.now(), c.Sweep.BreakerThreshold)
+				return
+			}
+			h.success()
+			mu.Lock()
+			out[m] = d
+			mu.Unlock()
+		}(m, a)
+	}
+	wg.Wait()
 	return out
+}
+
+// pingCtx bounds a synchronous Ping with ctx, like queryCtx.
+func pingCtx(ctx context.Context, a AgentClient) (time.Duration, error) {
+	if ctx.Done() == nil {
+		return a.Ping()
+	}
+	type reply struct {
+		d   time.Duration
+		err error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		d, err := a.Ping()
+		ch <- reply{d, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.d, r.err
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
 }

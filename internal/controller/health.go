@@ -1,0 +1,206 @@
+package controller
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"perfsight/internal/core"
+)
+
+// The paper's scalability story (§7.3, Fig 9/16) assumes one statistics
+// sweep costs one agent round trip, not fleet-size round trips. That only
+// holds if the controller tolerates partial failure: a dead or stalled
+// agent must cost at most one deadline once, and nothing afterwards until
+// it recovers. This file implements the per-agent health tracker (a
+// consecutive-failure circuit breaker) and the knobs bounding one sweep.
+
+// ErrAgentSkipped marks a machine whose breaker was open when the sweep
+// ran: the agent was not queried at all. Test with errors.Is.
+var ErrAgentSkipped = errors.New("agent skipped: breaker open")
+
+// SweepConfig bounds one fan-out collection sweep (Sample, SampleInterval,
+// PingAgents). Set Controller.Sweep before the first sweep; the zero value
+// disables every bound (sequential-seed semantics, minus the head-of-line
+// blocking).
+type SweepConfig struct {
+	// Deadline is the wall-clock budget for one whole sweep. Per-agent
+	// queries past it are abandoned and reported as errors; 0 = no bound.
+	Deadline time.Duration
+	// Retries is how many extra attempts a failed agent query gets within
+	// the sweep (transport failures only — an agent that answered, even
+	// partially, is not retried).
+	Retries int
+	// BackoffBase is the first retry delay; it doubles per retry with
+	// equal jitter (half fixed, half random) to decorrelate a fleet of
+	// retrying controllers. 0 defaults to 10ms when retries are enabled.
+	BackoffBase time.Duration
+	// BackoffMax caps the grown backoff delay. 0 = uncapped.
+	BackoffMax time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// agent's breaker, after which sweeps skip it instead of re-paying
+	// the dial timeout. 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before letting a
+	// single half-open probe through. 0 probes on the next sweep.
+	BreakerCooldown time.Duration
+}
+
+// DefaultSweepConfig returns the production bounds used by the cmd
+// binaries: sweeps finish within 15s whatever the fleet does, one retry
+// with 50ms–1s jittered backoff, and three strikes open a breaker for 30s.
+func DefaultSweepConfig() SweepConfig {
+	return SweepConfig{
+		Deadline:         15 * time.Second,
+		Retries:          1,
+		BackoffBase:      50 * time.Millisecond,
+		BackoffMax:       time.Second,
+		BreakerThreshold: 3,
+		BreakerCooldown:  30 * time.Second,
+	}
+}
+
+// BreakerState is one agent's circuit-breaker position.
+type BreakerState int32
+
+const (
+	// BreakerClosed: healthy, queried normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: recently dead; sweeps skip the agent until the
+	// cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe query is in
+	// flight, and its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String renders the state for logs and the health API.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// agentHealth tracks one agent's consecutive failures and breaker state.
+type agentHealth struct {
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+}
+
+// allow reports whether a sweep may query the agent now. probe is true
+// when the breaker just went half-open and this caller carries the single
+// trial query (so it must not burn retries on a likely-dead agent).
+func (h *agentHealth) allow(now time.Time, cooldown time.Duration) (probe, ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case BreakerOpen:
+		if now.Sub(h.openedAt) >= cooldown {
+			h.state = BreakerHalfOpen
+			return true, true
+		}
+		return false, false
+	case BreakerHalfOpen:
+		return false, false // a probe is already in flight
+	default:
+		return false, true
+	}
+}
+
+// success records an answered query: failures reset, breaker closes.
+func (h *agentHealth) success() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.state = BreakerClosed
+	h.fails = 0
+}
+
+// failure records an unanswered query. A failed half-open probe re-opens
+// immediately; otherwise the breaker opens at threshold (0 = never).
+func (h *agentHealth) failure(now time.Time, threshold int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails++
+	if h.state == BreakerHalfOpen || (threshold > 0 && h.fails >= threshold && h.state == BreakerClosed) {
+		h.state = BreakerOpen
+		h.openedAt = now
+	}
+}
+
+// snapshot returns the state and consecutive-failure count.
+func (h *agentHealth) snapshot() (BreakerState, int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state, h.fails
+}
+
+// AgentHealthInfo is the operator-visible health of one agent.
+type AgentHealthInfo struct {
+	State               BreakerState
+	ConsecutiveFailures int
+}
+
+// AgentHealth reports a machine's breaker state. A machine never seen
+// failing reads as closed with zero failures.
+func (c *Controller) AgentHealth(m core.MachineID) AgentHealthInfo {
+	c.healthMu.Lock()
+	h := c.healths[m]
+	c.healthMu.Unlock()
+	if h == nil {
+		return AgentHealthInfo{State: BreakerClosed}
+	}
+	s, f := h.snapshot()
+	return AgentHealthInfo{State: s, ConsecutiveFailures: f}
+}
+
+// health returns (creating if needed) the tracker for a machine.
+func (c *Controller) health(m core.MachineID) *agentHealth {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	h := c.healths[m]
+	if h == nil {
+		h = &agentHealth{}
+		c.healths[m] = h
+	}
+	return h
+}
+
+// openBreakers counts agents currently skipped by sweeps.
+func (c *Controller) openBreakers() int {
+	c.healthMu.Lock()
+	defer c.healthMu.Unlock()
+	n := 0
+	for _, h := range c.healths {
+		if s, _ := h.snapshot(); s == BreakerOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// backoffDelay returns the attempt-th (1-based) retry delay: exponential
+// growth from base with equal jitter, capped at max.
+func backoffDelay(base, max time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < 1<<40; i++ {
+		d *= 2
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}

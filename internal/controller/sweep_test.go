@@ -1,0 +1,368 @@
+package controller
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/telemetry"
+	"perfsight/internal/wire"
+)
+
+// stubClient is a scriptable AgentClient for sweep-policy tests.
+type stubClient struct {
+	mu       sync.Mutex
+	calls    int
+	failNext int           // fail this many queries before succeeding
+	delay    time.Duration // per-query latency
+	block    chan struct{} // non-nil: Query blocks until closed
+	recs     []core.Record
+}
+
+func (s *stubClient) Query(q wire.Query) ([]core.Record, error) {
+	s.mu.Lock()
+	s.calls++
+	fail := s.failNext > 0
+	if fail {
+		s.failNext--
+	}
+	delay, block, recs := s.delay, s.block, s.recs
+	s.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return nil, errors.New("stub: transport down")
+	}
+	return recs, nil
+}
+
+func (s *stubClient) ListElements() ([]wire.ElementMeta, error) { return nil, nil }
+func (s *stubClient) Ping() (time.Duration, error) {
+	if _, err := s.Query(wire.Query{}); err != nil {
+		return 0, err
+	}
+	return time.Microsecond, nil
+}
+func (s *stubClient) Close() error { return nil }
+
+func (s *stubClient) callCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+// sweepSetup builds a controller over n stub machines, one element each
+// (element "mX/pnic" on machine "mX"), with no retries or breaker unless
+// the test opts in.
+func sweepSetup(t *testing.T, n int) (*Controller, []*stubClient, []core.ElementID) {
+	t.Helper()
+	topo := core.NewTopology()
+	net := topo.Net("t1")
+	ctl := New(topo)
+	ctl.Sweep = SweepConfig{} // tests opt in to each bound explicitly
+	stubs := make([]*stubClient, n)
+	ids := make([]core.ElementID, n)
+	for i := 0; i < n; i++ {
+		m := core.MachineID("m" + string(rune('0'+i)))
+		id := core.ElementID(string(m) + "/pnic")
+		net.Add(id, core.ElementInfo{Machine: m, Kind: core.KindPNIC})
+		stubs[i] = &stubClient{recs: []core.Record{{Element: id}}}
+		ctl.RegisterAgent(m, stubs[i])
+		ids[i] = id
+	}
+	return ctl, stubs, ids
+}
+
+// TestSampleFanoutIsConcurrent: four machines each taking ~150ms must
+// sweep in about one machine's latency, not four.
+func TestSampleFanoutIsConcurrent(t *testing.T) {
+	ctl, stubs, ids := sweepSetup(t, 4)
+	for _, s := range stubs {
+		s.delay = 150 * time.Millisecond
+	}
+	start := time.Now()
+	recs, err := ctl.Sample("t1", ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("records: %d; want 4", len(recs))
+	}
+	if el := time.Since(start); el > 450*time.Millisecond {
+		t.Fatalf("sweep took %v; sequential-looking (4x150ms)", el)
+	}
+}
+
+// TestSampleDeadlineBoundsStalledAgent: one agent never answers; the sweep
+// returns the other machines' records within ~one deadline and names the
+// stalled machine in the error.
+func TestSampleDeadlineBoundsStalledAgent(t *testing.T) {
+	ctl, stubs, ids := sweepSetup(t, 3)
+	ctl.Sweep.Deadline = 200 * time.Millisecond
+	block := make(chan struct{})
+	defer close(block)
+	stubs[1].block = block
+
+	start := time.Now()
+	recs, err := ctl.Sample("t1", ids)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled agent produced no error")
+	}
+	if !strings.Contains(err.Error(), "machine m1") {
+		t.Fatalf("error does not name the stalled machine: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("partial records: %d; want 2 surviving", len(recs))
+	}
+	if _, ok := recs["m1/pnic"]; ok {
+		t.Fatal("stalled machine's element present")
+	}
+	if elapsed > 4*ctl.Sweep.Deadline {
+		t.Fatalf("sweep took %v; deadline is %v", elapsed, ctl.Sweep.Deadline)
+	}
+}
+
+// TestSampleRetriesWithBackoff: a transient one-shot failure is absorbed
+// by the retry budget.
+func TestSampleRetriesWithBackoff(t *testing.T) {
+	ctl, stubs, ids := sweepSetup(t, 1)
+	ctl.Sweep.Retries = 2
+	ctl.Sweep.BackoffBase = time.Millisecond
+	stubs[0].failNext = 1
+	recs, err := ctl.Sample("t1", ids)
+	if err != nil {
+		t.Fatalf("transient failure not retried: %v", err)
+	}
+	if len(recs) != 1 || stubs[0].callCount() != 2 {
+		t.Fatalf("recs=%d calls=%d; want 1 rec after 2 calls", len(recs), stubs[0].callCount())
+	}
+}
+
+// TestSampleJoinsAllMachineErrors: every failing machine appears in the
+// joined error, not just the first.
+func TestSampleJoinsAllMachineErrors(t *testing.T) {
+	ctl, stubs, ids := sweepSetup(t, 3)
+	stubs[0].failNext = 1
+	stubs[2].failNext = 1
+	_, err := ctl.Sample("t1", ids)
+	if err == nil {
+		t.Fatal("no error for two dead machines")
+	}
+	for _, m := range []string{"machine m0", "machine m2"} {
+		if !strings.Contains(err.Error(), m) {
+			t.Fatalf("joined error missing %q: %v", m, err)
+		}
+	}
+	if strings.Contains(err.Error(), "machine m1") {
+		t.Fatalf("healthy machine blamed: %v", err)
+	}
+}
+
+// TestBreakerOpensSkipsAndRecovers walks the full breaker lifecycle:
+// failures open it, sweeps skip it (no query reaches the stub), the
+// cooldown admits a half-open probe, and a successful probe closes it.
+func TestBreakerOpensSkipsAndRecovers(t *testing.T) {
+	ctl, stubs, ids := sweepSetup(t, 1)
+	ctl.Sweep.BreakerThreshold = 2
+	ctl.Sweep.BreakerCooldown = time.Hour
+	now := time.Unix(1000, 0)
+	ctl.now = func() time.Time { return now }
+	stubs[0].failNext = 2
+
+	for i := 0; i < 2; i++ {
+		if _, err := ctl.Sample("t1", ids); err == nil {
+			t.Fatalf("sweep %d: dead agent produced no error", i)
+		}
+	}
+	if h := ctl.AgentHealth("m0"); h.State != BreakerOpen || h.ConsecutiveFailures != 2 {
+		t.Fatalf("after 2 failures: %+v", h)
+	}
+
+	// Open breaker: the sweep must skip without touching the agent.
+	before := stubs[0].callCount()
+	_, err := ctl.Sample("t1", ids)
+	if !errors.Is(err, ErrAgentSkipped) {
+		t.Fatalf("want ErrAgentSkipped, got %v", err)
+	}
+	if stubs[0].callCount() != before {
+		t.Fatal("open breaker still queried the agent")
+	}
+
+	// Cooldown elapses: one probe goes through and closes the breaker.
+	now = now.Add(2 * time.Hour)
+	recs, err := ctl.Sample("t1", ids)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("half-open probe: recs=%d err=%v", len(recs), err)
+	}
+	if h := ctl.AgentHealth("m0"); h.State != BreakerClosed || h.ConsecutiveFailures != 0 {
+		t.Fatalf("after successful probe: %+v", h)
+	}
+}
+
+// TestBreakerFailedProbeReopens: a half-open probe that fails re-opens the
+// breaker immediately, with no retry spent on it.
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	ctl, stubs, ids := sweepSetup(t, 1)
+	ctl.Sweep.Retries = 3 // must NOT apply to the probe
+	ctl.Sweep.BackoffBase = time.Millisecond
+	ctl.Sweep.BreakerThreshold = 1
+	now := time.Unix(1000, 0)
+	ctl.now = func() time.Time { return now }
+	stubs[0].failNext = 100
+
+	if _, err := ctl.Sample("t1", ids); err == nil {
+		t.Fatal("dead agent produced no error")
+	}
+	callsAfterOpen := stubs[0].callCount()
+	now = now.Add(time.Hour)
+	if _, err := ctl.Sample("t1", ids); err == nil {
+		t.Fatal("failing probe produced no error")
+	}
+	if got := stubs[0].callCount(); got != callsAfterOpen+1 {
+		t.Fatalf("probe used %d calls; want exactly 1", got-callsAfterOpen)
+	}
+	if h := ctl.AgentHealth("m0"); h.State != BreakerOpen {
+		t.Fatalf("failed probe left breaker %v", h.State)
+	}
+}
+
+// TestRegisterAgentResetsBreaker: re-registering a machine (operator
+// restarted its agent) clears the open breaker.
+func TestRegisterAgentResetsBreaker(t *testing.T) {
+	ctl, stubs, ids := sweepSetup(t, 1)
+	ctl.Sweep.BreakerThreshold = 1
+	ctl.Sweep.BreakerCooldown = time.Hour
+	stubs[0].failNext = 1
+	if _, err := ctl.Sample("t1", ids); err == nil {
+		t.Fatal("dead agent produced no error")
+	}
+	if h := ctl.AgentHealth("m0"); h.State != BreakerOpen {
+		t.Fatalf("breaker not open: %v", h.State)
+	}
+	fresh := &stubClient{recs: []core.Record{{Element: "m0/pnic"}}}
+	ctl.RegisterAgent("m0", fresh)
+	if recs, err := ctl.Sample("t1", ids); err != nil || len(recs) != 1 {
+		t.Fatalf("re-registered agent skipped: recs=%d err=%v", len(recs), err)
+	}
+}
+
+// TestSampleIntervalPartialOnAgentDeath: an agent dying between the two
+// samples yields intervals for the survivors, omits the dead machine's
+// elements, and the joined error names the machine.
+func TestSampleIntervalPartialOnAgentDeath(t *testing.T) {
+	ctl, stubs, ids := sweepSetup(t, 2)
+	ctl.Wait = func(d time.Duration) {
+		// The agent on m1 dies during the measurement window.
+		stubs[1].mu.Lock()
+		stubs[1].failNext = 1 << 30
+		stubs[1].mu.Unlock()
+	}
+	ivs, err := ctl.SampleInterval("t1", ids, time.Second)
+	if err == nil {
+		t.Fatal("mid-interval agent death produced no error")
+	}
+	if !strings.Contains(err.Error(), "machine m1") {
+		t.Fatalf("error does not name the dead machine: %v", err)
+	}
+	if _, ok := ivs["m0/pnic"]; !ok {
+		t.Fatal("surviving element's interval missing")
+	}
+	if _, ok := ivs["m1/pnic"]; ok {
+		t.Fatal("dead machine's element got an interval")
+	}
+}
+
+// TestPingAgentsConcurrentHealth: PingAgents fans out, reports reachable
+// agents only, and drives the breaker both ways.
+func TestPingAgentsConcurrentHealth(t *testing.T) {
+	ctl, stubs, _ := sweepSetup(t, 3)
+	ctl.Sweep.BreakerThreshold = 1
+	stubs[2].failNext = 1
+
+	rtts := ctl.PingAgents()
+	if len(rtts) != 2 {
+		t.Fatalf("reachable agents: %d; want 2", len(rtts))
+	}
+	if h := ctl.AgentHealth("m2"); h.State != BreakerOpen {
+		t.Fatalf("failed ping did not open breaker: %v", h.State)
+	}
+
+	// The next ping sweep probes m2 (cooldown 0), finds it healthy, and
+	// closes the breaker again.
+	rtts = ctl.PingAgents()
+	if len(rtts) != 3 {
+		t.Fatalf("recovered fleet pings: %d; want 3", len(rtts))
+	}
+	if h := ctl.AgentHealth("m2"); h.State != BreakerClosed {
+		t.Fatalf("successful ping did not close breaker: %v", h.State)
+	}
+}
+
+// TestSweepTelemetryCounters: retries, skips, and breaker gauges land in
+// the registry.
+func TestSweepTelemetryCounters(t *testing.T) {
+	ctl, stubs, ids := sweepSetup(t, 1)
+	reg := telemetry.NewRegistry()
+	ctl.EnableTelemetry(reg)
+	ctl.Sweep.Retries = 1
+	ctl.Sweep.BackoffBase = time.Millisecond
+	ctl.Sweep.BreakerThreshold = 1
+	ctl.Sweep.BreakerCooldown = time.Hour
+	stubs[0].failNext = 1 << 30
+
+	if _, err := ctl.Sample("t1", ids); err == nil {
+		t.Fatal("dead agent produced no error")
+	}
+	if _, err := ctl.Sample("t1", ids); !errors.Is(err, ErrAgentSkipped) {
+		t.Fatalf("want skip, got %v", err)
+	}
+	retries := reg.Counter("perfsight_controller_agent_retries_total", "")
+	skipped := reg.Counter("perfsight_controller_agents_skipped_total", "")
+	if retries.Value() == 0 {
+		t.Fatal("retry counter never moved")
+	}
+	if skipped.Value() != 1 {
+		t.Fatalf("skipped counter = %d; want 1", skipped.Value())
+	}
+}
+
+// TestGetAttrSelectsMatchingRecord: extra or reordered records from an
+// agent must not be misattributed to the requested element.
+func TestGetAttrSelectsMatchingRecord(t *testing.T) {
+	topo := core.NewTopology()
+	net := topo.Net("t1")
+	net.Add("m0/pnic", core.ElementInfo{Machine: "m0", Kind: core.KindPNIC})
+	ctl := New(topo)
+	ctl.Sweep = SweepConfig{}
+
+	// Reordered: the matching record is second.
+	stub := &stubClient{recs: []core.Record{
+		{Element: "m0/vswitch", Attrs: []core.Attr{{Name: core.AttrRxBytes, Value: 999}}},
+		{Element: "m0/pnic", Attrs: []core.Attr{{Name: core.AttrRxBytes, Value: 42}}},
+	}}
+	ctl.RegisterAgent("m0", stub)
+	rec, err := ctl.GetAttr("t1", "m0/pnic", core.AttrRxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Element != "m0/pnic" || rec.GetOr(core.AttrRxBytes, 0) != 42 {
+		t.Fatalf("misattributed record: %+v", rec)
+	}
+
+	// Only a wrong element answered: that is an error, not silent
+	// misattribution.
+	stub.mu.Lock()
+	stub.recs = []core.Record{{Element: "m0/vswitch"}}
+	stub.mu.Unlock()
+	if _, err := ctl.GetAttr("t1", "m0/pnic"); err == nil {
+		t.Fatal("mismatched record accepted")
+	}
+}

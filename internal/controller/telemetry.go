@@ -13,6 +13,9 @@ type ctlMetrics struct {
 	sweeps      *telemetry.Counter
 	sweepErrors *telemetry.Counter
 	sweepDur    *telemetry.Histogram
+	inflight    *telemetry.Gauge
+	retries     *telemetry.Counter
+	skipped     *telemetry.Counter
 }
 
 // EnableTelemetry wires the controller's self-metrics into reg and
@@ -27,6 +30,12 @@ func (c *Controller) EnableTelemetry(reg *telemetry.Registry) *telemetry.Tracer 
 			"sweeps that returned at least one error"),
 		sweepDur: reg.Histogram("perfsight_controller_sweep_duration_ns",
 			"full Sample sweep latency across all machines, nanoseconds"),
+		inflight: reg.Gauge("perfsight_controller_inflight_queries",
+			"per-machine queries currently fanned out"),
+		retries: reg.Counter("perfsight_controller_agent_retries_total",
+			"per-agent query attempts beyond the first within a sweep"),
+		skipped: reg.Counter("perfsight_controller_agents_skipped_total",
+			"sweep queries skipped because the agent's breaker was open"),
 	}
 	reg.GaugeFunc("perfsight_controller_agents",
 		"agents registered with the controller", func() float64 {
@@ -34,6 +43,9 @@ func (c *Controller) EnableTelemetry(reg *telemetry.Registry) *telemetry.Tracer 
 			defer c.mu.RUnlock()
 			return float64(len(c.agents))
 		})
+	reg.GaugeFunc("perfsight_controller_breaker_open_agents",
+		"agents whose failure breaker is currently open (sweeps skip them)",
+		func() float64 { return float64(c.openBreakers()) })
 	c.tel.Store(m)
 	return telemetry.NewTracer(reg, "controller", 64)
 }
@@ -48,5 +60,26 @@ func (c *Controller) observeSweep(start time.Time, err error) {
 	m.sweepDur.Observe(float64(time.Since(start).Nanoseconds()))
 	if err != nil {
 		m.sweepErrors.Inc()
+	}
+}
+
+// observeFanout tracks in-flight per-machine queries; inert when off.
+func (c *Controller) observeFanout(d float64) {
+	if m := c.tel.Load(); m != nil {
+		m.inflight.Add(d)
+	}
+}
+
+// observeRetry counts one per-agent retry; inert when telemetry is off.
+func (c *Controller) observeRetry() {
+	if m := c.tel.Load(); m != nil {
+		m.retries.Inc()
+	}
+}
+
+// observeSkip counts one breaker-skipped agent; inert when off.
+func (c *Controller) observeSkip() {
+	if m := c.tel.Load(); m != nil {
+		m.skipped.Inc()
 	}
 }

@@ -107,6 +107,37 @@ func TestTopologyChurnMidQuery(t *testing.T) {
 	}
 }
 
+// TestStalledAgentBoundedSweep: the acceptance check for the concurrent
+// collection layer. One of four TCP agents accepts but never answers; a
+// full-fleet Sample must return the other machines' records within ~one
+// sweep deadline (not fleet × timeout), and the next sweep must skip the
+// dead agent via its open breaker.
+func TestStalledAgentBoundedSweep(t *testing.T) {
+	const deadline = 300 * time.Millisecond
+	r, err := RunFanout(4, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PartialRecords == 0 {
+		t.Fatal("stalled sweep lost the healthy machines' records")
+	}
+	if r.Stalled >= 4*deadline {
+		t.Fatalf("stalled sweep took %v; must be bounded by the %v deadline, not fleet size", r.Stalled, deadline)
+	}
+	if r.Stalled < deadline/2 {
+		t.Fatalf("stalled sweep took %v; expected it to wait out most of the %v deadline", r.Stalled, deadline)
+	}
+	if !r.SkipErr {
+		t.Fatal("follow-up sweep did not surface the breaker-skip error")
+	}
+	if r.Skipped >= deadline/2 {
+		t.Fatalf("breaker-open sweep took %v; skipping must not re-pay the deadline", r.Skipped)
+	}
+	if !r.ShapeCorrect() {
+		t.Fatalf("fan-out shape wrong:\n%s", r)
+	}
+}
+
 // TestCountersMonotonicUnderLoad: every monotonic counter must never
 // decrease across samples, whatever the traffic does — the interval
 // arithmetic of Figure 6 depends on it.
