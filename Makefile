@@ -1,13 +1,14 @@
 # Pre-PR check: everything here must pass before sending a change.
 #   make check        vet + build + race tests
 #   make bench        telemetry overhead benchmarks (EXPERIMENTS.md table)
-#   make all          both
+#   make bench-wire   codec v1-vs-v2 benchmarks + alloc/size budget gates
+#   make all          everything
 
 GO ?= go
 
-.PHONY: all check vet build test bench
+.PHONY: all check vet build test bench bench-wire
 
-all: check bench
+all: check bench bench-wire
 
 check: vet build test
 
@@ -25,3 +26,11 @@ test:
 # (budget: ~5%).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTelemetry|BenchmarkUninstrumentedQuery|BenchmarkInstrumentedQuery|BenchmarkUninstrumentedSweep|BenchmarkInstrumentedSweep' -benchtime 1s .
+
+# Wire codec v2 vs JSON: the budget tests fail the build when a change
+# regresses the v2 round trip past testdata/v2_alloc_budget.txt or past
+# the relative size/alloc floors; the benchmarks print the comparison
+# (EXPERIMENTS.md wire table).
+bench-wire:
+	$(GO) test ./internal/wire/ -run 'TestV2RoundTripAllocBudget|TestV2VsJSONSizeAndAllocs' -count 1 -v
+	$(GO) test -run '^$$' -bench 'BenchmarkWireCodec|BenchmarkSweepTCP' -benchtime 1s -benchmem .

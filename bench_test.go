@@ -9,6 +9,7 @@ package perfsight_test
 
 import (
 	"fmt"
+	"net"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"perfsight/internal/middlebox"
 	"perfsight/internal/stats"
 	"perfsight/internal/telemetry"
+	"perfsight/internal/wire"
 )
 
 // BenchmarkFig3MemoryContention regenerates the motivating Figure 3 sweep
@@ -348,6 +350,172 @@ func BenchmarkInstrumentedSweep(b *testing.B) {
 		}
 	}
 }
+
+// benchWireMessage builds the representative sweep response used by the
+// codec benchmarks: one machine's answer for elems elements × nattrs
+// counters, values advancing with tick like live counters do.
+func benchWireMessage(elems, nattrs int, tick int64) *wire.Message {
+	m := &wire.Message{Type: wire.TypeResponse, ID: uint64(tick), Machine: "b7", AgentNS: 12345}
+	for e := 0; e < elems; e++ {
+		rec := core.Record{
+			Timestamp: tick*1e9 + int64(e),
+			Element:   core.ElementID(fmt.Sprintf("b7/vm%d/vnic", e)),
+		}
+		for a := 0; a < nattrs; a++ {
+			rec.Attrs = append(rec.Attrs, core.Attr{
+				Name:  fmt.Sprintf("attr_%d_bytes", a),
+				Value: float64(tick*1000 + int64(e*nattrs+a)),
+			})
+		}
+		m.Records = append(m.Records, rec)
+	}
+	return m
+}
+
+// BenchmarkWireCodecJSON measures a full encode+decode round trip of a
+// 26-element × 12-attr sweep response under the v1 JSON codec.
+func BenchmarkWireCodecJSON(b *testing.B) {
+	b.ReportAllocs()
+	var frame int
+	for i := 0; i < b.N; i++ {
+		m := benchWireMessage(26, 12, int64(i))
+		payload, err := wire.Encode(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame = len(payload)
+		if _, err := wire.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(frame), "frame-B")
+}
+
+// BenchmarkWireCodecV2 is the same round trip under codec v2 with warmed
+// intern tables — the steady state every sweep after the first sees.
+func BenchmarkWireCodecV2(b *testing.B) {
+	enc := wire.NewV2Codec(false)
+	dec := wire.NewV2Codec(false)
+	warm, _ := enc.Encode(benchWireMessage(26, 12, 0))
+	if _, err := dec.Decode(warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var frame int
+	for i := 0; i < b.N; i++ {
+		m := benchWireMessage(26, 12, int64(i)+1)
+		payload, err := enc.Encode(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame = len(payload)
+		if _, err := dec.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(frame), "frame-B")
+}
+
+// BenchmarkWireCodecV2DeltaActive is the v2 round trip on a delta
+// session where every counter changed since the last sweep (the
+// worst case for delta: all values still travel, as index+value pairs).
+func BenchmarkWireCodecV2DeltaActive(b *testing.B) {
+	benchWireV2Delta(b, func(i int) int64 { return int64(i) + 1 })
+}
+
+// BenchmarkWireCodecV2DeltaQuiet is the delta session's best case: no
+// counter moved, so each record shrinks to a few bytes.
+func BenchmarkWireCodecV2DeltaQuiet(b *testing.B) {
+	benchWireV2Delta(b, func(int) int64 { return 1 })
+}
+
+func benchWireV2Delta(b *testing.B, tick func(i int) int64) {
+	b.Helper()
+	enc := wire.NewV2Codec(true)
+	dec := wire.NewV2Codec(true)
+	warm, _ := enc.Encode(benchWireMessage(26, 12, tick(0)))
+	if _, err := dec.Decode(warm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var frame int
+	for i := 0; i < b.N; i++ {
+		m := benchWireMessage(26, 12, tick(i))
+		payload, err := enc.Encode(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame = len(payload)
+		if _, err := dec.Decode(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(frame), "frame-B")
+}
+
+// benchSweepTCP measures an end-to-end controller Sample over a real TCP
+// agent under the given codec configuration, reporting received bytes
+// per sweep from the controller's wire counters.
+func benchSweepTCP(b *testing.B, codec string, delta bool) {
+	b.Helper()
+	a := benchAgent(b)
+	a.AllowDelta = true
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	go a.Serve(ln)
+
+	reg := telemetry.NewRegistry()
+	client := controller.NewTCPClient(ln.Addr().String()).EnableTelemetry(reg, nil)
+	client.Codec = codec
+	client.Delta = delta
+	defer client.Close()
+
+	const tid = core.TenantID("bench")
+	topo := core.NewTopology()
+	metas, err := client.ListElements()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net1 := topo.Net(tid)
+	for _, meta := range metas {
+		net1.Add(meta.ID, core.ElementInfo{Machine: "bench", Kind: meta.Kind})
+	}
+	ctl := controller.New(topo)
+	ctl.RegisterAgent("bench", client)
+	ids := ctl.TenantElements(tid, nil)
+
+	rx := reg.Counter("perfsight_controller_wire_bytes_total", "",
+		telemetry.Label{Key: "dir", Value: "rx"})
+	if _, err := ctl.Sample(tid, ids); err != nil { // warm tables + negotiation
+		b.Fatal(err)
+	}
+	rxStart := rx.Value()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctl.Sample(tid, ids); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rx.Value()-rxStart)/float64(b.N), "rxB/op")
+}
+
+// BenchmarkSweepTCPJSON is the end-to-end sweep baseline on the v1 JSON
+// codec.
+func BenchmarkSweepTCPJSON(b *testing.B) { benchSweepTCP(b, wire.CodecJSON, false) }
+
+// BenchmarkSweepTCPV2 is the same sweep after v2 negotiation.
+func BenchmarkSweepTCPV2(b *testing.B) { benchSweepTCP(b, wire.CodecV2, false) }
+
+// BenchmarkSweepTCPV2Delta adds delta-encoded responses (the agent's
+// clock is frozen between sweeps here, so most counters are quiet).
+func BenchmarkSweepTCPV2Delta(b *testing.B) { benchSweepTCP(b, wire.CodecV2, true) }
 
 // BenchmarkUninstrumentedQuery is the baseline full-inventory Fetch with
 // telemetry off (the seed behaviour).

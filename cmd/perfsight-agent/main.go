@@ -28,6 +28,7 @@ import (
 	"perfsight/internal/middlebox"
 	"perfsight/internal/stream"
 	"perfsight/internal/telemetry"
+	"perfsight/internal/wire"
 )
 
 func main() {
@@ -39,7 +40,12 @@ func main() {
 	telemetryAddr := flag.String("telemetry", "", "serve self-metrics (/metrics, /healthz) on this address, e.g. :9100 (empty = disabled)")
 	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "close controller connections idle beyond this, so half-open peers cannot park handler goroutines (0 = never)")
 	maxConns := flag.Int("max-conns", 64, "maximum concurrent controller connections; extras are refused at accept (0 = unlimited)")
+	codec := flag.String("codec", wire.CodecV2, "wire codecs offered to controllers: v2 (binary, with JSON fallback per connection) or json (JSON only)")
+	delta := flag.Bool("delta", true, "permit delta-encoded responses on v2 connections that request them (changed attrs only)")
 	flag.Parse()
+	if *codec != wire.CodecV2 && *codec != wire.CodecJSON {
+		log.Fatalf("bad -codec %q (want v2 or json)", *codec)
+	}
 
 	mid := core.MachineID(*machineID)
 	c := cluster.New(time.Millisecond)
@@ -79,6 +85,8 @@ func main() {
 	}
 	a.ReadTimeout = *readTimeout
 	a.MaxConns = *maxConns
+	a.Codec = *codec
+	a.AllowDelta = *delta
 
 	if *telemetryAddr != "" {
 		reg := telemetry.NewRegistry()

@@ -20,6 +20,7 @@ import (
 	"perfsight/internal/diagnosis"
 	"perfsight/internal/operator"
 	"perfsight/internal/telemetry"
+	"perfsight/internal/wire"
 )
 
 func main() {
@@ -36,7 +37,12 @@ func main() {
 	sweepBackoffMax := flag.Duration("sweep-backoff-max", def.BackoffMax, "cap on the grown retry delay (0 = uncapped)")
 	breakerThreshold := flag.Int("breaker-threshold", def.BreakerThreshold, "consecutive failures that open an agent's breaker so sweeps skip it (0 = breaker off)")
 	breakerCooldown := flag.Duration("breaker-cooldown", def.BreakerCooldown, "how long an open breaker waits before a single probe query")
+	codec := flag.String("codec", wire.CodecV2, "wire codec to offer agents: v2 (binary, falls back to JSON per agent) or json (skip negotiation)")
+	delta := flag.Bool("delta", false, "request delta-encoded sweep responses on v2 connections (changed attrs only)")
 	flag.Parse()
+	if *codec != wire.CodecV2 && *codec != wire.CodecJSON {
+		log.Fatalf("bad -codec %q (want v2 or json)", *codec)
+	}
 
 	topo := core.NewTopology()
 	ctl := controller.New(topo)
@@ -65,13 +71,15 @@ func main() {
 		}
 		mid := core.MachineID(name)
 		client := controller.NewTCPClient(addr)
+		client.Codec = *codec
+		client.Delta = *delta
 		if reg != nil {
 			client.EnableTelemetry(reg, tracer)
 		}
 		if d, err := client.Ping(); err != nil {
 			log.Fatalf("agent %s at %s unreachable: %v", name, addr, err)
 		} else {
-			log.Printf("agent %s at %s (rtt %v)", name, addr, d)
+			log.Printf("agent %s at %s (rtt %v, codec %s)", name, addr, d, client.NegotiatedCodec())
 		}
 		metas, err := client.ListElements()
 		if err != nil {

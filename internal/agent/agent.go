@@ -42,6 +42,17 @@ type Agent struct {
 	// Set before Serve.
 	MaxConns int
 
+	// Codec selects the wire codecs offered to controllers: wire.CodecV2
+	// (or empty, the default) grants the binary v2 codec to peers that
+	// negotiate it and keeps JSON for everyone else; wire.CodecJSON
+	// disables v2 entirely. Set before Serve.
+	Codec string
+
+	// AllowDelta permits delta-encoded responses on v2 connections whose
+	// controller requested them: only attrs whose values changed since
+	// the connection's previous response are resent. Set before Serve.
+	AllowDelta bool
+
 	// tel holds the optional self-telemetry block (see EnableTelemetry);
 	// nil means uninstrumented, and every hot-path check is one atomic
 	// pointer load.
@@ -94,6 +105,13 @@ func (a *Agent) Elements() []core.ElementID {
 // all=true). Unknown elements yield an error; partial results are
 // returned alongside it.
 func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Record, error) {
+	return a.fetchAppend(nil, ids, attrs, all)
+}
+
+// fetchAppend is Fetch appending into recs — the serve loop passes a
+// per-connection scratch slice so steady-state queries reuse its backing
+// array instead of growing a fresh one per frame.
+func (a *Agent) fetchAppend(recs []core.Record, ids []core.ElementID, attrs []string, all bool) ([]core.Record, error) {
 	start := time.Now()
 	tel := a.tel.Load()
 	defer func() {
@@ -110,7 +128,8 @@ func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Re
 		ids = a.Elements()
 	}
 	ts := a.clock()
-	var recs []core.Record
+	// Build the attribute filter once per query, not once per element.
+	filter := wire.NewAttrFilter(attrs)
 	var firstErr error
 	for _, id := range ids {
 		a.mu.RLock()
@@ -137,7 +156,7 @@ func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Re
 			}
 			continue
 		}
-		recs = append(recs, wire.FilterAttrs(rec, attrs))
+		recs = append(recs, filter.Apply(rec))
 	}
 	if firstErr != nil && tel != nil {
 		tel.queryErrors.Inc()
@@ -189,13 +208,20 @@ func (a *Agent) handle(conn net.Conn) {
 	if tel := a.tel.Load(); tel != nil {
 		tel.conns.Inc()
 	}
+	// Per-connection session state: the payload codec (JSON until a
+	// hello negotiates v2), a pooled frame buffer, and a reusable record
+	// slice, so a steady-state sweep allocates near nothing per frame.
+	var sess wire.Codec = wire.JSONCodec{}
+	buf := wire.GetBuf()
+	defer wire.PutBuf(buf)
+	var recScratch []core.Record
 	for {
 		if a.ReadTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(a.ReadTimeout)); err != nil {
 				return
 			}
 		}
-		msg, err := wire.Read(conn)
+		payload, err := wire.ReadFrameBuf(conn, buf)
 		if err != nil {
 			// EOF or broken peer; connection-scoped, agent keeps serving.
 			// A clean peer close is not a wire error — only malformed or
@@ -210,28 +236,92 @@ func (a *Agent) handle(conn net.Conn) {
 			}
 			return
 		}
-		resp := a.dispatch(msg)
+		if tel := a.tel.Load(); tel != nil {
+			tel.bytesRx.Add(uint64(len(payload)) + 4)
+		}
+		msg, err := sess.Decode(payload)
+		if err != nil {
+			// A frame that doesn't parse under the negotiated codec means
+			// the stream is broken (or the peer switched codecs without
+			// negotiating); drop the connection, the peer redials fresh.
+			if tel := a.tel.Load(); tel != nil {
+				tel.wireRead.Inc()
+			}
+			return
+		}
+		var resp *wire.Message
+		var next wire.Codec
+		if msg.Type == wire.TypeHello {
+			resp, next = a.hello(msg)
+		} else {
+			recScratch = recScratch[:0]
+			resp = a.dispatch(msg, &recScratch)
+		}
 		if a.ReadTimeout > 0 {
 			if err := conn.SetWriteDeadline(time.Now().Add(a.ReadTimeout)); err != nil {
 				return
 			}
 		}
-		if err := wire.Write(conn, resp); err != nil {
+		out, err := sess.Encode(resp) // a hello ack rides the pre-upgrade codec
+		if err == nil {
+			err = wire.WriteFrame(conn, out)
+		}
+		if err != nil {
 			if tel := a.tel.Load(); tel != nil {
 				tel.wireWrite.Inc()
 			}
 			log.Printf("perfsight-agent %s: write response: %v", a.machine, err)
 			return
 		}
+		if tel := a.tel.Load(); tel != nil {
+			tel.bytesTx.Add(uint64(len(out)) + 4)
+		}
+		if next != nil {
+			sess = next
+		}
 	}
+}
+
+// hello answers a codec negotiation: grant the best common codec, and
+// return the session codec to switch to after the ack is written (nil to
+// stay on the current one). Delta is granted only when both the
+// controller asked and the agent allows it.
+func (a *Agent) hello(msg *wire.Message) (*wire.Message, wire.Codec) {
+	if tel := a.tel.Load(); tel != nil {
+		tel.countRequest(msg.Type)
+	}
+	ack := &wire.Message{Type: wire.TypeHelloAck, ID: msg.ID, Machine: a.machine, Hello: &wire.Hello{}}
+	if a.Codec == wire.CodecJSON || msg.Hello == nil || !containsCodec(msg.Hello.Codecs, wire.CodecV2) {
+		if tel := a.tel.Load(); tel != nil {
+			tel.codecJSON.Inc()
+		}
+		return ack, nil
+	}
+	delta := msg.Hello.Delta && a.AllowDelta
+	ack.Hello.Codecs = []string{wire.CodecV2}
+	ack.Hello.Delta = delta
+	if tel := a.tel.Load(); tel != nil {
+		tel.codecV2.Inc()
+	}
+	return ack, wire.NewV2Codec(delta)
+}
+
+func containsCodec(codecs []string, want string) bool {
+	for _, c := range codecs {
+		if c == want {
+			return true
+		}
+	}
+	return false
 }
 
 // dispatch answers one request. The response echoes the request's
 // trace_id and carries the agent-side handling time so the controller's
-// query-lifecycle tracer can split transport from gather work.
-func (a *Agent) dispatch(msg *wire.Message) *wire.Message {
+// query-lifecycle tracer can split transport from gather work. scratch
+// is the connection's reusable record slice (already truncated).
+func (a *Agent) dispatch(msg *wire.Message, scratch *[]core.Record) *wire.Message {
 	start := time.Now()
-	resp := a.dispatchInner(msg)
+	resp := a.dispatchInner(msg, scratch)
 	resp.TraceID = msg.TraceID
 	resp.AgentNS = time.Since(start).Nanoseconds()
 	if tel := a.tel.Load(); tel != nil {
@@ -240,7 +330,7 @@ func (a *Agent) dispatch(msg *wire.Message) *wire.Message {
 	return resp
 }
 
-func (a *Agent) dispatchInner(msg *wire.Message) *wire.Message {
+func (a *Agent) dispatchInner(msg *wire.Message, scratch *[]core.Record) *wire.Message {
 	switch msg.Type {
 	case wire.TypePing:
 		return &wire.Message{Type: wire.TypePong, ID: msg.ID, Machine: a.machine}
@@ -257,7 +347,8 @@ func (a *Agent) dispatchInner(msg *wire.Message) *wire.Message {
 		if msg.Query == nil {
 			return &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: "query message without query body"}
 		}
-		recs, err := a.Fetch(msg.Query.Elements, msg.Query.Attrs, msg.Query.All)
+		recs, err := a.fetchAppend(*scratch, msg.Query.Elements, msg.Query.Attrs, msg.Query.All)
+		*scratch = recs
 		resp := &wire.Message{Type: wire.TypeResponse, ID: msg.ID, Machine: a.machine, Records: recs}
 		if err != nil {
 			resp.Error = err.Error()

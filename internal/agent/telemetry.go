@@ -24,6 +24,10 @@ type metrics struct {
 	conns        *telemetry.Counter
 	connsRefused *telemetry.Counter
 	idleClosed   *telemetry.Counter
+	bytesRx      *telemetry.Counter
+	bytesTx      *telemetry.Counter
+	codecV2      *telemetry.Counter
+	codecJSON    *telemetry.Counter
 
 	reqMu    sync.RWMutex
 	requests map[wire.MsgType]*telemetry.Counter
@@ -55,6 +59,18 @@ func (a *Agent) EnableTelemetry(reg *telemetry.Registry) *Agent {
 			"controller connections closed at accept because MaxConns was reached"),
 		idleClosed: reg.Counter("perfsight_agent_idle_disconnects_total",
 			"served connections closed after sitting idle past ReadTimeout"),
+		bytesRx: reg.Counter("perfsight_agent_wire_bytes_total",
+			"frame bytes exchanged with controllers, including the 4-byte length header",
+			telemetry.Label{Key: "dir", Value: "rx"}),
+		bytesTx: reg.Counter("perfsight_agent_wire_bytes_total",
+			"frame bytes exchanged with controllers, including the 4-byte length header",
+			telemetry.Label{Key: "dir", Value: "tx"}),
+		codecV2: reg.Counter("perfsight_agent_codec_negotiations_total",
+			"hello exchanges by granted wire codec",
+			telemetry.Label{Key: "codec", Value: wire.CodecV2}),
+		codecJSON: reg.Counter("perfsight_agent_codec_negotiations_total",
+			"hello exchanges by granted wire codec",
+			telemetry.Label{Key: "codec", Value: wire.CodecJSON}),
 		requests: make(map[wire.MsgType]*telemetry.Counter),
 		gather:   make(map[core.ElementKind]*telemetry.Histogram),
 	}

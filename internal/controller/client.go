@@ -61,23 +61,53 @@ func (c *LocalClient) Close() error { return nil }
 // serialized on one connection; an established connection that went stale
 // is redialed once per request, while a fresh dial failure surfaces
 // immediately (the controller's sweep layer owns retry and backoff).
+//
+// Each fresh connection starts with a codec hello (unless Codec pins
+// JSON): peers that grant codec v2 switch the connection to the binary
+// encoding, anyone else — including agents that predate v2 and answer
+// the hello with an error — transparently stays on JSON.
 type TCPClient struct {
 	Addr    string
 	Timeout time.Duration
 
-	mu     sync.Mutex
-	conn   net.Conn
-	nextID uint64
+	// Codec is the wire codec to offer: wire.CodecV2 (or empty, the
+	// default) negotiates v2 with JSON fallback; wire.CodecJSON skips
+	// the hello entirely. Set before the first request.
+	Codec string
+
+	// Delta requests delta-encoded sweep responses on v2 connections:
+	// the agent resends only attrs whose values changed since this
+	// connection's previous response. Set before the first request.
+	Delta bool
+
+	mu         sync.Mutex
+	conn       net.Conn
+	sess       wire.Codec // nil iff conn is nil
+	negotiated string     // codec of the last negotiation, for operators
+	frameBuf   []byte
+	nextID     uint64
 
 	tracer     *telemetry.Tracer
 	wireErrors *telemetry.Counter
 	reconnects *telemetry.Counter
 	agentDur   *telemetry.Histogram
+	bytesTx    *telemetry.Counter
+	bytesRx    *telemetry.Counter
+	negV2      *telemetry.Counter
+	negJSON    *telemetry.Counter
 }
 
 // NewTCPClient returns a client for the agent at addr.
 func NewTCPClient(addr string) *TCPClient {
 	return &TCPClient{Addr: addr, Timeout: 5 * time.Second}
+}
+
+// NegotiatedCodec reports the payload codec of the most recent
+// connection ("" before the first successful dial).
+func (c *TCPClient) NegotiatedCodec() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.negotiated
 }
 
 // EnableTelemetry instruments the client: every round trip becomes a
@@ -95,7 +125,91 @@ func (c *TCPClient) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.T
 		"agent connections re-dialed after a stale-connection failure")
 	c.agentDur = reg.Histogram("perfsight_controller_agent_gather_duration_ns",
 		"agent-reported handling time per query, nanoseconds")
+	c.bytesTx = reg.Counter("perfsight_controller_wire_bytes_total",
+		"frame bytes exchanged with agents, including the 4-byte length header",
+		telemetry.Label{Key: "dir", Value: "tx"})
+	c.bytesRx = reg.Counter("perfsight_controller_wire_bytes_total",
+		"frame bytes exchanged with agents, including the 4-byte length header",
+		telemetry.Label{Key: "dir", Value: "rx"})
+	c.negV2 = reg.Counter("perfsight_controller_codec_negotiations_total",
+		"connections by negotiated wire codec",
+		telemetry.Label{Key: "codec", Value: wire.CodecV2})
+	c.negJSON = reg.Counter("perfsight_controller_codec_negotiations_total",
+		"connections by negotiated wire codec",
+		telemetry.Label{Key: "codec", Value: wire.CodecJSON})
 	return c
+}
+
+// dropConn closes and forgets the cached connection together with its
+// session codec (the codec's intern/delta state is connection-scoped, so
+// the two must always be reset as a pair).
+func (c *TCPClient) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.sess = nil
+}
+
+// negotiate runs the codec hello on a freshly dialed connection and
+// returns the session codec to use for its lifetime. The hello itself is
+// always JSON — that is what makes the exchange safe against agents that
+// predate v2: they answer with a JSON error frame, and the client simply
+// keeps the JSON codec on the same connection.
+func (c *TCPClient) negotiate(conn net.Conn) (wire.Codec, error) {
+	c.nextID++
+	hello := &wire.Message{
+		Type:  wire.TypeHello,
+		ID:    c.nextID,
+		Hello: &wire.Hello{Codecs: []string{wire.CodecV2}, Delta: c.Delta},
+	}
+	payload, err := wire.Encode(hello)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, payload); err != nil {
+		return nil, err
+	}
+	if c.bytesTx != nil {
+		c.bytesTx.Add(uint64(len(payload)) + 4)
+	}
+	raw, err := wire.ReadFrameBuf(conn, &c.frameBuf)
+	if err != nil {
+		return nil, err
+	}
+	if c.bytesRx != nil {
+		c.bytesRx.Add(uint64(len(raw)) + 4)
+	}
+	resp, err := wire.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.ID != hello.ID {
+		return nil, fmt.Errorf("controller: agent %s: hello response id %d for request %d", c.Addr, resp.ID, hello.ID)
+	}
+	if resp.Type == wire.TypeHelloAck && resp.Hello != nil && containsCodec(resp.Hello.Codecs, wire.CodecV2) {
+		if c.negV2 != nil {
+			c.negV2.Inc()
+		}
+		c.negotiated = wire.CodecV2
+		return wire.NewV2Codec(c.Delta && resp.Hello.Delta), nil
+	}
+	// Anything else — an old agent's error frame, or an ack that grants
+	// nothing — means the peer speaks JSON only.
+	if c.negJSON != nil {
+		c.negJSON.Inc()
+	}
+	c.negotiated = wire.CodecJSON
+	return wire.JSONCodec{}, nil
+}
+
+func containsCodec(codecs []string, want string) bool {
+	for _, s := range codecs {
+		if s == want {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
@@ -108,38 +222,62 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 	defer qt.End()
 	req.TraceID = qt.ID()
 
-	stopEncode := qt.Time(telemetry.StageEncode)
-	payload, err := wire.Encode(req)
-	stopEncode()
-	if err != nil {
-		qt.Fail()
-		return nil, err
-	}
-
+	// Encoding happens inside try(), after negotiation: the payload codec
+	// is connection-scoped (intern tables, delta state), and a redial may
+	// renegotiate it.
 	try := func() (*wire.Message, error) {
 		if c.conn == nil {
 			conn, err := net.DialTimeout("tcp", c.Addr, c.Timeout)
 			if err != nil {
 				return nil, fmt.Errorf("controller: dial agent %s: %w", c.Addr, err)
 			}
+			if c.Timeout > 0 {
+				if err := conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+					conn.Close()
+					return nil, fmt.Errorf("controller: set deadline for agent %s: %w", c.Addr, err)
+				}
+			}
+			sess := wire.Codec(wire.JSONCodec{})
+			if c.Codec != wire.CodecJSON {
+				sess, err = c.negotiate(conn)
+				if err != nil {
+					conn.Close()
+					return nil, fmt.Errorf("controller: negotiate with agent %s: %w", c.Addr, err)
+				}
+			} else {
+				c.negotiated = wire.CodecJSON
+			}
 			c.conn = conn
+			c.sess = sess
 		}
 		if c.Timeout > 0 {
 			if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
 				return nil, fmt.Errorf("controller: set deadline for agent %s: %w", c.Addr, err)
 			}
 		}
+		stopEncode := qt.Time(telemetry.StageEncode)
+		payload, err := c.sess.Encode(req)
+		stopEncode()
+		if err != nil {
+			return nil, err
+		}
 		wireStart := time.Now()
 		if err := wire.WriteFrame(c.conn, payload); err != nil {
 			return nil, err
 		}
-		raw, err := wire.ReadFrame(c.conn)
+		if c.bytesTx != nil {
+			c.bytesTx.Add(uint64(len(payload)) + 4)
+		}
+		raw, err := wire.ReadFrameBuf(c.conn, &c.frameBuf)
 		if err != nil {
 			return nil, err
 		}
+		if c.bytesRx != nil {
+			c.bytesRx.Add(uint64(len(raw)) + 4)
+		}
 		transport := time.Since(wireStart)
 		stopDecode := qt.Time(telemetry.StageDecode)
-		resp, err := wire.Decode(raw)
+		resp, err := c.sess.Decode(raw)
 		stopDecode()
 		if err != nil {
 			return nil, err
@@ -170,10 +308,7 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 	hadConn := c.conn != nil
 	resp, err := try()
 	if err != nil {
-		if c.conn != nil {
-			c.conn.Close()
-			c.conn = nil
-		}
+		c.dropConn()
 		if hadConn {
 			if c.reconnects != nil {
 				c.reconnects.Inc()
@@ -181,10 +316,7 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 			resp, err = try()
 		}
 		if err != nil {
-			if c.conn != nil {
-				c.conn.Close()
-				c.conn = nil
-			}
+			c.dropConn()
 			if c.wireErrors != nil {
 				c.wireErrors.Inc()
 			}
@@ -193,8 +325,7 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 		}
 	}
 	if resp.ID != req.ID {
-		c.conn.Close()
-		c.conn = nil
+		c.dropConn()
 		if c.wireErrors != nil {
 			c.wireErrors.Inc()
 		}
@@ -251,6 +382,7 @@ func (c *TCPClient) Close() error {
 	if c.conn != nil {
 		err := c.conn.Close()
 		c.conn = nil
+		c.sess = nil
 		return err
 	}
 	return nil

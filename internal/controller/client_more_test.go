@@ -84,6 +84,10 @@ func TestStaleConnectionCountsOneReconnect(t *testing.T) {
 	}()
 	reg := telemetry.NewRegistry()
 	c := NewTCPClient(ln.Addr().String()).EnableTelemetry(reg, nil)
+	// Pin the raw JSON path: the fake server answers exactly one frame per
+	// connection, so a codec hello would eat it. Negotiation has its own
+	// coverage in interop_test.go.
+	c.Codec = wire.CodecJSON
 	defer c.Close()
 	if _, err := c.Ping(); err != nil {
 		t.Fatal(err)

@@ -17,6 +17,11 @@ func TestElementIDComponents(t *testing.T) {
 		{"m0/vm2/guest/socket", "m0", "vm2", "socket"},
 		{"m0/vm-lb/app", "m0", "vm-lb", "app"},
 		{"solo", "solo", "", "solo"},
+		{"", "", "", ""},
+		{"m0/vm2", "m0", "", "vm2"},     // two parts: middle segment absent
+		{"m0/v/x", "m0", "", "x"},       // middle segment too short for "vm"
+		{"m0/vswitch/q0", "m0", "", "q0"}, // "v" prefix but not "vm"
+		{"/vm1/x", "", "vm1", "x"},
 	} {
 		if got := tc.id.Machine(); got != tc.machine {
 			t.Errorf("%s.Machine() = %s; want %s", tc.id, got, tc.machine)
@@ -27,6 +32,28 @@ func TestElementIDComponents(t *testing.T) {
 		if got := tc.id.Leaf(); got != tc.leaf {
 			t.Errorf("%s.Leaf() = %s; want %s", tc.id, got, tc.leaf)
 		}
+	}
+}
+
+// VM() runs on every record of every sweep (topology routing), so it
+// must not allocate.
+func TestElementIDVMDoesNotAllocate(t *testing.T) {
+	ids := []ElementID{"m0/pnic", "m0/vm2/tun", "m0/vm2/guest/socket", "solo"}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, id := range ids {
+			_ = id.VM()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("VM() allocs/op = %v; want 0", allocs)
+	}
+}
+
+func BenchmarkElementIDVM(b *testing.B) {
+	ids := []ElementID{"m0/pnic", "m0/vm2/tun", "m0/vm2/guest/socket", "m0/cpu3/backlog"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ids[i%len(ids)].VM()
 	}
 }
 

@@ -1,0 +1,573 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"perfsight/internal/core"
+)
+
+// Codec v2 is the compact binary payload encoding, negotiated per
+// connection by a JSON hello exchange (see Hello). Frame layout:
+//
+//	0xF2 | type | uvarint id | uvarint trace_id | svarint agent_ns
+//	     | istr machine | bstr error
+//	     | u8 hasQuery [ u8 all | uvarint n, n·istr elements
+//	                   | uvarint n, n·istr attrs ]
+//	     | uvarint n, n·( istr id, uvarint kind )          element metas
+//	     | uvarint n, n·record                             records
+//
+//	record = u8 flags(1=full, 0=delta)
+//	       | svarint ts (difference vs previous record; first absolute)
+//	       | istr element
+//	       | full:  uvarint n, n·( istr name, value )
+//	       | delta: uvarint n, n·( uvarint attr index, value )
+//
+//	value  = uvarint u: even → integral float, unzigzag(u>>1);
+//	         u == 1 → raw float64 bits, 8 bytes little-endian.
+//	         (counters are integral floats, so most values are varints)
+//
+//	istr   = uvarint v: v == 0 → uvarint len + bytes, appended to the
+//	         connection's string table (until v2MaxStrings); v > 0 →
+//	         table entry v-1. bstr = uvarint len + bytes, not interned.
+//
+// Attribute names and element IDs repeat on every response, so the
+// per-connection intern table reduces them to 1-2 bytes after the first
+// frame; varint integers and the optional delta record mode (send only
+// attrs whose values changed since the connection's last response for
+// that element) do the rest of the frame-size reduction over JSON.
+const (
+	v2Magic      = 0xF2
+	v2MaxStrings = 1 << 16
+)
+
+var v2TypeCode = map[MsgType]byte{
+	TypeQuery:        1,
+	TypeResponse:     2,
+	TypeListElements: 3,
+	TypeElementList:  4,
+	TypePing:         5,
+	TypePong:         6,
+	TypeError:        7,
+}
+
+// v2CodeType is the reverse of v2TypeCode, built once so the two can
+// never drift.
+var v2CodeType = func() map[byte]MsgType {
+	m := make(map[byte]MsgType, len(v2TypeCode))
+	for t, c := range v2TypeCode {
+		m[c] = t
+	}
+	return m
+}()
+
+// v2DeltaState is the last full attribute set exchanged for one element
+// on a delta connection — the encoder's "what the peer already has" and
+// the decoder's merge base.
+type v2DeltaState struct {
+	ts    int64
+	attrs []core.Attr
+}
+
+// v2RecMeta stages one decoded record until the frame's total attribute
+// count is known, so the output can be materialized with two allocations
+// (one []Record, one flat []Attr) regardless of element count.
+type v2RecMeta struct {
+	ts         int64
+	elem       core.ElementID
+	start, end int
+}
+
+// V2Codec encodes and decodes codec-v2 payloads for one connection
+// endpoint. It is stateful — intern tables and delta state must see
+// every frame of the connection, in order — and not goroutine-safe.
+type V2Codec struct {
+	delta bool
+
+	// Encode side: reusable output buffer, sent-string intern table, and
+	// (delta sessions) the last-sent attrs per element.
+	buf     []byte
+	encTab  map[string]uint32
+	encSent map[core.ElementID]*v2DeltaState
+
+	// Decode side: received-string table, (delta sessions) the merge
+	// base per element, and scratch reused across frames.
+	decTab       []string
+	decSeen      map[core.ElementID]*v2DeltaState
+	scratchAttrs []core.Attr
+	scratchRecs  []v2RecMeta
+}
+
+// NewV2Codec returns a fresh per-connection codec. delta enables the
+// changed-attrs-only record mode on response frames; both endpoints must
+// agree on it (the hello exchange guarantees that).
+func NewV2Codec(delta bool) *V2Codec {
+	return &V2Codec{delta: delta, encTab: make(map[string]uint32)}
+}
+
+// Name implements Codec.
+func (c *V2Codec) Name() string { return CodecV2 }
+
+// Delta reports whether the session delta-encodes response records.
+func (c *V2Codec) Delta() bool { return c.delta }
+
+// Encode implements Codec. The returned slice aliases the codec's
+// internal buffer and is overwritten by the next Encode call.
+func (c *V2Codec) Encode(m *Message) ([]byte, error) {
+	code, ok := v2TypeCode[m.Type]
+	if !ok {
+		return nil, fmt.Errorf("wire: codec v2 cannot encode message type %q", m.Type)
+	}
+	if m.Hello != nil {
+		return nil, fmt.Errorf("wire: hello frames must use the JSON codec")
+	}
+	b := append(c.buf[:0], v2Magic, code)
+	b = binary.AppendUvarint(b, m.ID)
+	b = binary.AppendUvarint(b, m.TraceID)
+	b = binary.AppendVarint(b, m.AgentNS)
+	b = c.appendIStr(b, string(m.Machine))
+	b = binary.AppendUvarint(b, uint64(len(m.Error)))
+	b = append(b, m.Error...)
+	if m.Query != nil {
+		b = append(b, 1)
+		if m.Query.All {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.AppendUvarint(b, uint64(len(m.Query.Elements)))
+		for _, e := range m.Query.Elements {
+			b = c.appendIStr(b, string(e))
+		}
+		b = binary.AppendUvarint(b, uint64(len(m.Query.Attrs)))
+		for _, a := range m.Query.Attrs {
+			b = c.appendIStr(b, a)
+		}
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Elements)))
+	for _, el := range m.Elements {
+		b = c.appendIStr(b, string(el.ID))
+		b = binary.AppendUvarint(b, uint64(el.Kind))
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Records)))
+	prevTS := int64(0)
+	for i := range m.Records {
+		b = c.appendRecord(b, &m.Records[i], m.Type, prevTS)
+		prevTS = m.Records[i].Timestamp
+	}
+	c.buf = b
+	if len(b) > MaxFrame {
+		return nil, fmt.Errorf("wire: frame too large: %d bytes", len(b))
+	}
+	return b, nil
+}
+
+func (c *V2Codec) appendIStr(b []byte, s string) []byte {
+	if id, ok := c.encTab[s]; ok {
+		return binary.AppendUvarint(b, uint64(id)+1)
+	}
+	b = append(b, 0)
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	b = append(b, s...)
+	if len(c.encTab) < v2MaxStrings {
+		c.encTab[s] = uint32(len(c.encTab))
+	}
+	return b
+}
+
+// appendValue writes one attribute value: integral floats (all PerfSight
+// counters) as a zigzag varint, everything else as raw float64 bits.
+func appendValue(b []byte, v float64) []byte {
+	if iv := int64(v); float64(iv) == v && iv > -(1<<52) && iv < 1<<52 {
+		zz := uint64(iv<<1) ^ uint64(iv>>63)
+		return binary.AppendUvarint(b, zz<<1)
+	}
+	b = binary.AppendUvarint(b, 1)
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func sameAttrNames(a, b []core.Attr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *V2Codec) appendRecord(b []byte, rec *core.Record, mtype MsgType, prevTS int64) []byte {
+	if c.delta && mtype == TypeResponse {
+		if st := c.encSent[rec.Element]; st != nil && sameAttrNames(st.attrs, rec.Attrs) {
+			b = append(b, 0) // delta record
+			b = binary.AppendVarint(b, rec.Timestamp-prevTS)
+			b = c.appendIStr(b, string(rec.Element))
+			changed := 0
+			for i := range rec.Attrs {
+				if rec.Attrs[i].Value != st.attrs[i].Value {
+					changed++
+				}
+			}
+			b = binary.AppendUvarint(b, uint64(changed))
+			for i := range rec.Attrs {
+				if v := rec.Attrs[i].Value; v != st.attrs[i].Value {
+					b = binary.AppendUvarint(b, uint64(i))
+					b = appendValue(b, v)
+					st.attrs[i].Value = v
+				}
+			}
+			st.ts = rec.Timestamp
+			return b
+		}
+	}
+	b = append(b, 1) // full record
+	b = binary.AppendVarint(b, rec.Timestamp-prevTS)
+	b = c.appendIStr(b, string(rec.Element))
+	b = binary.AppendUvarint(b, uint64(len(rec.Attrs)))
+	for _, a := range rec.Attrs {
+		b = c.appendIStr(b, a.Name)
+		b = appendValue(b, a.Value)
+	}
+	if c.delta && mtype == TypeResponse {
+		if c.encSent == nil {
+			c.encSent = make(map[core.ElementID]*v2DeltaState)
+		}
+		st := c.encSent[rec.Element]
+		if st == nil {
+			st = &v2DeltaState{}
+			c.encSent[rec.Element] = st
+		}
+		st.ts = rec.Timestamp
+		st.attrs = append(st.attrs[:0], rec.Attrs...)
+	}
+	return b
+}
+
+// v2dec is a bounds-checked cursor over one frame payload. Every length
+// and table reference is validated, so corrupt frames error instead of
+// panicking or ballooning memory (see FuzzV2Decode).
+type v2dec struct {
+	c   *V2Codec
+	b   []byte
+	off int
+}
+
+func (d *v2dec) remaining() int { return len(d.b) - d.off }
+
+func (d *v2dec) byte() (byte, error) {
+	if d.off >= len(d.b) {
+		return 0, fmt.Errorf("wire: v2: truncated frame at byte %d", d.off)
+	}
+	v := d.b[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *v2dec) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: v2: bad uvarint at byte %d", d.off)
+	}
+	d.off += n
+	return u, nil
+}
+
+func (d *v2dec) varint() (int64, error) {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: v2: bad varint at byte %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+// count reads an item count and rejects any that could not fit in the
+// remaining payload at min bytes per item — a cheap bound that keeps a
+// corrupt frame from provoking a huge allocation.
+func (d *v2dec) count(min int) (int, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if min < 1 {
+		min = 1
+	}
+	if u > uint64(d.remaining()/min) {
+		return 0, fmt.Errorf("wire: v2: count %d exceeds frame", u)
+	}
+	return int(u), nil
+}
+
+func (d *v2dec) istr() (string, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if u == 0 {
+		s, err := d.bstr()
+		if err != nil {
+			return "", err
+		}
+		if len(d.c.decTab) < v2MaxStrings {
+			d.c.decTab = append(d.c.decTab, s)
+		}
+		return s, nil
+	}
+	idx := u - 1
+	if idx >= uint64(len(d.c.decTab)) {
+		return "", fmt.Errorf("wire: v2: string ref %d outside table of %d", idx, len(d.c.decTab))
+	}
+	return d.c.decTab[idx], nil
+}
+
+func (d *v2dec) bstr() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(d.remaining()) {
+		return "", fmt.Errorf("wire: v2: string of %d bytes exceeds frame", n)
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *v2dec) value() (float64, error) {
+	u, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u&1 == 0 {
+		zz := u >> 1
+		return float64(int64(zz>>1) ^ -int64(zz&1)), nil
+	}
+	if u != 1 {
+		return 0, fmt.Errorf("wire: v2: bad value tag %d", u)
+	}
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("wire: v2: truncated float value")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v, nil
+}
+
+// Decode implements Codec. A payload that is not a v2 frame (a JSON peer
+// that skipped negotiation, a desynchronized stream) errors cleanly so
+// the connection owner can drop the connection and renegotiate.
+func (c *V2Codec) Decode(payload []byte) (*Message, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("wire: v2: frame of %d bytes too short", len(payload))
+	}
+	if payload[0] != v2Magic {
+		return nil, fmt.Errorf("wire: v2: bad magic %#x (codec mismatch?)", payload[0])
+	}
+	mt, ok := v2CodeType[payload[1]]
+	if !ok {
+		return nil, fmt.Errorf("wire: v2: unknown message type code %d", payload[1])
+	}
+	d := v2dec{c: c, b: payload, off: 2}
+	m := &Message{Type: mt}
+	var err error
+	if m.ID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if m.TraceID, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if m.AgentNS, err = d.varint(); err != nil {
+		return nil, err
+	}
+	mach, err := d.istr()
+	if err != nil {
+		return nil, err
+	}
+	m.Machine = core.MachineID(mach)
+	if m.Error, err = d.bstr(); err != nil {
+		return nil, err
+	}
+	hasQuery, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch hasQuery {
+	case 0:
+	case 1:
+		q := &Query{}
+		all, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		if all > 1 {
+			return nil, fmt.Errorf("wire: v2: bad query all flag %d", all)
+		}
+		q.All = all == 1
+		n, err := d.count(1)
+		if err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			q.Elements = make([]core.ElementID, n)
+			for i := range q.Elements {
+				s, err := d.istr()
+				if err != nil {
+					return nil, err
+				}
+				q.Elements[i] = core.ElementID(s)
+			}
+		}
+		if n, err = d.count(1); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			q.Attrs = make([]string, n)
+			for i := range q.Attrs {
+				if q.Attrs[i], err = d.istr(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		m.Query = q
+	default:
+		return nil, fmt.Errorf("wire: v2: bad query presence flag %d", hasQuery)
+	}
+	n, err := d.count(2)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		m.Elements = make([]ElementMeta, n)
+		for i := range m.Elements {
+			s, err := d.istr()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := d.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m.Elements[i] = ElementMeta{ID: core.ElementID(s), Kind: core.ElementKind(int64(kind))}
+		}
+	}
+	if err := c.decodeRecords(&d, m); err != nil {
+		return nil, err
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("wire: v2: %d trailing bytes", d.remaining())
+	}
+	return m, nil
+}
+
+func (c *V2Codec) decodeRecords(d *v2dec, m *Message) error {
+	nrec, err := d.count(3)
+	if err != nil {
+		return err
+	}
+	if nrec == 0 {
+		return nil
+	}
+	c.scratchRecs = c.scratchRecs[:0]
+	c.scratchAttrs = c.scratchAttrs[:0]
+	prevTS := int64(0)
+	for i := 0; i < nrec; i++ {
+		flags, err := d.byte()
+		if err != nil {
+			return err
+		}
+		dts, err := d.varint()
+		if err != nil {
+			return err
+		}
+		ts := prevTS + dts
+		prevTS = ts
+		elemS, err := d.istr()
+		if err != nil {
+			return err
+		}
+		elem := core.ElementID(elemS)
+		start := len(c.scratchAttrs)
+		switch flags {
+		case 1: // full record
+			na, err := d.count(2)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < na; j++ {
+				name, err := d.istr()
+				if err != nil {
+					return err
+				}
+				v, err := d.value()
+				if err != nil {
+					return err
+				}
+				c.scratchAttrs = append(c.scratchAttrs, core.Attr{Name: name, Value: v})
+			}
+			if c.delta && m.Type == TypeResponse {
+				if c.decSeen == nil {
+					c.decSeen = make(map[core.ElementID]*v2DeltaState)
+				}
+				st := c.decSeen[elem]
+				if st == nil {
+					st = &v2DeltaState{}
+					c.decSeen[elem] = st
+				}
+				st.ts = ts
+				st.attrs = append(st.attrs[:0], c.scratchAttrs[start:]...)
+			}
+		case 0: // delta record: merge changed attrs into the stored base
+			if !c.delta {
+				return fmt.Errorf("wire: v2: delta record on non-delta session")
+			}
+			st := c.decSeen[elem]
+			if st == nil {
+				return fmt.Errorf("wire: v2: delta record for unseen element %q", elem)
+			}
+			nc, err := d.count(2)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < nc; j++ {
+				idx, err := d.uvarint()
+				if err != nil {
+					return err
+				}
+				if idx >= uint64(len(st.attrs)) {
+					return fmt.Errorf("wire: v2: delta attr index %d outside %d attrs of %q", idx, len(st.attrs), elem)
+				}
+				v, err := d.value()
+				if err != nil {
+					return err
+				}
+				st.attrs[idx].Value = v
+			}
+			st.ts = ts
+			c.scratchAttrs = append(c.scratchAttrs, st.attrs...)
+		default:
+			return fmt.Errorf("wire: v2: bad record flags %#x", flags)
+		}
+		c.scratchRecs = append(c.scratchRecs, v2RecMeta{ts: ts, elem: elem, start: start, end: len(c.scratchAttrs)})
+	}
+	// Materialize with exactly two allocations. The returned records own
+	// their storage: callers retain them across frames (SampleInterval
+	// holds the previous sweep while the current one decodes), so they
+	// must not alias the codec's scratch.
+	flat := make([]core.Attr, len(c.scratchAttrs))
+	copy(flat, c.scratchAttrs)
+	recs := make([]core.Record, len(c.scratchRecs))
+	for i, rm := range c.scratchRecs {
+		r := core.Record{Timestamp: rm.ts, Element: rm.elem}
+		if rm.end > rm.start {
+			r.Attrs = flat[rm.start:rm.end:rm.end]
+		}
+		recs[i] = r
+	}
+	m.Records = recs
+	return nil
+}

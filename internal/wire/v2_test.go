@@ -1,0 +1,355 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"perfsight/internal/core"
+)
+
+// v2SweepResponse builds a representative steady-state sweep response:
+// elems elements, each with the same nattrs counter attributes — the
+// shape of one machine's answer during a fleet sweep.
+func v2SweepResponse(elems, nattrs int, tick int64) *Message {
+	m := &Message{Type: TypeResponse, ID: uint64(tick), Machine: "m7", AgentNS: 12345}
+	for e := 0; e < elems; e++ {
+		rec := core.Record{
+			Timestamp: tick*1e9 + int64(e),
+			Element:   core.ElementID(fmt.Sprintf("m7/vm%d/vnic", e)),
+		}
+		for a := 0; a < nattrs; a++ {
+			rec.Attrs = append(rec.Attrs, core.Attr{
+				Name:  fmt.Sprintf("attr_%d_bytes", a),
+				Value: float64(tick*1000 + int64(e*nattrs+a)),
+			})
+		}
+		m.Records = append(m.Records, rec)
+	}
+	return m
+}
+
+func TestV2RoundTripMessageTypes(t *testing.T) {
+	msgs := []*Message{
+		{Type: TypePing, ID: 1},
+		{Type: TypePong, ID: 2, Machine: "m0"},
+		{Type: TypeError, ID: 3, Error: "boom"},
+		{Type: TypeQuery, ID: 4, TraceID: 99, Query: &Query{All: true}},
+		{Type: TypeQuery, ID: 5, Query: &Query{
+			Elements: []core.ElementID{"m0/pnic", "m0/vm1/vnic"},
+			Attrs:    []string{"rx_bytes", "tx_bytes"},
+		}},
+		{Type: TypeListElements, ID: 6},
+		{Type: TypeElementList, ID: 7, Machine: "m0", Elements: []ElementMeta{
+			{ID: "m0/pnic", Kind: core.KindPNIC},
+			{ID: "m0/vm1/vnic", Kind: core.KindVNIC},
+		}},
+		{Type: TypeResponse, ID: 8, Machine: "m0", AgentNS: 42, Error: "partial: x",
+			Records: []core.Record{
+				{Timestamp: 100, Element: "m0/pnic", Attrs: []core.Attr{
+					{Name: "rx_bytes", Value: 1e12},
+					{Name: "ratio", Value: 0.625},
+					{Name: "neg", Value: -17},
+					{Name: "huge", Value: math.MaxFloat64},
+				}},
+				{Timestamp: 90, Element: "m0/vm1/vnic"}, // ts goes backwards, no attrs
+			}},
+		v2SweepResponse(26, 12, 3),
+	}
+	enc := NewV2Codec(false)
+	dec := NewV2Codec(false)
+	for _, m := range msgs {
+		payload, err := enc.Encode(m)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", m.Type, err)
+		}
+		got, err := dec.Decode(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("%s round trip:\n got %+v\nwant %+v", m.Type, got, m)
+		}
+	}
+}
+
+// Interned strings shrink repeat frames: the second identical response
+// must be much smaller than the first because every element ID and attr
+// name became a 1-2 byte table reference.
+func TestV2StringInterning(t *testing.T) {
+	enc := NewV2Codec(false)
+	first, err := enc.Encode(v2SweepResponse(26, 12, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(first)
+	second, err := enc.Encode(v2SweepResponse(26, 12, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attr names already intern within the first frame (they repeat per
+	// record); the second frame also drops the inline element IDs.
+	if len(second) >= n1*3/4 {
+		t.Fatalf("interning ineffective: first frame %dB, second %dB", n1, len(second))
+	}
+	third, err := enc.Encode(v2SweepResponse(26, 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) != len(second) {
+		t.Fatalf("steady state not reached: second %dB, third %dB", len(second), len(third))
+	}
+	// And the decoder tracks the same table.
+	dec := NewV2Codec(false)
+	if _, err := dec.Decode(mustEncode(t, NewV2Codec(false), v2SweepResponse(2, 2, 1))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustEncode(t *testing.T, c *V2Codec, m *Message) []byte {
+	t.Helper()
+	b, err := c.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// Delta sessions resend only changed attrs, and the decoder's merged
+// records must equal what a full encoding would have carried.
+func TestV2DeltaRoundTrip(t *testing.T) {
+	enc := NewV2Codec(true)
+	dec := NewV2Codec(true)
+
+	roundTrip := func(tick int64) *Message {
+		t.Helper()
+		m := v2SweepResponse(4, 6, tick)
+		payload, err := enc.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("tick %d:\n got %+v\nwant %+v", tick, got, m)
+		}
+		return got
+	}
+
+	first := roundTrip(1)
+	second := roundTrip(2)
+	// Decoded records own their storage: the merge base mutates every
+	// frame, the returned records must not.
+	if v := first.Records[0].Attrs[0].Value; v != 1000 {
+		t.Fatalf("first sweep mutated by second: %v", v)
+	}
+	if v := second.Records[0].Attrs[0].Value; v != 2000 {
+		t.Fatalf("second sweep: %v", v)
+	}
+
+	// A quiet element (no changed values) costs only a few bytes.
+	quiet := &Message{Type: TypeResponse, ID: 9, Machine: "m7",
+		Records: []core.Record{{Timestamp: 5, Element: "m7/pnic", Attrs: []core.Attr{
+			{Name: "rx_bytes", Value: 100}, {Name: "tx_bytes", Value: 200}}}}}
+	if _, err := dec.Decode(mustEncode(t, enc, quiet)); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := len(mustEncode(t, enc, quiet))
+	got, err := dec.Decode(mustEncode(t, enc, quiet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, quiet.Records) {
+		t.Fatalf("quiet delta: %+v", got.Records)
+	}
+	if sizeBefore > 16 {
+		t.Fatalf("quiet delta record cost %dB; want a handful", sizeBefore)
+	}
+
+	// Changing the attribute set falls back to a full record.
+	quiet.Records[0].Attrs = append(quiet.Records[0].Attrs, core.Attr{Name: "drops", Value: 1})
+	got, err = dec.Decode(mustEncode(t, enc, quiet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, quiet.Records) {
+		t.Fatalf("attr-set change: %+v", got.Records)
+	}
+}
+
+func TestV2EncodeRejections(t *testing.T) {
+	enc := NewV2Codec(false)
+	if _, err := enc.Encode(&Message{Type: TypeHello}); err == nil {
+		t.Fatal("hello accepted by v2 encoder")
+	}
+	if _, err := enc.Encode(&Message{Type: TypePing, Hello: &Hello{}}); err == nil {
+		t.Fatal("hello body accepted by v2 encoder")
+	}
+	if _, err := enc.Encode(&Message{Type: MsgType("bogus")}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestV2DecodeErrors(t *testing.T) {
+	valid := mustEncode(t, NewV2Codec(false), v2SweepResponse(2, 3, 1))
+	cases := map[string][]byte{
+		"empty":          {},
+		"short":          {v2Magic},
+		"bad magic":      {0x7b, 1, 0, 0, 0}, // '{' — a JSON frame
+		"bad type":       {v2Magic, 0xEE, 0, 0, 0},
+		"truncated": valid[:len(valid)/2],
+		"trailing":  append(append([]byte{}, valid...), 0xFF),
+		// A record count far beyond what the remaining bytes could hold
+		// must be rejected before any allocation is attempted.
+		"huge count": {v2Magic, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0x03},
+	}
+	for name, b := range cases {
+		dec := NewV2Codec(false)
+		if _, err := dec.Decode(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	// A string-table reference beyond the table must error.
+	enc := NewV2Codec(false)
+	frame := mustEncode(t, enc, &Message{Type: TypePong, ID: 1, Machine: "m0"})
+	// Fresh decoder has an empty table, so the second encode (which
+	// references the interned "m0") is corrupt for it.
+	frame2 := mustEncode(t, enc, &Message{Type: TypePong, ID: 2, Machine: "m0"})
+	fresh := NewV2Codec(false)
+	if _, err := fresh.Decode(frame2); err == nil || !strings.Contains(err.Error(), "string ref") {
+		t.Fatalf("out-of-table ref: %v", err)
+	}
+	_ = frame
+
+	// Delta records are invalid on non-delta sessions and for elements
+	// the session has not seen in full.
+	dEnc := NewV2Codec(true)
+	base := &Message{Type: TypeResponse, ID: 1, Records: []core.Record{
+		{Timestamp: 1, Element: "m0/pnic", Attrs: []core.Attr{{Name: "a", Value: 1}}}}}
+	if _, err := dEnc.Encode(base); err != nil {
+		t.Fatal(err)
+	}
+	base.Records[0].Timestamp = 2
+	deltaFrame := mustEncode(t, dEnc, base) // second frame is a delta record
+	if _, err := NewV2Codec(false).Decode(deltaFrame); err == nil {
+		t.Fatal("delta record accepted on non-delta session")
+	}
+	if _, err := NewV2Codec(true).Decode(deltaFrame); err == nil {
+		t.Fatal("delta record accepted for unseen element")
+	}
+}
+
+// TestV2RoundTripAllocBudget pins the steady-state allocation cost of a
+// full sweep-response round trip against a checked-in budget. CI fails
+// when a change regresses past it (see make bench-wire).
+func TestV2RoundTripAllocBudget(t *testing.T) {
+	raw, err := os.ReadFile("testdata/v2_alloc_budget.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64)
+	if err != nil {
+		t.Fatalf("parse budget: %v", err)
+	}
+	enc := NewV2Codec(false)
+	dec := NewV2Codec(false)
+	tick := int64(0)
+	msg := v2SweepResponse(26, 12, tick)
+	// Warm the intern tables; steady state is what sweeps pay.
+	for i := 0; i < 3; i++ {
+		if _, err := dec.Decode(mustEncode(t, enc, msg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := testing.AllocsPerRun(50, func() {
+		tick++
+		m := v2SweepResponse(26, 12, tick)
+		payload, err := enc.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// v2SweepResponse itself allocates the input message; measure it
+	// separately and subtract so the budget tracks only the codec.
+	input := testing.AllocsPerRun(50, func() {
+		tick++
+		_ = v2SweepResponse(26, 12, tick)
+	})
+	codec := got - input
+	t.Logf("round trip allocs/op = %.1f (input %.1f, codec %.1f, budget %.0f)", got, input, codec, budget)
+	if codec > budget {
+		t.Fatalf("codec round-trip allocs/op = %.1f exceeds budget %.0f (testdata/v2_alloc_budget.txt)", codec, budget)
+	}
+}
+
+// TestV2VsJSONSizeAndAllocs enforces the codec's reason to exist: on a
+// representative steady-state sweep response, v2 must put at least 60%
+// fewer bytes on the wire and allocate at least 80% less than JSON.
+func TestV2VsJSONSizeAndAllocs(t *testing.T) {
+	enc := NewV2Codec(false)
+	dec := NewV2Codec(false)
+	tick := int64(0)
+	warm := v2SweepResponse(26, 12, tick)
+	for i := 0; i < 3; i++ {
+		if _, err := dec.Decode(mustEncode(t, enc, warm)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	jsonBytes, err := Encode(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Bytes := mustEncode(t, enc, warm)
+	if ratio := float64(len(v2Bytes)) / float64(len(jsonBytes)); ratio > 0.40 {
+		t.Fatalf("v2 frame %dB vs JSON %dB (%.0f%%); want ≤40%%",
+			len(v2Bytes), len(jsonBytes), 100*ratio)
+	}
+
+	inputAllocs := testing.AllocsPerRun(20, func() {
+		tick++
+		_ = v2SweepResponse(26, 12, tick)
+	})
+	v2Allocs := testing.AllocsPerRun(20, func() {
+		tick++
+		m := v2SweepResponse(26, 12, tick)
+		payload, _ := enc.Encode(m)
+		if _, err := dec.Decode(payload); err != nil {
+			t.Fatal(err)
+		}
+	}) - inputAllocs
+	jsonAllocs := testing.AllocsPerRun(20, func() {
+		tick++
+		m := v2SweepResponse(26, 12, tick)
+		payload, _ := Encode(m)
+		if _, err := Decode(payload); err != nil {
+			t.Fatal(err)
+		}
+	}) - inputAllocs
+	t.Logf("bytes: v2 %d vs json %d; allocs/op: v2 %.1f vs json %.1f",
+		len(v2Bytes), len(jsonBytes), v2Allocs, jsonAllocs)
+	if v2Allocs > 0.20*jsonAllocs {
+		t.Fatalf("v2 allocs/op %.1f vs JSON %.1f; want ≤20%%", v2Allocs, jsonAllocs)
+	}
+}
+
+// Frames over MaxFrame are refused at encode time like the JSON codec.
+func TestV2EncodeMaxFrame(t *testing.T) {
+	enc := NewV2Codec(false)
+	m := &Message{Type: TypeError, Error: strings.Repeat("x", MaxFrame)}
+	if _, err := enc.Encode(m); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

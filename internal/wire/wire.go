@@ -1,8 +1,13 @@
 // Package wire defines the message protocol between the PerfSight
-// controller and its per-server agents: length-prefixed JSON frames over
-// TCP. The payloads carry the §4.2 unified record format, so the protocol
-// is oblivious to element diversity — extending the statistics set needs
-// no protocol change.
+// controller and its per-server agents: length-prefixed frames over TCP.
+// The payloads carry the §4.2 unified record format, so the protocol is
+// oblivious to element diversity — extending the statistics set needs no
+// protocol change.
+//
+// Two payload codecs exist. Every connection starts with the JSON codec;
+// a controller may send a hello frame (always JSON) to negotiate the
+// compact binary codec v2 (see v2.go), with transparent fallback to JSON
+// when the peer predates or refuses it.
 package wire
 
 import (
@@ -10,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"perfsight/internal/core"
 )
@@ -35,7 +41,58 @@ const (
 	TypePong MsgType = "pong"
 	// TypeError reports a failure for the request with the same ID.
 	TypeError MsgType = "error"
+	// TypeHello / TypeHelloAck negotiate the payload codec for the rest
+	// of the connection. Hello frames are always JSON-encoded so peers
+	// that predate codec v2 can parse them; an old agent answers a hello
+	// with TypeError ("unknown message type"), which the client reads as
+	// "JSON only".
+	TypeHello    MsgType = "hello"
+	TypeHelloAck MsgType = "hello_ack"
 )
+
+// Codec names carried in Hello frames.
+const (
+	CodecJSON = "json"
+	CodecV2   = "v2"
+)
+
+// Hello is the codec-negotiation payload of TypeHello/TypeHelloAck.
+type Hello struct {
+	// Codecs lists wire codecs in preference order (offer), or carries
+	// the single granted codec (ack). An ack without CodecV2 means the
+	// connection stays on JSON.
+	Codecs []string `json:"codecs,omitempty"`
+	// Delta requests (offer) or grants (ack) delta-encoded responses:
+	// the agent resends only attrs whose values changed since that
+	// connection's previous response for the same element.
+	Delta bool `json:"delta,omitempty"`
+}
+
+// Codec turns Messages into frame payloads and back. JSONCodec is
+// stateless; V2Codec carries per-connection string tables and delta
+// state, so use one instance per connection endpoint and do not share it
+// across goroutines.
+type Codec interface {
+	Name() string
+	// Encode returns the frame payload for m. The slice may alias an
+	// internal buffer that is overwritten by the next Encode call.
+	Encode(m *Message) ([]byte, error)
+	// Decode parses one frame payload. Returned Records own their
+	// storage and stay valid across subsequent calls.
+	Decode(payload []byte) (*Message, error)
+}
+
+// JSONCodec is the v1 payload codec: one JSON object per frame.
+type JSONCodec struct{}
+
+// Name implements Codec.
+func (JSONCodec) Name() string { return CodecJSON }
+
+// Encode implements Codec.
+func (JSONCodec) Encode(m *Message) ([]byte, error) { return Encode(m) }
+
+// Decode implements Codec.
+func (JSONCodec) Decode(payload []byte) (*Message, error) { return Decode(payload) }
 
 // Query requests statistics from an agent.
 type Query struct {
@@ -61,6 +118,9 @@ type Message struct {
 	Records  []core.Record  `json:"records,omitempty"`
 	Elements []ElementMeta  `json:"element_list,omitempty"`
 	Error    string         `json:"error,omitempty"`
+	// Hello carries codec negotiation; only valid on TypeHello and
+	// TypeHelloAck frames, which are always JSON-encoded.
+	Hello *Hello `json:"hello,omitempty"`
 
 	// TraceID correlates a request/response pair with the controller's
 	// query-lifecycle trace (internal/telemetry); agents echo it back.
@@ -114,6 +174,16 @@ func WriteFrame(w io.Writer, payload []byte) error {
 
 // ReadFrame receives one raw frame payload.
 func ReadFrame(r io.Reader) ([]byte, error) {
+	var buf []byte
+	return ReadFrameBuf(r, &buf)
+}
+
+// ReadFrameBuf receives one raw frame payload into *buf, growing it only
+// when the frame outsizes its capacity. The returned slice aliases *buf
+// and is valid until the next call with the same buffer — connection
+// loops hold one buffer (typically from GetBuf) so steady-state reads
+// allocate nothing.
+func ReadFrameBuf(r io.Reader, buf *[]byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
@@ -125,11 +195,32 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	if uint32(cap(*buf)) < n {
+		*buf = make([]byte, n)
+	}
+	payload := (*buf)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("wire: read payload: %w", err)
 	}
 	return payload, nil
+}
+
+// bufPool recycles frame buffers across connections, so a freshly
+// accepted connection starts with a warmed buffer instead of growing its
+// own from scratch.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// GetBuf borrows a frame buffer from the shared pool; pair with PutBuf
+// when the connection ends.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a (possibly grown) frame buffer to the shared pool.
+func PutBuf(b *[]byte) {
+	if b == nil {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
 }
 
 // Write frames and sends a message: 4-byte big-endian length, then JSON.
@@ -150,17 +241,49 @@ func Read(r io.Reader) (*Message, error) {
 	return Decode(payload)
 }
 
-// FilterAttrs returns a copy of rec keeping only the named attributes
-// (all when names is empty).
-func FilterAttrs(rec core.Record, names []string) core.Record {
+// AttrFilter selects a subset of attributes by name. Build one per query
+// with NewAttrFilter and apply it to every record, so the name set is
+// constructed once per query rather than once per element.
+type AttrFilter struct {
+	names map[string]struct{}
+}
+
+// NewAttrFilter compiles an attribute name list; empty names return a
+// nil filter, which passes records through untouched.
+func NewAttrFilter(names []string) *AttrFilter {
 	if len(names) == 0 {
+		return nil
+	}
+	set := make(map[string]struct{}, len(names))
+	for _, n := range names {
+		set[n] = struct{}{}
+	}
+	return &AttrFilter{names: set}
+}
+
+// Apply returns a copy of rec keeping only the filter's attributes, in
+// record order. A nil filter returns rec unchanged.
+func (f *AttrFilter) Apply(rec core.Record) core.Record {
+	if f == nil {
 		return rec
 	}
-	out := core.Record{Timestamp: rec.Timestamp, Element: rec.Element}
-	for _, n := range names {
-		if v, ok := rec.Get(n); ok {
-			out.Attrs = append(out.Attrs, core.Attr{Name: n, Value: v})
+	n := len(rec.Attrs)
+	if len(f.names) < n {
+		n = len(f.names)
+	}
+	out := core.Record{Timestamp: rec.Timestamp, Element: rec.Element,
+		Attrs: make([]core.Attr, 0, n)}
+	for _, a := range rec.Attrs {
+		if _, ok := f.names[a.Name]; ok {
+			out.Attrs = append(out.Attrs, a)
 		}
 	}
 	return out
+}
+
+// FilterAttrs returns a copy of rec keeping only the named attributes
+// (all when names is empty). Callers filtering many records against the
+// same names should build one AttrFilter instead.
+func FilterAttrs(rec core.Record, names []string) core.Record {
+	return NewAttrFilter(names).Apply(rec)
 }
