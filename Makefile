@@ -1,14 +1,15 @@
 # Pre-PR check: everything here must pass before sending a change.
 #   make check        vet + build + race tests
-#   make bench        telemetry overhead benchmarks (EXPERIMENTS.md table)
-#   make bench-wire   codec v1-vs-v2 benchmarks + alloc/size budget gates
-#   make all          everything
+#   make bench          telemetry overhead benchmarks (EXPERIMENTS.md table)
+#   make bench-wire     codec v1-vs-v2 benchmarks + alloc/size budget gates
+#   make bench-history  flight-recorder benchmarks + append alloc budget gate
+#   make all            everything
 
 GO ?= go
 
-.PHONY: all check vet build test bench bench-wire
+.PHONY: all check vet build test bench bench-wire bench-history
 
-all: check bench bench-wire
+all: check bench bench-wire bench-history
 
 check: vet build test
 
@@ -34,3 +35,11 @@ bench:
 bench-wire:
 	$(GO) test ./internal/wire/ -run 'TestV2RoundTripAllocBudget|TestV2VsJSONSizeAndAllocs' -count 1 -v
 	$(GO) test -run '^$$' -bench 'BenchmarkWireCodec|BenchmarkSweepTCP' -benchtime 1s -benchmem .
+
+# Flight recorder: the budget test fails the build when a warmed-series
+# Append starts allocating (internal/history/testdata/
+# append_alloc_budget.txt); the retention test proves resident points stay
+# under the configured bound; the benchmarks print write/read-path costs.
+bench-history:
+	$(GO) test ./internal/history/ -run 'TestAppendAllocBudget|TestRetentionBoundsResident' -count 1 -v
+	$(GO) test ./internal/history/ -run '^$$' -bench 'BenchmarkHistory' -benchtime 1s -benchmem

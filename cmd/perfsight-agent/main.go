@@ -42,6 +42,7 @@ func main() {
 	maxConns := flag.Int("max-conns", 64, "maximum concurrent controller connections; extras are refused at accept (0 = unlimited)")
 	codec := flag.String("codec", wire.CodecV2, "wire codecs offered to controllers: v2 (binary, with JSON fallback per connection) or json (JSON only)")
 	delta := flag.Bool("delta", true, "permit delta-encoded responses on v2 connections that request them (changed attrs only)")
+	pprofFlag := flag.Bool("pprof", false, "expose Go profiling endpoints (/debug/pprof/*) on the -telemetry address")
 	flag.Parse()
 	if *codec != wire.CodecV2 && *codec != wire.CodecJSON {
 		log.Fatalf("bad -codec %q (want v2 or json)", *codec)
@@ -94,7 +95,7 @@ func main() {
 		c.EnableTelemetry(reg)
 		c.EnableDropTracing(mid, 4096)
 		started := time.Now()
-		taddr, err := telemetry.Serve(*telemetryAddr, reg, func() telemetry.Health {
+		mux := telemetry.NewMux(reg, func() telemetry.Health {
 			return telemetry.Health{
 				Component: "agent",
 				Identity:  *machineID,
@@ -102,10 +103,16 @@ func main() {
 				UptimeSec: time.Since(started).Seconds(),
 			}
 		})
+		if *pprofFlag {
+			telemetry.RegisterPprof(mux)
+		}
+		taddr, err := telemetry.ServeHandler(*telemetryAddr, mux)
 		if err != nil {
 			log.Fatalf("telemetry: %v", err)
 		}
 		log.Printf("telemetry on http://%s/metrics", taddr)
+	} else if *pprofFlag {
+		log.Printf("-pprof ignored: set -telemetry to expose /debug/pprof")
 	}
 
 	// Advance the dataplane in real time.

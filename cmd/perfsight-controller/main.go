@@ -1,12 +1,16 @@
 // Command perfsight-controller connects to one or more perfsight-agents
 // over TCP, discovers their elements, and either watches drop locations
-// live or runs the Algorithm 1 contention/bottleneck diagnosis.
+// live, runs the Algorithm 1 contention/bottleneck diagnosis, or records
+// continuous monitoring history (the flight recorder) and serves it over
+// HTTP for after-the-fact diagnosis.
 //
 //	perfsight-controller -agents m0=localhost:7700 -diagnose -window 3s
 //	perfsight-controller -agents m0=localhost:7700 -watch 1s
+//	perfsight-controller -agents m0=localhost:7700 -monitor 2s -telemetry :9101
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +22,7 @@ import (
 	"perfsight/internal/controller"
 	"perfsight/internal/core"
 	"perfsight/internal/diagnosis"
+	"perfsight/internal/history"
 	"perfsight/internal/operator"
 	"perfsight/internal/telemetry"
 	"perfsight/internal/wire"
@@ -39,6 +44,15 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", def.BreakerCooldown, "how long an open breaker waits before a single probe query")
 	codec := flag.String("codec", wire.CodecV2, "wire codec to offer agents: v2 (binary, falls back to JSON per agent) or json (skip negotiation)")
 	delta := flag.Bool("delta", false, "request delta-encoded sweep responses on v2 connections (changed attrs only)")
+	monitor := flag.Duration("monitor", 0, "flight recorder: sweep all elements at this cadence into the history store and keep serving (0 = off)")
+	histRetention := flag.Duration("history-retention", 15*time.Minute, "evict downsampled history older than this behind the newest sample")
+	histMaxPoints := flag.Int("history-max-points", 512, "full-cadence points retained per (element, attr) series before step-down")
+	histStep := flag.Duration("history-downsample", 10*time.Second, "step-down resolution: one retained point per step for aged history")
+	eventsCap := flag.Int("events-cap", 256, "bounded diagnosis-event journal capacity (oldest overwritten)")
+	eventThreshold := flag.Float64("event-drop-threshold", 50, "per-element drop rate (pkts/s between sweeps) that triggers a diagnosis event")
+	eventWindow := flag.Duration("event-window", 3*time.Second, "history window a triggered diagnosis event analyzes")
+	eventCooldown := flag.Duration("event-cooldown", 30*time.Second, "minimum spacing between diagnosis events per tenant")
+	pprofFlag := flag.Bool("pprof", false, "expose Go profiling endpoints (/debug/pprof/*) on the -telemetry address")
 	flag.Parse()
 	if *codec != wire.CodecV2 && *codec != wire.CodecJSON {
 		log.Fatalf("bad -codec %q (want v2 or json)", *codec)
@@ -93,23 +107,88 @@ func main() {
 		log.Printf("  %d elements discovered", len(metas))
 	}
 
+	// Flight recorder: continuous monitoring history plus the drop-spike
+	// watcher that turns sweeps into evidence-bearing diagnosis events.
+	var (
+		store   *history.Store
+		journal *history.Journal
+		mon     *history.Monitor
+	)
+	netOf := func(t core.TenantID) *core.VirtualNet { return topo.Tenants[t] }
+	if *monitor > 0 {
+		store = history.New(history.Config{
+			Retention:          *histRetention,
+			MaxPointsPerSeries: *histMaxPoints,
+			DownsampleStep:     *histStep,
+		})
+		journal = history.NewJournal(*eventsCap)
+		watcher := history.NewWatcher(store, journal, history.WatcherConfig{
+			DropRateThreshold: *eventThreshold,
+			Window:            *eventWindow,
+			Cooldown:          *eventCooldown,
+		})
+		watcher.Net = netOf
+		mon = history.NewMonitor(ctl, store, history.MonitorConfig{Interval: *monitor})
+		mon.AfterSweep = watcher.AfterSweep
+		if reg != nil {
+			store.EnableTelemetry(reg)
+			journal.EnableTelemetry(reg)
+			mon.EnableTelemetry(reg)
+		}
+	}
+
 	if reg != nil {
 		started := time.Now()
-		taddr, err := telemetry.Serve(*telemetryAddr, reg, func() telemetry.Health {
-			return telemetry.Health{
+		mux := telemetry.NewMux(reg, func() telemetry.Health {
+			h := telemetry.Health{
 				Component: "controller",
 				Identity:  "controller",
 				Elements:  len(ctl.TenantElements(tid, nil)),
 				UptimeSec: time.Since(started).Seconds(),
 			}
+			if store != nil {
+				st := store.Stats()
+				h.Extra = map[string]float64{
+					"history_series":          float64(st.Series),
+					"history_resident_points": float64(st.Resident),
+					"history_evicted_points":  float64(st.Evicted),
+				}
+				if journal != nil {
+					n, seq, dropped := journal.Stats()
+					h.Extra["journal_events"] = float64(n)
+					h.Extra["journal_last_seq"] = float64(seq)
+					h.Extra["journal_dropped"] = float64(dropped)
+				}
+			}
+			return h
 		})
+		if store != nil {
+			hs := &history.Server{Store: store, Journal: journal, Net: netOf, DefaultTenant: tid}
+			hs.Register(mux)
+		}
+		if *pprofFlag {
+			telemetry.RegisterPprof(mux)
+		}
+		taddr, err := telemetry.ServeHandler(*telemetryAddr, mux)
 		if err != nil {
 			log.Fatalf("telemetry: %v", err)
 		}
 		log.Printf("telemetry on http://%s/metrics", taddr)
+	} else if *pprofFlag {
+		log.Printf("-pprof ignored: set -telemetry to expose /debug/pprof")
 	}
 
 	switch {
+	case mon != nil:
+		if reg == nil {
+			log.Printf("note: -monitor without -telemetry records history but serves no /history, /events or /diagnose endpoints")
+		}
+		log.Printf("flight recorder: sweeping every %v (retention %v, %d raw points/series, step %v)",
+			*monitor, *histRetention, *histMaxPoints, *histStep)
+		if err := mon.Run(context.Background()); err != nil && err != context.Canceled {
+			log.Fatalf("monitor: %v", err)
+		}
+
 	case *advise:
 		tk, err := operator.Diagnose(ctl, tid, *window)
 		if err != nil {

@@ -10,6 +10,13 @@
 // endpoint and renders a live self-metrics table:
 //
 //	perfsight top -endpoint http://localhost:9100/metrics -interval 1s
+//
+// The history, watch, and diag subcommands talk to a flight-recorder
+// controller (perfsight-controller -monitor 2s -telemetry :9101):
+//
+//	perfsight history -endpoint http://localhost:9101 -element m0/vm0/app -attr drop_packets
+//	perfsight watch -endpoint http://localhost:9101
+//	perfsight diag -endpoint http://localhost:9101 -at 2026-08-05T12:00:00Z -window 3s
 package main
 
 import (
@@ -36,9 +43,21 @@ type scenario struct {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "top" {
-		runTop(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "top":
+			runTop(os.Args[2:])
+			return
+		case "history":
+			runHistory(os.Args[2:])
+			return
+		case "watch":
+			runWatch(os.Args[2:])
+			return
+		case "diag":
+			runDiag(os.Args[2:])
+			return
+		}
 	}
 	name := flag.String("scenario", "list", "scenario to run (or 'list')")
 	flag.Parse()

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/diagnosis"
+	"perfsight/internal/history"
+)
+
+// The history, watch, and diag subcommands are HTTP clients of a
+// flight-recorder controller (perfsight-controller -monitor ... -telemetry
+// ...): history browses the stored time series, watch tails the diagnosis
+// event journal, and diag runs Algorithms 1 and 2 from history over any
+// past window without touching an agent.
+
+// getJSON fetches endpoint+path?query and decodes the JSON body into out.
+func getJSON(endpoint, path string, query url.Values, out any) error {
+	u := endpoint + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("%s: %s", u, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// runHistory browses the flight recorder: elements without -element,
+// attrs without -attr, otherwise the stored points of one series.
+func runHistory(args []string) {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	endpoint := fs.String("endpoint", "http://localhost:9101", "flight-recorder controller base URL")
+	tenant := fs.String("tenant", "", "tenant (empty = controller default)")
+	element := fs.String("element", "", "element ID; empty lists the tenant's recorded elements")
+	attr := fs.String("attr", "", "attribute name; empty lists the element's recorded attrs")
+	from := fs.String("from", "", "oldest timestamp (ns int or RFC3339)")
+	to := fs.String("to", "", "newest timestamp (ns int or RFC3339)")
+	limit := fs.Int("limit", 50, "newest points to print (0 = all)")
+	fs.Parse(args)
+
+	q := url.Values{}
+	for k, v := range map[string]string{
+		"tenant": *tenant, "element": *element, "attr": *attr,
+		"from": *from, "to": *to,
+	} {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	if *limit > 0 {
+		q.Set("limit", fmt.Sprint(*limit))
+	}
+	var resp struct {
+		Tenant   core.TenantID    `json:"tenant"`
+		Elements []core.ElementID `json:"elements"`
+		Attrs    []string         `json:"attrs"`
+		Points   []history.Point  `json:"points"`
+	}
+	if err := getJSON(*endpoint, "/history", q, &resp); err != nil {
+		fatalf("perfsight history: %v", err)
+	}
+	switch {
+	case *element == "":
+		fmt.Printf("tenant %s: %d recorded elements\n", resp.Tenant, len(resp.Elements))
+		for _, id := range resp.Elements {
+			fmt.Println(" ", id)
+		}
+	case *attr == "":
+		fmt.Printf("%s: %d recorded attrs\n", *element, len(resp.Attrs))
+		for _, a := range resp.Attrs {
+			fmt.Println(" ", a)
+		}
+	default:
+		fmt.Printf("%s %s: %d points\n", *element, *attr, len(resp.Points))
+		for _, p := range resp.Points {
+			fmt.Printf("  %20d  %s\n", p.TS, formatValue(p.V))
+		}
+	}
+}
+
+// runWatch tails the diagnosis event journal, printing each event's
+// summary and evidence as it lands.
+func runWatch(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	endpoint := fs.String("endpoint", "http://localhost:9101", "flight-recorder controller base URL")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	since := fs.Int64("since", 0, "start after this event sequence number")
+	once := fs.Bool("once", false, "print the current journal and exit")
+	fs.Parse(args)
+
+	cursor := *since
+	for {
+		var resp struct {
+			Events  []history.Event `json:"events"`
+			Next    int64           `json:"next"`
+			Dropped uint64          `json:"dropped"`
+		}
+		q := url.Values{"since": {fmt.Sprint(cursor)}}
+		if err := getJSON(*endpoint, "/events", q, &resp); err != nil {
+			fmt.Fprintf(os.Stderr, "perfsight watch: %v\n", err)
+			if *once {
+				os.Exit(1)
+			}
+			time.Sleep(*interval)
+			continue
+		}
+		for _, ev := range resp.Events {
+			printEvent(ev)
+		}
+		cursor = resp.Next
+		if *once {
+			if len(resp.Events) == 0 {
+				fmt.Println("no events")
+			}
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+func printEvent(ev history.Event) {
+	fmt.Printf("#%d %s  tenant=%s element=%s  drop rate %.0f pkts/s\n",
+		ev.Seq, time.Unix(0, ev.TS).UTC().Format(time.RFC3339), ev.Tenant, ev.Element, ev.DropRate)
+	fmt.Printf("    %s\n", ev.Summary)
+	if ev.Stack != nil {
+		printStack(ev.Stack, "    ")
+	}
+	if ev.Chain != nil {
+		printChain(ev.Chain, "    ")
+	}
+}
+
+// runDiag diagnoses a past window from the history store: Algorithm 1
+// (and 2 where the tenant has chains) with zero agent queries.
+func runDiag(args []string) {
+	fs := flag.NewFlagSet("diag", flag.ExitOnError)
+	endpoint := fs.String("endpoint", "http://localhost:9101", "flight-recorder controller base URL")
+	tenant := fs.String("tenant", "", "tenant (empty = controller default)")
+	at := fs.String("at", "", "window end timestamp (ns int or RFC3339; empty = newest history)")
+	window := fs.Duration("window", 3*time.Second, "measurement window ending at -at")
+	fs.Parse(args)
+
+	q := url.Values{"window": {window.String()}}
+	if *tenant != "" {
+		q.Set("tenant", *tenant)
+	}
+	if *at != "" {
+		q.Set("at", *at)
+	}
+	var resp struct {
+		Tenant   core.TenantID               `json:"tenant"`
+		AsOf     int64                       `json:"as_of"`
+		WindowNS int64                       `json:"window_ns"`
+		Stack    *diagnosis.ContentionReport `json:"stack"`
+		StackErr string                      `json:"stack_error"`
+		Chain    *diagnosis.RootCauseReport  `json:"chain"`
+		ChainErr string                      `json:"chain_error"`
+	}
+	if err := getJSON(*endpoint, "/diagnose", q, &resp); err != nil {
+		fatalf("perfsight diag: %v", err)
+	}
+	fmt.Printf("tenant %s, window %v ending at %s (from history, no agent queries)\n",
+		resp.Tenant, time.Duration(resp.WindowNS), time.Unix(0, resp.AsOf).UTC().Format(time.RFC3339Nano))
+	if resp.Stack != nil {
+		printStack(resp.Stack, "")
+	} else if resp.StackErr != "" {
+		fmt.Println("stack:", resp.StackErr)
+	}
+	if resp.Chain != nil {
+		printChain(resp.Chain, "")
+	} else if resp.ChainErr != "" {
+		fmt.Println("chains:", resp.ChainErr)
+	}
+}
+
+func printStack(rep *diagnosis.ContentionReport, pad string) {
+	fmt.Printf("%sstack:  %s\n", pad, rep)
+	for i, e := range rep.Ranked {
+		if i >= 5 || e.Loss == 0 {
+			break
+		}
+		fmt.Printf("%s  #%d %-30s %8.0f pkts lost\n", pad, i+1, e.Element, e.Loss)
+	}
+}
+
+func printChain(rep *diagnosis.RootCauseReport, pad string) {
+	fmt.Printf("%schains: %s\n", pad, rep)
+	for _, step := range rep.Pruning {
+		fmt.Printf("%s  pruned %v: %s is %s\n", pad, step.Removed, step.Middlebox, step.State)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -34,33 +34,33 @@ func (s Scope) String() string {
 
 // ElementLoss is one ranked entry of Algorithm 1's output.
 type ElementLoss struct {
-	Element core.ElementID
-	Kind    core.ElementKind
-	VM      core.VMID // non-empty for per-VM elements (TUN)
-	Loss    float64   // packets dropped in the window
+	Element core.ElementID   `json:"element"`
+	Kind    core.ElementKind `json:"kind"`
+	VM      core.VMID        `json:"vm,omitempty"` // non-empty for per-VM elements (TUN)
+	Loss    float64          `json:"loss"`         // packets dropped in the window
 }
 
 // ContentionReport is the full result of Algorithm 1 plus the rule-book
 // inference.
 type ContentionReport struct {
 	// Ranked lists elements by packet loss, most first (SortByLoss).
-	Ranked []ElementLoss
+	Ranked []ElementLoss `json:"ranked"`
 	// TopLocation is the symptom class of the worst element(s).
-	TopLocation DropLocation
+	TopLocation DropLocation `json:"top_location"`
 	// Candidates are all Table 1 resources consistent with the symptom.
-	Candidates []Resource
+	Candidates []Resource `json:"candidates,omitempty"`
 	// Inferred is the disambiguated root-cause resource.
-	Inferred Resource
+	Inferred Resource `json:"inferred"`
 	// Scope says contention (multi-VM) vs bottleneck (single VM).
-	Scope Scope
+	Scope Scope `json:"scope"`
 	// BottleneckVM names the VM when Scope is ScopeBottleneck.
-	BottleneckVM core.VMID
+	BottleneckVM core.VMID `json:"bottleneck_vm,omitempty"`
 	// DroppingVMs lists VMs whose TUNs dropped in the window.
-	DroppingVMs []core.VMID
+	DroppingVMs []core.VMID `json:"dropping_vms,omitempty"`
 	// Evidence carries the secondary symptoms used for disambiguation.
-	Evidence Evidence
+	Evidence Evidence `json:"evidence"`
 	// TotalLoss is the summed packet loss across the stack.
-	TotalLoss float64
+	TotalLoss float64 `json:"total_loss"`
 }
 
 // String renders a one-line operator summary.

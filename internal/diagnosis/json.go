@@ -1,0 +1,131 @@
+package diagnosis
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"perfsight/internal/core"
+)
+
+// The report types marshal to a stable, human-readable JSON schema: every
+// enum renders as its String() name rather than a bare int, so the
+// /diagnose endpoint, the event journal, and the perfsight diag CLI all
+// speak the same self-describing format and a stored event stays
+// meaningful across versions even if enum ordinals shift. Unmarshalling
+// accepts both the name and the legacy ordinal.
+
+// MarshalJSON renders the scope name ("none", "contention", "bottleneck").
+func (s Scope) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts a scope name or ordinal.
+func (s *Scope) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		var n int
+		if err := json.Unmarshal(b, &n); err != nil {
+			return fmt.Errorf("diagnosis: bad scope %s", b)
+		}
+		*s = Scope(n)
+		return nil
+	}
+	for _, v := range []Scope{ScopeNone, ScopeContention, ScopeBottleneck} {
+		if v.String() == name {
+			*s = v
+			return nil
+		}
+	}
+	return fmt.Errorf("diagnosis: unknown scope %q", name)
+}
+
+// MarshalJSON renders the Table 1 drop-location name.
+func (l DropLocation) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
+
+// UnmarshalJSON accepts a drop-location name or ordinal.
+func (l *DropLocation) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		var n int
+		if err := json.Unmarshal(b, &n); err != nil {
+			return fmt.Errorf("diagnosis: bad drop location %s", b)
+		}
+		*l = DropLocation(n)
+		return nil
+	}
+	for v, s := range locationNames {
+		if s == name {
+			*l = v
+			return nil
+		}
+	}
+	return fmt.Errorf("diagnosis: unknown drop location %q", name)
+}
+
+// MarshalJSON renders the Table 1 resource name.
+func (r Resource) MarshalJSON() ([]byte, error) { return json.Marshal(r.String()) }
+
+// UnmarshalJSON accepts a resource name or ordinal.
+func (r *Resource) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		var n int
+		if err := json.Unmarshal(b, &n); err != nil {
+			return fmt.Errorf("diagnosis: bad resource %s", b)
+		}
+		*r = Resource(n)
+		return nil
+	}
+	for v, s := range resourceNames {
+		if s == name {
+			*r = v
+			return nil
+		}
+	}
+	return fmt.Errorf("diagnosis: unknown resource %q", name)
+}
+
+// MarshalJSON renders the Figure 7 state name.
+func (s MBState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON accepts a state name or ordinal.
+func (s *MBState) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		var n int
+		if err := json.Unmarshal(b, &n); err != nil {
+			return fmt.Errorf("diagnosis: bad middlebox state %s", b)
+		}
+		*s = MBState(n)
+		return nil
+	}
+	for _, v := range []MBState{StateNormal, StateReadBlocked, StateWriteBlocked} {
+		if v.String() == name {
+			*s = v
+			return nil
+		}
+	}
+	return fmt.Errorf("diagnosis: unknown middlebox state %q", name)
+}
+
+// elementLossJSON is the wire form of ElementLoss: the kind renders as
+// its name, matching the other enums.
+type elementLossJSON struct {
+	Element core.ElementID `json:"element"`
+	Kind    string         `json:"kind"`
+	VM      core.VMID      `json:"vm,omitempty"`
+	Loss    float64        `json:"loss"`
+}
+
+// MarshalJSON renders the element kind by name.
+func (e ElementLoss) MarshalJSON() ([]byte, error) {
+	return json.Marshal(elementLossJSON{Element: e.Element, Kind: e.Kind.String(), VM: e.VM, Loss: e.Loss})
+}
+
+// UnmarshalJSON parses the named-kind form.
+func (e *ElementLoss) UnmarshalJSON(b []byte) error {
+	var w elementLossJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*e = ElementLoss{Element: w.Element, Kind: core.KindFromString(w.Kind), VM: w.VM, Loss: w.Loss}
+	return nil
+}

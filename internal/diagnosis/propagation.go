@@ -32,26 +32,41 @@ func (s MBState) String() string {
 // MBMetrics is one middlebox's measured I/O rates over the window — the
 // b/t_input, b/t_output values the Fig 12 tables report.
 type MBMetrics struct {
-	State       MBState
-	InRateBps   float64
-	OutRateBps  float64
-	InActive    bool // the input method accumulated time
-	OutActive   bool // the output method accumulated time
-	CapacityBps float64
+	State       MBState `json:"state"`
+	InRateBps   float64 `json:"in_rate_bps"`
+	OutRateBps  float64 `json:"out_rate_bps"`
+	InActive    bool    `json:"in_active"`  // the input method accumulated time
+	OutActive   bool    `json:"out_active"` // the output method accumulated time
+	CapacityBps float64 `json:"capacity_bps"`
+}
+
+// PruneStep records one pruning decision of Algorithm 2 (lines 13–17):
+// which middlebox's state fired, and which candidates it removed. The
+// trace is the evidence a diagnosis event carries so an operator can
+// audit why the surviving root causes survived.
+type PruneStep struct {
+	Middlebox core.ElementID `json:"middlebox"`
+	State     MBState        `json:"state"`
+	// Removed lists the candidates this step deleted (the middlebox
+	// itself plus its successors or predecessors), sorted; candidates
+	// already removed by an earlier step are not repeated.
+	Removed []core.ElementID `json:"removed"`
 }
 
 // RootCauseReport is the result of Algorithm 2.
 type RootCauseReport struct {
 	// Metrics holds per-middlebox states and rates.
-	Metrics map[core.ElementID]MBMetrics
+	Metrics map[core.ElementID]MBMetrics `json:"metrics"`
 	// RootCauses are the candidates remaining after pruning, sorted.
-	RootCauses []core.ElementID
+	RootCauses []core.ElementID `json:"root_causes"`
 	// SourceUnderloaded is set when every chain member was pruned as
 	// ReadBlocked: the traffic source itself is underloaded (Fig 12(c)).
-	SourceUnderloaded bool
+	SourceUnderloaded bool `json:"source_underloaded"`
 	// Overloaded flags root causes whose predecessors are WriteBlocked —
 	// the Figure 7 "Overloaded" label.
-	Overloaded map[core.ElementID]bool
+	Overloaded map[core.ElementID]bool `json:"overloaded,omitempty"`
+	// Pruning is the ordered trace of pruning decisions.
+	Pruning []PruneStep `json:"pruning,omitempty"`
 }
 
 // String renders an operator summary.
@@ -144,23 +159,37 @@ func AnalyzeChainIntervals(ivs map[core.ElementID]controller.Interval, net *core
 		rep.Metrics[id] = m
 	}
 
-	// Pruning passes (lines 13–17).
+	// Pruning passes (lines 13–17). Each step's removals are recorded so
+	// diagnosis events can show why the survivors survived.
+	prune := func(id core.ElementID, state MBState, also []core.ElementID) {
+		step := PruneStep{Middlebox: id, State: state}
+		if cand[id] {
+			delete(cand, id)
+			step.Removed = append(step.Removed, id)
+		}
+		for _, other := range also {
+			if cand[other] {
+				delete(cand, other)
+				step.Removed = append(step.Removed, other)
+			}
+		}
+		sort.Slice(step.Removed, func(i, j int) bool { return step.Removed[i] < step.Removed[j] })
+		rep.Pruning = append(rep.Pruning, step)
+	}
 	for _, id := range ids {
 		switch rep.Metrics[id].State {
 		case StateReadBlocked:
-			delete(cand, id)
+			var also []core.ElementID
 			if net != nil {
-				for _, succ := range net.Successors(id) {
-					delete(cand, succ)
-				}
+				also = net.Successors(id)
 			}
+			prune(id, StateReadBlocked, also)
 		case StateWriteBlocked:
-			delete(cand, id)
+			var also []core.ElementID
 			if net != nil {
-				for _, pred := range net.Predecessors(id) {
-					delete(cand, pred)
-				}
+				also = net.Predecessors(id)
 			}
+			prune(id, StateWriteBlocked, also)
 		}
 	}
 

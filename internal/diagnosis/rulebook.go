@@ -106,16 +106,16 @@ func LocationOfKind(k core.ElementKind, multiVM bool) DropLocation {
 // can combine this with other symptoms such as CPU utilization and NIC
 // throughput").
 type Evidence struct {
-	CPUUtil    float64 // machine CPU utilization, 0..1
-	MembusUtil float64 // memory-bus utilization, 0..1
-	PNICRxBps  float64
-	PNICTxBps  float64
-	PNICCapBps float64
+	CPUUtil    float64 `json:"cpu_util"`    // machine CPU utilization, 0..1
+	MembusUtil float64 `json:"membus_util"` // memory-bus utilization, 0..1
+	PNICRxBps  float64 `json:"pnic_rx_bps"`
+	PNICTxBps  float64 `json:"pnic_tx_bps"`
+	PNICCapBps float64 `json:"pnic_cap_bps"`
 	// AvgPktSize is the mean packet size seen at the pNIC over the window
 	// (Figure 6 GetAvgPktSize); a small value flags the §7.2 case-1
 	// small-packet flood that exhausts per-packet processing long before
 	// bytes exhaust the wire.
-	AvgPktSize float64
+	AvgPktSize float64 `json:"avg_pkt_size"`
 }
 
 // utilization thresholds for disambiguation.

@@ -1,0 +1,228 @@
+package history
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/diagnosis"
+)
+
+// Event is one evidence-bearing diagnosis event: the watcher saw a
+// per-element drop-rate spike, diagnosed the window ending at the spike
+// from stored history, and recorded the full chain of evidence — the
+// ranked drop table and rule-book inference of Algorithm 1 and, when the
+// tenant has middlebox chains, the Algorithm 2 metrics with its pruning
+// steps. Nothing here requires re-querying an agent after the fact.
+type Event struct {
+	Seq      int64          `json:"seq"`
+	TS       int64          `json:"ts"` // record-clock ns at detection
+	Tenant   core.TenantID  `json:"tenant"`
+	Element  core.ElementID `json:"element"`       // the spiking element
+	DropRate float64        `json:"drop_rate_pps"` // drops/s over the sweep gap
+	WindowNS int64          `json:"window_ns"`     // diagnosis window length
+
+	Stack *diagnosis.ContentionReport `json:"stack,omitempty"`
+	Chain *diagnosis.RootCauseReport  `json:"chain,omitempty"`
+
+	Summary string `json:"summary"`
+}
+
+// Journal is a bounded in-memory ring of diagnosis events. Appends past
+// capacity overwrite the oldest events (counted as dropped); sequence
+// numbers are monotonic so readers can page with Since.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	head    int
+	n       int
+	seq     int64
+	dropped int64
+
+	tel atomic.Pointer[journalMetrics]
+}
+
+// NewJournal builds a journal holding at most capacity events
+// (default 256).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Append stores ev, assigning and returning its sequence number.
+func (j *Journal) Append(ev Event) int64 {
+	j.mu.Lock()
+	j.seq++
+	ev.Seq = j.seq
+	overwrote := j.n == len(j.buf)
+	if overwrote {
+		j.buf[j.head] = ev
+		j.head = (j.head + 1) % len(j.buf)
+		j.dropped++
+	} else {
+		j.buf[(j.head+j.n)%len(j.buf)] = ev
+		j.n++
+	}
+	seq := ev.Seq
+	j.mu.Unlock()
+	if m := j.tel.Load(); m != nil {
+		m.events.Inc()
+		if overwrote {
+			m.dropped.Inc()
+		}
+	}
+	return seq
+}
+
+// Since returns up to max events with Seq > seq, oldest first (max <= 0
+// means all retained).
+func (j *Journal) Since(seq int64, max int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []Event
+	for i := 0; i < j.n; i++ {
+		ev := j.buf[(j.head+i)%len(j.buf)]
+		if ev.Seq <= seq {
+			continue
+		}
+		out = append(out, ev)
+		if max > 0 && len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// Stats returns retained events, the latest sequence number, and how
+// many events were overwritten unread-ably.
+func (j *Journal) Stats() (retained int, lastSeq, dropped int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n, j.seq, j.dropped
+}
+
+// WatcherConfig shapes spike detection.
+type WatcherConfig struct {
+	// DropRateThreshold is the per-element drop rate (packets/s over the
+	// gap between two sweeps) that triggers a diagnosis event.
+	// Default 50.
+	DropRateThreshold float64
+	// Window is the history window the triggered diagnosis analyzes,
+	// ending at the spike. Default 3s.
+	Window time.Duration
+	// Cooldown suppresses further events for a tenant after one fires,
+	// in record-clock time. Default 30s.
+	Cooldown time.Duration
+}
+
+func (c WatcherConfig) withDefaults() WatcherConfig {
+	if c.DropRateThreshold <= 0 {
+		c.DropRateThreshold = 50
+	}
+	if c.Window <= 0 {
+		c.Window = 3 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	return c
+}
+
+// Watcher turns monitoring sweeps into diagnosis events: wired as a
+// Monitor.AfterSweep hook, it tracks every element's drop counter across
+// consecutive sweeps and, when some element's drop rate crosses the
+// threshold, diagnoses the surrounding window from the store and appends
+// the evidence to the journal.
+type Watcher struct {
+	Store   *Store
+	Journal *Journal
+	Cfg     WatcherConfig
+	// Net resolves a tenant's virtual network so chain events carry
+	// Algorithm 2 pruning; nil skips the chain diagnosis.
+	Net func(core.TenantID) *core.VirtualNet
+
+	mu        sync.Mutex
+	lastDrop  map[elemKey]Point // previous sweep's drop counter per element
+	lastFired map[core.TenantID]int64
+}
+
+// NewWatcher builds a watcher emitting into journal.
+func NewWatcher(store *Store, journal *Journal, cfg WatcherConfig) *Watcher {
+	return &Watcher{
+		Store:     store,
+		Journal:   journal,
+		Cfg:       cfg.withDefaults(),
+		lastDrop:  make(map[elemKey]Point),
+		lastFired: make(map[core.TenantID]int64),
+	}
+}
+
+// AfterSweep is the Monitor hook: inspect one sweep's records, detect
+// drop-rate spikes, and emit at most one event per tenant per cooldown.
+func (w *Watcher) AfterSweep(tid core.TenantID, recs map[core.ElementID]core.Record, _ error) {
+	type spike struct {
+		id   core.ElementID
+		rate float64
+		ts   int64
+	}
+	var worst spike
+	w.mu.Lock()
+	for id, rec := range recs {
+		drops, ok := rec.Get(core.AttrDropPackets)
+		if !ok {
+			continue
+		}
+		k := elemKey{tid, id}
+		prev, seen := w.lastDrop[k]
+		w.lastDrop[k] = Point{TS: rec.Timestamp, V: drops}
+		if !seen || rec.Timestamp <= prev.TS {
+			continue
+		}
+		rate := (drops - prev.V) / (time.Duration(rec.Timestamp - prev.TS).Seconds())
+		if rate > worst.rate {
+			worst = spike{id, rate, rec.Timestamp}
+		}
+	}
+	fired := w.lastFired[tid]
+	cooled := worst.ts-fired >= int64(w.Cfg.Cooldown)
+	if worst.rate >= w.Cfg.DropRateThreshold && (fired == 0 || cooled) {
+		w.lastFired[tid] = worst.ts
+	} else {
+		worst.rate = 0
+	}
+	w.mu.Unlock()
+	if worst.rate == 0 {
+		return
+	}
+
+	ev := Event{
+		TS:       worst.ts,
+		Tenant:   tid,
+		Element:  worst.id,
+		DropRate: worst.rate,
+		WindowNS: int64(w.Cfg.Window),
+	}
+	if rep, err := w.Store.DiagnoseStack(tid, w.Cfg.Window, worst.ts); err == nil {
+		ev.Stack = rep
+		ev.Summary = rep.String()
+	}
+	if w.Net != nil {
+		if net := w.Net(tid); net != nil && len(net.Chains) > 0 {
+			if rep, err := w.Store.DiagnoseChain(tid, w.Cfg.Window, worst.ts, net); err == nil {
+				ev.Chain = rep
+				if ev.Summary != "" {
+					ev.Summary += "; "
+				}
+				ev.Summary += rep.String()
+			}
+		}
+	}
+	if ev.Summary == "" {
+		ev.Summary = fmt.Sprintf("drop spike at %s (%.0f pps), window too thin to diagnose", worst.id, worst.rate)
+	}
+	w.Journal.Append(ev)
+}

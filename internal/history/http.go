@@ -1,0 +1,190 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/diagnosis"
+)
+
+// Server exposes the flight recorder over HTTP on the telemetry mux:
+//
+//	/history?tenant=&element=&attr=&from=&to=&limit=
+//	    raw stored points of one series; without attr, the element's
+//	    attrs; without element, the tenant's elements.
+//	/events?since=SEQ&limit=
+//	    the journal's diagnosis events after SEQ, oldest first.
+//	/diagnose?tenant=&at=&window=
+//	    run Algorithm 1 (and Algorithm 2 when the tenant has chains)
+//	    from stored history over the window ending at `at`, without
+//	    issuing any agent query.
+//
+// Timestamps (`at`, `from`, `to`) accept integer record-clock
+// nanoseconds or RFC 3339; `at` may be omitted for "newest". `window`
+// is a Go duration (default 3s).
+type Server struct {
+	Store   *Store
+	Journal *Journal
+	// Net resolves a tenant's virtual network for chain diagnosis; nil
+	// limits /diagnose to Algorithm 1.
+	Net func(core.TenantID) *core.VirtualNet
+	// DefaultTenant is used when a request omits tenant=.
+	DefaultTenant core.TenantID
+}
+
+// Register attaches the endpoints to mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/history", s.handleHistory)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/diagnose", s.handleDiagnose)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseTS parses a timestamp parameter: integer nanoseconds or RFC 3339.
+// Empty returns def.
+func parseTS(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if t, err := time.Parse(time.RFC3339Nano, s); err == nil {
+		return t.UnixNano(), nil
+	}
+	return 0, fmt.Errorf("bad timestamp %q (want ns int or RFC3339)", s)
+}
+
+func (s *Server) tenant(r *http.Request) core.TenantID {
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return core.TenantID(t)
+	}
+	return s.DefaultTenant
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	tid := s.tenant(r)
+	elem := core.ElementID(q.Get("element"))
+	attr := q.Get("attr")
+	switch {
+	case elem == "":
+		writeJSON(w, map[string]any{"tenant": tid, "elements": s.Store.Elements(tid)})
+	case attr == "":
+		writeJSON(w, map[string]any{"tenant": tid, "element": elem, "attrs": s.Store.Attrs(tid, elem)})
+	default:
+		from, err := parseTS(q.Get("from"), 0)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "from: %v", err)
+			return
+		}
+		to, err := parseTS(q.Get("to"), 1<<62)
+		if err != nil {
+			httpErr(w, http.StatusBadRequest, "to: %v", err)
+			return
+		}
+		limit, _ := strconv.Atoi(q.Get("limit"))
+		pts := s.Store.Series(tid, elem, attr, from, to, limit)
+		writeJSON(w, map[string]any{
+			"tenant": tid, "element": elem, "attr": attr, "points": pts,
+		})
+	}
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.Journal == nil {
+		httpErr(w, http.StatusNotFound, "event journal disabled")
+		return
+	}
+	q := r.URL.Query()
+	since, err := strconv.ParseInt(q.Get("since"), 10, 64)
+	if err != nil && q.Get("since") != "" {
+		httpErr(w, http.StatusBadRequest, "bad since %q", q.Get("since"))
+		return
+	}
+	limit, _ := strconv.Atoi(q.Get("limit"))
+	evs := s.Journal.Since(since, limit)
+	_, last, dropped := s.Journal.Stats()
+	next := since
+	if n := len(evs); n > 0 {
+		next = evs[n-1].Seq
+	}
+	writeJSON(w, map[string]any{
+		"events": evs, "next": next, "last_seq": last, "dropped": dropped,
+	})
+}
+
+// diagnoseResponse is the /diagnose payload.
+type diagnoseResponse struct {
+	Tenant   core.TenantID               `json:"tenant"`
+	AsOf     int64                       `json:"as_of"`
+	WindowNS int64                       `json:"window_ns"`
+	Stack    *diagnosis.ContentionReport `json:"stack,omitempty"`
+	StackErr string                      `json:"stack_error,omitempty"`
+	Chain    *diagnosis.RootCauseReport  `json:"chain,omitempty"`
+	ChainErr string                      `json:"chain_error,omitempty"`
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	tid := s.tenant(r)
+	asOf, err := parseTS(q.Get("at"), 0)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "at: %v", err)
+		return
+	}
+	window := 3 * time.Second
+	if ws := q.Get("window"); ws != "" {
+		window, err = time.ParseDuration(ws)
+		if err != nil || window <= 0 {
+			httpErr(w, http.StatusBadRequest, "bad window %q", ws)
+			return
+		}
+	}
+	if asOf <= 0 {
+		newest, ok := s.Store.NewestTS(tid)
+		if !ok {
+			httpErr(w, http.StatusNotFound, "no history for tenant %q", tid)
+			return
+		}
+		asOf = newest
+	}
+	resp := diagnoseResponse{Tenant: tid, AsOf: asOf, WindowNS: int64(window)}
+	if rep, err := s.Store.DiagnoseStack(tid, window, asOf); err != nil {
+		resp.StackErr = err.Error()
+	} else {
+		resp.Stack = rep
+	}
+	var net *core.VirtualNet
+	if s.Net != nil {
+		net = s.Net(tid)
+	}
+	if net != nil && len(net.Chains) > 0 {
+		if rep, err := s.Store.DiagnoseChain(tid, window, asOf, net); err != nil {
+			resp.ChainErr = err.Error()
+		} else {
+			resp.Chain = rep
+		}
+	}
+	if resp.Stack == nil && resp.Chain == nil {
+		httpErr(w, http.StatusNotFound, "tenant %q has no diagnosable history in window (stack: %s)", tid, resp.StackErr)
+		return
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,171 @@
+package history
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"perfsight/internal/core"
+	"perfsight/internal/diagnosis"
+)
+
+// httpSetup populates a store with a clean-then-dropping vswitch plus a
+// pNIC, and serves it.
+func httpSetup(t *testing.T) (*httptest.Server, *Journal) {
+	t.Helper()
+	s := New(Config{})
+	for i := int64(1); i <= 6; i++ {
+		drops := 0.0
+		if i >= 4 {
+			drops = float64(i-3) * 500
+		}
+		s.Append(testTenant, stackRec("m0/vswitch", i*1e9, drops))
+		s.Append(testTenant, core.Record{Timestamp: i * 1e9, Element: "m0/pnic",
+			Attrs: []core.Attr{
+				{Name: core.AttrKind, Value: float64(core.KindPNIC)},
+				{Name: core.AttrRxBytes, Value: float64(i) * 1e6},
+			}})
+	}
+	j := NewJournal(8)
+	j.Append(Event{TS: 4e9, Tenant: testTenant, Element: "m0/vswitch", DropRate: 500, Summary: "test spike"})
+	mux := http.NewServeMux()
+	(&Server{Store: s, Journal: j, DefaultTenant: testTenant}).Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, j
+}
+
+func get(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	ts, _ := httpSetup(t)
+
+	var elems struct {
+		Elements []core.ElementID `json:"elements"`
+	}
+	if code := get(t, ts.URL+"/history", &elems); code != 200 {
+		t.Fatalf("/history status %d", code)
+	}
+	if len(elems.Elements) != 2 || elems.Elements[0] != "m0/pnic" {
+		t.Fatalf("elements = %v", elems.Elements)
+	}
+
+	var attrs struct {
+		Attrs []string `json:"attrs"`
+	}
+	get(t, ts.URL+"/history?element=m0/vswitch", &attrs)
+	if len(attrs.Attrs) != 3 {
+		t.Fatalf("attrs = %v, want kind/rx_packets/drop_packets", attrs.Attrs)
+	}
+
+	var pts struct {
+		Points []Point `json:"points"`
+	}
+	get(t, ts.URL+"/history?element=m0/vswitch&attr=drop_packets&from=2000000000&to=5000000000", &pts)
+	if len(pts.Points) != 4 || pts.Points[0].TS != 2e9 || pts.Points[3].TS != 5e9 {
+		t.Fatalf("window query points = %+v", pts.Points)
+	}
+
+	if code := get(t, ts.URL+"/history?element=m0/vswitch&attr=drop_packets&from=bogus", nil); code != 400 {
+		t.Fatalf("bad from: status %d, want 400", code)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	ts, j := httpSetup(t)
+	j.Append(Event{TS: 5e9, Tenant: testTenant, Element: "m0/vswitch", DropRate: 1000, Summary: "again"})
+
+	var resp struct {
+		Events  []Event `json:"events"`
+		Next    int64   `json:"next"`
+		LastSeq int64   `json:"last_seq"`
+	}
+	get(t, ts.URL+"/events", &resp)
+	if len(resp.Events) != 2 || resp.Next != 2 || resp.LastSeq != 2 {
+		t.Fatalf("events = %d next = %d last = %d", len(resp.Events), resp.Next, resp.LastSeq)
+	}
+	resp.Events = nil
+	get(t, ts.URL+"/events?since=1", &resp)
+	if len(resp.Events) != 1 || resp.Events[0].Summary != "again" {
+		t.Fatalf("since=1 events = %+v", resp.Events)
+	}
+}
+
+func TestDiagnoseEndpoint(t *testing.T) {
+	ts, _ := httpSetup(t)
+
+	var resp struct {
+		AsOf  int64                       `json:"as_of"`
+		Stack *diagnosis.ContentionReport `json:"stack"`
+	}
+	// Newest history (asOf omitted): drops are climbing, Algorithm 1 runs.
+	if code := get(t, ts.URL+"/diagnose?window=3s", &resp); code != 200 {
+		t.Fatalf("/diagnose status %d", code)
+	}
+	if resp.AsOf != 6e9 {
+		t.Fatalf("as_of = %d, want newest 6e9", resp.AsOf)
+	}
+	if resp.Stack == nil || len(resp.Stack.Ranked) == 0 {
+		t.Fatal("no stack report from history")
+	}
+	if resp.Stack.Ranked[0].Element != "m0/vswitch" {
+		t.Fatalf("top drop element = %s", resp.Stack.Ranked[0].Element)
+	}
+
+	// The same verdict must come back for an explicit past instant.
+	var at struct {
+		Stack *diagnosis.ContentionReport `json:"stack"`
+	}
+	get(t, ts.URL+"/diagnose?at=6000000000&window=3s", &at)
+	if at.Stack == nil || at.Stack.TopLocation != resp.Stack.TopLocation {
+		t.Fatalf("explicit at= verdict differs: %+v vs %+v", at.Stack, resp.Stack)
+	}
+
+	if code := get(t, ts.URL+"/diagnose?tenant=ghost", nil); code != 404 {
+		t.Fatalf("unknown tenant: status %d, want 404", code)
+	}
+	if code := get(t, ts.URL+"/diagnose?window=banana", nil); code != 400 {
+		t.Fatalf("bad window: status %d, want 400", code)
+	}
+}
+
+// TestDiagnoseJSONRoundTrip proves the enum JSON forms survive a
+// marshal/unmarshal cycle through the wire structs the CLI decodes.
+func TestDiagnoseJSONRoundTrip(t *testing.T) {
+	rep := &diagnosis.ContentionReport{
+		Scope:       diagnosis.ScopeContention,
+		TopLocation: diagnosis.LocVSwitch,
+		Inferred:    diagnosis.ResourceMemoryBandwidth,
+		Ranked: []diagnosis.ElementLoss{
+			{Element: "m0/vswitch", Kind: core.KindVSwitch, Loss: 1500},
+		},
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back diagnosis.ContentionReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scope != rep.Scope || back.TopLocation != rep.TopLocation {
+		t.Fatalf("enums did not round-trip: %+v", back)
+	}
+	if back.Ranked[0].Kind != core.KindVSwitch {
+		t.Fatalf("element kind did not round-trip: %+v", back.Ranked[0])
+	}
+}

@@ -1,0 +1,212 @@
+package history
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"perfsight/internal/controller"
+	"perfsight/internal/core"
+	"perfsight/internal/wire"
+)
+
+// fakeAgent is an AgentClient serving scripted per-element drop counters
+// with a shared advancing clock, so Monitor sweeps see fresh timestamps.
+type fakeAgent struct {
+	clock *atomic.Int64 // record-clock ns, advanced by the test
+	elems []core.ElementID
+	drops func(eid core.ElementID, now int64) float64
+	fail  atomic.Bool
+	calls atomic.Int64
+}
+
+func (f *fakeAgent) Query(q wire.Query) ([]core.Record, error) {
+	f.calls.Add(1)
+	if f.fail.Load() {
+		return nil, errors.New("fake: agent down")
+	}
+	now := f.clock.Load()
+	var out []core.Record
+	for _, eid := range f.elems {
+		out = append(out, core.Record{
+			Timestamp: now,
+			Element:   eid,
+			Attrs: []core.Attr{
+				{Name: core.AttrKind, Value: float64(core.KindVSwitch)},
+				{Name: core.AttrDropPackets, Value: f.drops(eid, now)},
+			},
+		})
+	}
+	return out, nil
+}
+
+func (f *fakeAgent) ListElements() ([]wire.ElementMeta, error) { return nil, nil }
+func (f *fakeAgent) Ping() (time.Duration, error)              { return time.Microsecond, nil }
+func (f *fakeAgent) Close() error                              { return nil }
+
+// monitorSetup wires a controller over two fake machines into a monitor.
+func monitorSetup(drops func(core.ElementID, int64) float64) (*Monitor, *atomic.Int64, []*fakeAgent) {
+	topo := core.NewTopology()
+	net := topo.Net(testTenant)
+	ctl := controller.New(topo)
+	ctl.Sweep = controller.SweepConfig{}
+	var clock atomic.Int64
+	var fakes []*fakeAgent
+	for _, m := range []core.MachineID{"m0", "m1"} {
+		eid := core.ElementID(string(m) + "/vswitch")
+		net.Add(eid, core.ElementInfo{Machine: m, Kind: core.KindVSwitch})
+		f := &fakeAgent{clock: &clock, elems: []core.ElementID{eid}, drops: drops}
+		ctl.RegisterAgent(m, f)
+		fakes = append(fakes, f)
+	}
+	store := New(Config{})
+	return NewMonitor(ctl, store, MonitorConfig{Interval: time.Hour}), &clock, fakes
+}
+
+func TestMonitorSweepAppendsAndHooks(t *testing.T) {
+	mon, clock, _ := monitorSetup(func(_ core.ElementID, now int64) float64 { return float64(now) })
+	var hooked atomic.Int64
+	mon.AfterSweep = func(tid core.TenantID, recs map[core.ElementID]core.Record, err error) {
+		if tid != testTenant {
+			t.Errorf("AfterSweep tenant = %s", tid)
+		}
+		if err != nil {
+			t.Errorf("AfterSweep err = %v", err)
+		}
+		hooked.Add(int64(len(recs)))
+	}
+
+	for i := int64(1); i <= 3; i++ {
+		clock.Store(i * 1e9)
+		if err := mon.Sweep(context.Background()); err != nil {
+			t.Fatalf("sweep %d: %v", i, err)
+		}
+	}
+	if hooked.Load() != 6 {
+		t.Fatalf("AfterSweep saw %d records, want 6", hooked.Load())
+	}
+	st := mon.Store.Stats()
+	if st.Elements != 2 {
+		t.Fatalf("store Elements = %d, want 2", st.Elements)
+	}
+	pts := mon.Store.Series(testTenant, "m0/vswitch", core.AttrDropPackets, 0, 1<<62, 0)
+	if len(pts) != 3 {
+		t.Fatalf("m0/vswitch has %d points, want 3", len(pts))
+	}
+}
+
+func TestMonitorSweepPartialFailure(t *testing.T) {
+	mon, clock, fakes := monitorSetup(func(_ core.ElementID, now int64) float64 { return float64(now) })
+	clock.Store(1e9)
+	fakes[1].fail.Store(true)
+	err := mon.Sweep(context.Background())
+	if err == nil {
+		t.Fatal("sweep with a dead machine returned nil error")
+	}
+	// The healthy machine's records still landed.
+	if pts := mon.Store.Series(testTenant, "m0/vswitch", core.AttrDropPackets, 0, 1<<62, 0); len(pts) != 1 {
+		t.Fatalf("healthy machine stored %d points, want 1", len(pts))
+	}
+	if pts := mon.Store.Series(testTenant, "m1/vswitch", core.AttrDropPackets, 0, 1<<62, 0); len(pts) != 0 {
+		t.Fatalf("dead machine stored %d points, want 0", len(pts))
+	}
+}
+
+func TestMonitorRunStopsOnCancel(t *testing.T) {
+	mon, clock, _ := monitorSetup(func(_ core.ElementID, now int64) float64 { return 0 })
+	clock.Store(1e9)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- mon.Run(ctx) }()
+	// The immediate first sweep lands before any tick.
+	deadline := time.After(2 * time.Second)
+	for mon.Store.Stats().Appends == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("Run never performed its first sweep")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}
+
+func TestJournalBoundedWithSequence(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 6; i++ {
+		j.Append(Event{Element: core.ElementID("e")})
+	}
+	n, last, dropped := j.Stats()
+	if n != 4 || last != 6 || dropped != 2 {
+		t.Fatalf("Stats = (%d, %d, %d), want (4, 6, 2)", n, last, dropped)
+	}
+	evs := j.Since(0, 0)
+	if len(evs) != 4 || evs[0].Seq != 3 || evs[3].Seq != 6 {
+		t.Fatalf("Since(0) = %+v, want seqs 3..6", evs)
+	}
+	if evs := j.Since(5, 0); len(evs) != 1 || evs[0].Seq != 6 {
+		t.Fatalf("Since(5) = %+v, want just seq 6", evs)
+	}
+	if evs := j.Since(0, 2); len(evs) != 2 || evs[1].Seq != 4 {
+		t.Fatalf("Since(0, max 2) = %+v, want seqs 3,4", evs)
+	}
+}
+
+func TestWatcherEmitsOnSpikeWithCooldown(t *testing.T) {
+	mon, clock, _ := monitorSetup(func(eid core.ElementID, now int64) float64 {
+		if eid == "m0/vswitch" && now >= 3e9 {
+			// 1000 drops per 1s sweep gap from t=3s on.
+			return float64(now-2e9) / 1e6
+		}
+		return 0
+	})
+	journal := NewJournal(16)
+	w := NewWatcher(mon.Store, journal, WatcherConfig{
+		DropRateThreshold: 100,
+		Window:            2 * time.Second,
+		Cooldown:          5 * time.Second,
+	})
+	mon.AfterSweep = w.AfterSweep
+
+	for i := int64(1); i <= 6; i++ {
+		clock.Store(i * 1e9)
+		mon.Sweep(context.Background())
+	}
+	evs := journal.Since(0, 0)
+	if len(evs) != 1 {
+		t.Fatalf("watcher emitted %d events, want 1 (cooldown suppresses the rest)", len(evs))
+	}
+	ev := evs[0]
+	if ev.Element != "m0/vswitch" || ev.Tenant != testTenant {
+		t.Fatalf("event blames %s/%s", ev.Tenant, ev.Element)
+	}
+	if ev.DropRate < 900 || ev.DropRate > 1100 {
+		t.Fatalf("event drop rate = %v, want ~1000 pps", ev.DropRate)
+	}
+	if ev.Summary == "" {
+		t.Fatal("event has no summary")
+	}
+	if ev.Stack == nil {
+		t.Fatalf("event carries no stack evidence (summary %q)", ev.Summary)
+	}
+	if len(ev.Stack.Ranked) == 0 || ev.Stack.Ranked[0].Element != "m0/vswitch" {
+		t.Fatalf("stack evidence does not rank the dropping element first: %+v", ev.Stack.Ranked)
+	}
+
+	// Past the cooldown, the still-spiking element fires again.
+	clock.Store(9e9)
+	mon.Sweep(context.Background())
+	if evs := journal.Since(0, 0); len(evs) != 2 {
+		t.Fatalf("post-cooldown sweep: %d events, want 2", len(evs))
+	}
+}

@@ -1,0 +1,479 @@
+// Package history is PerfSight's flight recorder: a sharded, lock-striped
+// in-memory time-series store that retains the records a background
+// Monitor sweeps out of the agent fleet, so diagnostic applications can
+// analyze any past window instantly instead of blocking 2·T on live
+// samples (§4–5's continuous-statistics promise).
+//
+// The store is keyed by (tenant, element, attr). Each series is a pair of
+// ring buffers: a raw ring holding the most recent points at full sweep
+// cadence, and a step-down ring holding one point per DownsampleStep for
+// older history. A point pushed out of the raw ring is folded into its
+// downsample bucket (last value wins — the attrs are overwhelmingly
+// monotonic counters, so keeping the latest point per bucket preserves
+// window deltas at bucket granularity); the step-down ring in turn evicts
+// past the retention horizon. Total resident points are therefore bounded
+// by series × (MaxPointsPerSeries + Retention/DownsampleStep).
+package history
+
+import (
+	"hash/maphash"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perfsight/internal/controller"
+	"perfsight/internal/core"
+)
+
+// Config bounds the store's memory.
+type Config struct {
+	// Retention is the horizon behind the newest appended point beyond
+	// which downsampled points are evicted. Default 15m.
+	Retention time.Duration
+	// MaxPointsPerSeries caps the raw (full-cadence) ring. Default 512.
+	MaxPointsPerSeries int
+	// DownsampleStep is the step-down resolution for points that age out
+	// of the raw ring: one retained point per step. Default 10s.
+	DownsampleStep time.Duration
+	// Shards is the lock-striping factor. Default 16.
+	Shards int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Retention <= 0 {
+		c.Retention = 15 * time.Minute
+	}
+	if c.MaxPointsPerSeries <= 0 {
+		c.MaxPointsPerSeries = 512
+	}
+	if c.DownsampleStep <= 0 {
+		c.DownsampleStep = 10 * time.Second
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	return c
+}
+
+// downCap is the step-down ring capacity for the config: one point per
+// step across the retention horizon, plus one for the in-progress bucket.
+func (c Config) downCap() int {
+	n := int(c.Retention/c.DownsampleStep) + 1
+	if n > 4096 {
+		n = 4096
+	}
+	return n
+}
+
+// Point is one stored sample of a series.
+type Point struct {
+	TS int64   `json:"ts"` // record timestamp, ns (virtual or UnixNano)
+	V  float64 `json:"v"`
+}
+
+// ring is a fixed-capacity FIFO of points ordered by ascending TS.
+type ring struct {
+	buf  []Point
+	head int // index of oldest
+	n    int
+}
+
+func newRing(capacity int) ring { return ring{buf: make([]Point, capacity)} }
+
+// at returns the i-th oldest point, i in [0, n).
+func (r *ring) at(i int) Point { return r.buf[(r.head+i)%len(r.buf)] }
+
+// last returns the newest point.
+func (r *ring) last() (Point, bool) {
+	if r.n == 0 {
+		return Point{}, false
+	}
+	return r.at(r.n - 1), true
+}
+
+// setLast overwrites the newest point.
+func (r *ring) setLast(p Point) { r.buf[(r.head+r.n-1)%len(r.buf)] = p }
+
+// push appends p, evicting the oldest point when full.
+func (r *ring) push(p Point) (evicted Point, wasFull bool) {
+	if r.n == len(r.buf) {
+		evicted = r.buf[r.head]
+		r.buf[r.head] = p
+		r.head = (r.head + 1) % len(r.buf)
+		return evicted, true
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+	return Point{}, false
+}
+
+// popOldest removes and returns the oldest point.
+func (r *ring) popOldest() Point {
+	p := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p
+}
+
+// before returns the newest point with TS <= t.
+func (r *ring) before(t int64) (Point, bool) {
+	// First logical index with TS > t.
+	i := sort.Search(r.n, func(i int) bool { return r.at(i).TS > t })
+	if i == 0 {
+		return Point{}, false
+	}
+	return r.at(i - 1), true
+}
+
+// scan calls fn for every point with from <= TS <= to, oldest first.
+func (r *ring) scan(from, to int64, fn func(Point) bool) bool {
+	i := sort.Search(r.n, func(i int) bool { return r.at(i).TS >= from })
+	for ; i < r.n; i++ {
+		p := r.at(i)
+		if p.TS > to {
+			return true
+		}
+		if !fn(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// series is one (tenant, element, attr) time series: raw + step-down rings.
+type series struct {
+	raw  ring
+	down ring
+}
+
+// elemKey identifies one element's series group.
+type elemKey struct {
+	Tenant  core.TenantID
+	Element core.ElementID
+}
+
+// elemSeries groups the attr series of one element.
+type elemSeries struct {
+	attrs  map[string]*series
+	lastTS int64
+}
+
+type shard struct {
+	mu    sync.RWMutex
+	elems map[elemKey]*elemSeries
+}
+
+// Stats is a point-in-time summary of the store's occupancy.
+type Stats struct {
+	Series      int64 // live (tenant, element, attr) series
+	Elements    int64 // live (tenant, element) groups
+	Resident    int64 // points currently held across all rings
+	Appends     int64 // points ever appended
+	Downsampled int64 // points folded from the raw ring into step-down buckets
+	Evicted     int64 // points permanently dropped (bucket fold, ring overflow, retention)
+}
+
+// Store is the flight-recorder time-series store. All methods are safe
+// for concurrent use; writes to different elements contend only within a
+// shard stripe.
+type Store struct {
+	cfg    Config
+	seed   maphash.Seed
+	shards []shard
+
+	series      atomic.Int64
+	elements    atomic.Int64
+	resident    atomic.Int64
+	appends     atomic.Int64
+	downsampled atomic.Int64
+	evicted     atomic.Int64
+
+	tel atomic.Pointer[storeMetrics]
+}
+
+// New builds a store with the given bounds (zero fields take defaults).
+func New(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{cfg: cfg, seed: maphash.MakeSeed(), shards: make([]shard, cfg.Shards)}
+	for i := range s.shards {
+		s.shards[i].elems = make(map[elemKey]*elemSeries)
+	}
+	return s
+}
+
+// Config returns the store's effective (defaulted) configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+func (s *Store) shardOf(k elemKey) *shard {
+	var h maphash.Hash
+	h.SetSeed(s.seed)
+	h.WriteString(string(k.Tenant))
+	h.WriteByte(0)
+	h.WriteString(string(k.Element))
+	return &s.shards[h.Sum64()%uint64(len(s.shards))]
+}
+
+// Append stores one swept record under the tenant. Points must arrive in
+// non-decreasing timestamp order per element; a duplicate timestamp
+// replaces the previous value (a re-sweep at the same instant), and an
+// older timestamp is dropped.
+func (s *Store) Append(tid core.TenantID, rec core.Record) {
+	k := elemKey{tid, rec.Element}
+	sh := s.shardOf(k)
+	sh.mu.Lock()
+	es := sh.elems[k]
+	if es == nil {
+		es = &elemSeries{attrs: make(map[string]*series, len(rec.Attrs))}
+		sh.elems[k] = es
+		s.elements.Add(1)
+	}
+	if rec.Timestamp > es.lastTS {
+		es.lastTS = rec.Timestamp
+	}
+	for _, a := range rec.Attrs {
+		sr := es.attrs[a.Name]
+		if sr == nil {
+			sr = &series{
+				raw:  newRing(s.cfg.MaxPointsPerSeries),
+				down: newRing(s.cfg.downCap()),
+			}
+			es.attrs[a.Name] = sr
+			s.series.Add(1)
+		}
+		s.appendPoint(sr, Point{TS: rec.Timestamp, V: a.Value})
+	}
+	sh.mu.Unlock()
+}
+
+// appendPoint pushes p into the series, stepping evicted raw points down
+// into their downsample bucket and enforcing the retention horizon.
+func (s *Store) appendPoint(sr *series, p Point) {
+	if last, ok := sr.raw.last(); ok {
+		if p.TS == last.TS {
+			sr.raw.setLast(p)
+			return
+		}
+		if p.TS < last.TS {
+			return // out of order: monitor sweeps only move forward
+		}
+	}
+	s.appends.Add(1)
+	s.resident.Add(1)
+	if m := s.tel.Load(); m != nil {
+		m.appends.Inc()
+	}
+	old, wasFull := sr.raw.push(p)
+	if wasFull {
+		// The displaced raw point steps down: last value per bucket wins.
+		s.downsampled.Add(1)
+		bucket := old.TS / int64(s.cfg.DownsampleStep)
+		if dl, ok := sr.down.last(); ok && dl.TS/int64(s.cfg.DownsampleStep) == bucket {
+			sr.down.setLast(old) // the replaced bucket value is gone
+			s.resident.Add(-1)
+			s.noteEvicted(1)
+		} else if _, full := sr.down.push(old); full {
+			s.resident.Add(-1)
+			s.noteEvicted(1)
+		}
+	}
+	// Retention: drop downsampled points behind the horizon.
+	horizon := p.TS - int64(s.cfg.Retention)
+	for sr.down.n > 0 && sr.down.at(0).TS < horizon {
+		sr.down.popOldest()
+		s.resident.Add(-1)
+		s.noteEvicted(1)
+	}
+}
+
+func (s *Store) noteEvicted(n int64) {
+	s.evicted.Add(n)
+	if m := s.tel.Load(); m != nil {
+		m.evictions.Add(uint64(n))
+	}
+}
+
+// Stats returns the store's occupancy counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Series:      s.series.Load(),
+		Elements:    s.elements.Load(),
+		Resident:    s.resident.Load(),
+		Appends:     s.appends.Load(),
+		Downsampled: s.downsampled.Load(),
+		Evicted:     s.evicted.Load(),
+	}
+}
+
+// MaxResident returns the configured worst-case resident points for the
+// current series population — the bound the retention test asserts.
+func (s *Store) MaxResident() int64 {
+	return s.series.Load() * int64(s.cfg.MaxPointsPerSeries+s.cfg.downCap())
+}
+
+// Tenants lists tenants with stored history, sorted.
+func (s *Store) Tenants() []core.TenantID {
+	seen := make(map[core.TenantID]bool)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.elems {
+			seen[k.Tenant] = true
+		}
+		sh.mu.RUnlock()
+	}
+	out := make([]core.TenantID, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Elements lists the tenant's recorded elements, sorted.
+func (s *Store) Elements(tid core.TenantID) []core.ElementID {
+	var out []core.ElementID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k := range sh.elems {
+			if k.Tenant == tid {
+				out = append(out, k.Element)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Attrs lists the recorded attribute names of one element, sorted.
+func (s *Store) Attrs(tid core.TenantID, eid core.ElementID) []string {
+	k := elemKey{tid, eid}
+	sh := s.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	es := sh.elems[k]
+	if es == nil {
+		return nil
+	}
+	out := make([]string, 0, len(es.attrs))
+	for a := range es.attrs {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewestTS returns the newest record timestamp stored for the tenant.
+func (s *Store) NewestTS(tid core.TenantID) (int64, bool) {
+	var newest int64
+	found := false
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, es := range sh.elems {
+			if k.Tenant == tid && (!found || es.lastTS > newest) {
+				newest, found = es.lastTS, true
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return newest, found
+}
+
+// Series returns the stored points of one (tenant, element, attr) series
+// with from <= TS <= to, oldest first, downsampled history followed by
+// raw. limit <= 0 means unlimited.
+func (s *Store) Series(tid core.TenantID, eid core.ElementID, attr string, from, to int64, limit int) []Point {
+	k := elemKey{tid, eid}
+	sh := s.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	es := sh.elems[k]
+	if es == nil {
+		return nil
+	}
+	sr := es.attrs[attr]
+	if sr == nil {
+		return nil
+	}
+	var out []Point
+	keep := func(p Point) bool {
+		out = append(out, p)
+		return limit <= 0 || len(out) < limit
+	}
+	if sr.down.scan(from, to, keep) {
+		sr.raw.scan(from, to, keep)
+	}
+	return out
+}
+
+// At reconstructs the element's record as of asOf: for every recorded
+// attr, the newest stored value at or before asOf. The record carries the
+// newest such sample timestamp. asOf <= 0 means "newest".
+func (s *Store) At(tid core.TenantID, eid core.ElementID, asOf int64) (core.Record, bool) {
+	k := elemKey{tid, eid}
+	sh := s.shardOf(k)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	es := sh.elems[k]
+	if es == nil {
+		return core.Record{}, false
+	}
+	if asOf <= 0 {
+		asOf = es.lastTS
+	}
+	rec := core.Record{Element: eid}
+	for name, sr := range es.attrs {
+		p, ok := sr.raw.before(asOf)
+		if !ok {
+			p, ok = sr.down.before(asOf)
+		}
+		if !ok {
+			continue
+		}
+		rec.Attrs = append(rec.Attrs, core.Attr{Name: name, Value: p.V})
+		if p.TS > rec.Timestamp {
+			rec.Timestamp = p.TS
+		}
+	}
+	if len(rec.Attrs) == 0 {
+		return core.Record{}, false
+	}
+	rec.SortAttrs()
+	return rec, true
+}
+
+// Interval synthesizes a controller.Interval for the element over the
+// window ending at asOf (asOf <= 0 means newest): the Cur snapshot is the
+// record at asOf, the Prev snapshot the record one window earlier.
+func (s *Store) Interval(tid core.TenantID, eid core.ElementID, window time.Duration, asOf int64) (controller.Interval, bool) {
+	cur, ok := s.At(tid, eid, asOf)
+	if !ok {
+		return controller.Interval{}, false
+	}
+	prev, ok := s.At(tid, eid, cur.Timestamp-int64(window))
+	if !ok || prev.Timestamp >= cur.Timestamp {
+		return controller.Interval{}, false
+	}
+	return controller.Interval{Prev: prev, Cur: cur}, true
+}
+
+// Intervals synthesizes intervals for a set of elements (nil = every
+// recorded element of the tenant) over the window ending at asOf.
+// Elements without enough history are omitted, mirroring the partial
+// results of a live SampleInterval under churn.
+func (s *Store) Intervals(tid core.TenantID, ids []core.ElementID, window time.Duration, asOf int64) map[core.ElementID]controller.Interval {
+	if ids == nil {
+		ids = s.Elements(tid)
+	}
+	out := make(map[core.ElementID]controller.Interval, len(ids))
+	for _, id := range ids {
+		if iv, ok := s.Interval(tid, id, window, asOf); ok {
+			out[id] = iv
+		}
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package history
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+)
+
+const testTenant = core.TenantID("t1")
+
+// stackRec builds a vswitch record with the counters the diagnosis and
+// watcher paths read.
+func stackRec(eid core.ElementID, ts int64, drops float64) core.Record {
+	return core.Record{
+		Timestamp: ts,
+		Element:   eid,
+		Attrs: []core.Attr{
+			{Name: core.AttrKind, Value: float64(core.KindVSwitch)},
+			{Name: core.AttrRxPackets, Value: float64(ts) / 10},
+			{Name: core.AttrDropPackets, Value: drops},
+		},
+	}
+}
+
+func TestSeriesAtAndInterval(t *testing.T) {
+	s := New(Config{})
+	const eid = core.ElementID("m0/vswitch")
+	for i := int64(1); i <= 5; i++ {
+		s.Append(testTenant, stackRec(eid, i*1e9, float64(i*100)))
+	}
+
+	pts := s.Series(testTenant, eid, core.AttrDropPackets, 0, 1<<62, 0)
+	if len(pts) != 5 {
+		t.Fatalf("Series returned %d points, want 5", len(pts))
+	}
+	for i, p := range pts {
+		if want := int64(i+1) * 1e9; p.TS != want {
+			t.Fatalf("point %d TS = %d, want %d (ascending order)", i, p.TS, want)
+		}
+	}
+
+	// At reconstructs the newest record at or before asOf.
+	rec, ok := s.At(testTenant, eid, 3500e6)
+	if !ok {
+		t.Fatal("At(3.5s) found nothing")
+	}
+	if rec.Timestamp != 3e9 {
+		t.Fatalf("At(3.5s) Timestamp = %d, want 3e9", rec.Timestamp)
+	}
+	if v, _ := rec.Get(core.AttrDropPackets); v != 300 {
+		t.Fatalf("At(3.5s) drops = %v, want 300", v)
+	}
+	if rec.Kind() != core.KindVSwitch {
+		t.Fatalf("At lost the kind attr: %v", rec.Kind())
+	}
+
+	// Interval: Cur at asOf, Prev one window earlier; Delta is Cur-Prev.
+	iv, ok := s.Interval(testTenant, eid, 2*time.Second, 5e9)
+	if !ok {
+		t.Fatal("Interval(2s @5s) found nothing")
+	}
+	if iv.Cur.Timestamp != 5e9 || iv.Prev.Timestamp != 3e9 {
+		t.Fatalf("Interval snapshots at %d/%d, want 3e9/5e9", iv.Prev.Timestamp, iv.Cur.Timestamp)
+	}
+	if d := iv.DropPackets(); d != 200 {
+		t.Fatalf("Interval drop delta = %v, want 200", d)
+	}
+
+	// A window reaching before recorded history yields no interval.
+	if _, ok := s.Interval(testTenant, eid, 2*time.Second, 1e9); ok {
+		t.Fatal("Interval before history start should not synthesize")
+	}
+}
+
+func TestAppendDuplicateAndOutOfOrder(t *testing.T) {
+	s := New(Config{})
+	const eid = core.ElementID("m0/vswitch")
+	s.Append(testTenant, stackRec(eid, 1e9, 10))
+	s.Append(testTenant, stackRec(eid, 2e9, 20))
+	appends := s.Stats().Appends
+
+	// A duplicate timestamp replaces the stored value without growing.
+	s.Append(testTenant, stackRec(eid, 2e9, 25))
+	if got := s.Stats().Appends; got != appends {
+		t.Fatalf("duplicate-TS append grew Appends to %d (was %d)", got, appends)
+	}
+	rec, _ := s.At(testTenant, eid, 0)
+	if v, _ := rec.Get(core.AttrDropPackets); v != 25 {
+		t.Fatalf("duplicate-TS append kept drops = %v, want replacement 25", v)
+	}
+
+	// An older timestamp is dropped outright.
+	s.Append(testTenant, stackRec(eid, 1500e6, 99))
+	pts := s.Series(testTenant, eid, core.AttrDropPackets, 0, 1<<62, 0)
+	if len(pts) != 2 {
+		t.Fatalf("out-of-order append changed point count: %d", len(pts))
+	}
+}
+
+func TestDownsampleLastValueWinsPreservesDeltas(t *testing.T) {
+	// Raw ring of 2, 10ns buckets: points displaced from the raw ring
+	// fold to one point per bucket, keeping the newest (for counters,
+	// the bucket-end value — so window deltas survive step-down).
+	s := New(Config{MaxPointsPerSeries: 2, DownsampleStep: 10 * time.Nanosecond, Retention: time.Second})
+	const eid = core.ElementID("m0/vswitch")
+	for ts := int64(1); ts <= 20; ts++ {
+		s.Append(testTenant, core.Record{Timestamp: ts, Element: eid,
+			Attrs: []core.Attr{{Name: core.AttrDropPackets, Value: float64(ts * 10)}}})
+	}
+	pts := s.Series(testTenant, eid, core.AttrDropPackets, 0, 1<<62, 0)
+	// Raw holds {19, 20}; displaced 1..18 fold to bucket 0 (TS 1..9 -> 9),
+	// bucket 1 (TS 10..18 -> 18).
+	want := []Point{{9, 90}, {18, 180}, {19, 190}, {20, 200}}
+	if len(pts) != len(want) {
+		t.Fatalf("points after step-down: %v, want %v", pts, want)
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("point %d = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+	st := s.Stats()
+	if st.Downsampled != 18 {
+		t.Fatalf("Downsampled = %d, want 18", st.Downsampled)
+	}
+	if st.Resident != int64(len(pts)) {
+		t.Fatalf("Resident = %d but store holds %d points", st.Resident, len(pts))
+	}
+}
+
+// TestRetentionBoundsResident is the bounded-memory proof: a stream far
+// longer than the horizon leaves resident points under the configured
+// cap, with everything behind the horizon evicted.
+func TestRetentionBoundsResident(t *testing.T) {
+	cfg := Config{
+		MaxPointsPerSeries: 8,
+		DownsampleStep:     10 * time.Millisecond,
+		Retention:          100 * time.Millisecond,
+	}
+	s := New(cfg)
+	elems := []core.ElementID{"m0/vswitch", "m0/pnic", "m1/vswitch"}
+	const sweeps = 10_000
+	step := int64(time.Millisecond)
+	for i := int64(1); i <= sweeps; i++ {
+		for _, eid := range elems {
+			s.Append(testTenant, stackRec(eid, i*step, float64(i)))
+		}
+	}
+
+	st := s.Stats()
+	if st.Series != int64(3*len(elems)) {
+		t.Fatalf("Series = %d, want %d", st.Series, 3*len(elems))
+	}
+	if st.Resident > s.MaxResident() {
+		t.Fatalf("Resident %d exceeds configured bound %d", st.Resident, s.MaxResident())
+	}
+	if st.Evicted == 0 {
+		t.Fatal("a stream 100x the horizon evicted nothing")
+	}
+	if st.Appends != int64(sweeps*3*len(elems)) {
+		t.Fatalf("Appends = %d, want %d", st.Appends, sweeps*3*len(elems))
+	}
+
+	// Accounting cross-check: the atomic Resident counter must equal the
+	// points actually reachable through Series.
+	var held int64
+	newest, _ := s.NewestTS(testTenant)
+	horizon := newest - int64(cfg.Retention) - int64(cfg.DownsampleStep)
+	for _, eid := range elems {
+		for _, attr := range s.Attrs(testTenant, eid) {
+			pts := s.Series(testTenant, eid, attr, 0, 1<<62, 0)
+			held += int64(len(pts))
+			if len(pts) > 0 && pts[0].TS < horizon {
+				t.Fatalf("%s %s oldest point %d predates horizon %d", eid, attr, pts[0].TS, horizon)
+			}
+		}
+	}
+	if held != st.Resident {
+		t.Fatalf("Resident counter %d != %d reachable points", st.Resident, held)
+	}
+}
+
+// TestConcurrentAppendAndRead exercises the lock striping under -race:
+// one writer per element appending monotonically while readers walk every
+// query path.
+func TestConcurrentAppendAndRead(t *testing.T) {
+	s := New(Config{MaxPointsPerSeries: 32, DownsampleStep: 10 * time.Millisecond, Retention: 200 * time.Millisecond})
+	const writers = 8
+	const perWriter = 2_000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			eid := core.ElementID(fmt.Sprintf("m%d/vswitch", w))
+			for i := int64(1); i <= perWriter; i++ {
+				s.Append(testTenant, stackRec(eid, i*int64(time.Millisecond), float64(i)))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, eid := range s.Elements(testTenant) {
+					s.At(testTenant, eid, 0)
+					s.Series(testTenant, eid, core.AttrDropPackets, 0, 1<<62, 10)
+				}
+				s.Intervals(testTenant, nil, 50*time.Millisecond, 0)
+				s.Stats()
+				s.NewestTS(testTenant)
+			}
+		}()
+	}
+
+	// Wait for the writers, then release the readers.
+	for {
+		if st := s.Stats(); st.Appends >= writers*perWriter {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Elements != writers {
+		t.Fatalf("Elements = %d, want %d", st.Elements, writers)
+	}
+	if st.Resident > s.MaxResident() {
+		t.Fatalf("Resident %d exceeds bound %d", st.Resident, s.MaxResident())
+	}
+}

@@ -1,0 +1,79 @@
+package history
+
+import (
+	"perfsight/internal/telemetry"
+)
+
+// storeMetrics is the store's self-telemetry block, resolved once at
+// EnableTelemetry time and read through one atomic pointer load on the
+// append path (the repo-wide opt-in gate idiom).
+type storeMetrics struct {
+	appends   *telemetry.Counter
+	evictions *telemetry.Counter
+}
+
+// EnableTelemetry registers the flight recorder's occupancy gauges and
+// append/eviction counters in reg. Occupancy and series counts are pulled
+// at scrape time; the counters are updated inline on append.
+func (s *Store) EnableTelemetry(reg *telemetry.Registry) {
+	m := &storeMetrics{
+		appends: reg.Counter("perfsight_history_points_appended_total",
+			"points appended to the history store"),
+		evictions: reg.Counter("perfsight_history_points_evicted_total",
+			"points dropped by downsampling folds, ring overflow, or retention"),
+	}
+	reg.GaugeFunc("perfsight_history_resident_points",
+		"points currently resident across all history rings",
+		func() float64 { return float64(s.resident.Load()) })
+	reg.GaugeFunc("perfsight_history_series",
+		"live (tenant, element, attr) series in the history store",
+		func() float64 { return float64(s.series.Load()) })
+	reg.GaugeFunc("perfsight_history_elements",
+		"live (tenant, element) groups in the history store",
+		func() float64 { return float64(s.elements.Load()) })
+	s.tel.Store(m)
+}
+
+// monitorMetrics counts the background collection loop's sweeps.
+type monitorMetrics struct {
+	sweeps      *telemetry.Counter
+	sweepErrors *telemetry.Counter
+	records     *telemetry.Counter
+}
+
+// EnableTelemetry registers monitor sweep counters in reg. Call before
+// Run.
+func (m *Monitor) EnableTelemetry(reg *telemetry.Registry) {
+	m.tel = &monitorMetrics{
+		sweeps: reg.Counter("perfsight_monitor_sweeps_total",
+			"background monitoring sweeps completed"),
+		sweepErrors: reg.Counter("perfsight_monitor_sweep_errors_total",
+			"monitoring sweeps with at least one per-machine failure"),
+		records: reg.Counter("perfsight_monitor_records_total",
+			"records collected by monitoring sweeps"),
+	}
+}
+
+// EnableTelemetry registers journal occupancy and event counters in reg.
+func (j *Journal) EnableTelemetry(reg *telemetry.Registry) {
+	m := &journalMetrics{
+		events: reg.Counter("perfsight_history_events_total",
+			"diagnosis events appended to the journal"),
+		dropped: reg.Counter("perfsight_history_events_dropped_total",
+			"journal events overwritten before being read"),
+	}
+	reg.GaugeFunc("perfsight_history_journal_events",
+		"events currently held in the bounded journal",
+		func() float64 {
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			return float64(j.n)
+		})
+	j.tel.Store(m)
+}
+
+// journalMetrics is the journal's telemetry block.
+type journalMetrics struct {
+	events  *telemetry.Counter
+	dropped *telemetry.Counter
+}

@@ -94,7 +94,43 @@ func (m *metric) writeHistogram(w io.Writer, name string) error {
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, m.labels, formatFloat(h.Sum())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, m.labels, h.Count())
+	if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, m.labels, h.Count()); err != nil {
+		return err
+	}
+	// Summary-style quantile estimates alongside the buckets, so humans
+	// and `perfsight top` read p50/p90/p99 without doing histogram math.
+	// Skipped while empty — an all-zero quantile row is noise.
+	if h.Count() == 0 {
+		return nil
+	}
+	for _, q := range exposedQuantiles {
+		v, ok := h.Quantile(q.v)
+		if !ok {
+			continue
+		}
+		if err := writeQuantile(w, name, m.labels, q.label, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exposedQuantiles are the percentile series every histogram exports.
+var exposedQuantiles = []struct {
+	label string
+	v     float64
+}{
+	{"0.5", 0.5},
+	{"0.9", 0.9},
+	{"0.99", 0.99},
+}
+
+func writeQuantile(w io.Writer, name, labels, q string, v float64) error {
+	sep := "{"
+	if labels != "" {
+		sep = labels[:len(labels)-1] + ","
+	}
+	_, err := fmt.Fprintf(w, "%s%squantile=%q} %s\n", name, sep, q, formatFloat(v))
 	return err
 }
 
@@ -118,12 +154,16 @@ type Health struct {
 	Identity  string  `json:"identity"`
 	Elements  int     `json:"elements,omitempty"`
 	UptimeSec float64 `json:"uptime_seconds"`
+	// Extra carries component-specific liveness numbers (e.g. the flight
+	// recorder's resident-point and event counts); keys marshal sorted.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
-// Handler returns an http.Handler serving /metrics (Prometheus text) and
-// /healthz (JSON Health). health may be nil, in which case /healthz
-// reports a bare ok.
-func Handler(reg *Registry, health func() Health) http.Handler {
+// NewMux returns the exposition mux serving /metrics (Prometheus text)
+// and /healthz (JSON Health), exposed so callers can attach more
+// endpoints (history, events, pprof) to the same listener. health may be
+// nil, in which case /healthz reports a bare ok.
+func NewMux(reg *Registry, health func() Health) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -143,11 +183,22 @@ func Handler(reg *Registry, health func() Health) http.Handler {
 	return mux
 }
 
+// Handler returns an http.Handler serving /metrics and /healthz.
+func Handler(reg *Registry, health func() Health) http.Handler {
+	return NewMux(reg, health)
+}
+
 // Serve starts the exposition endpoint on addr in a background goroutine
 // and returns the bound address (useful with ":0"). Empty addr disables
 // exposition and returns nil without error — the opt-in contract of the
 // cmd binaries' -telemetry flag.
 func Serve(addr string, reg *Registry, health func() Health) (net.Addr, error) {
+	return ServeHandler(addr, Handler(reg, health))
+}
+
+// ServeHandler is Serve for a caller-built handler (e.g. a NewMux with
+// extra endpoints attached). Empty addr disables exposition.
+func ServeHandler(addr string, h http.Handler) (net.Addr, error) {
 	if addr == "" {
 		return nil, nil
 	}
@@ -155,7 +206,7 @@ func Serve(addr string, reg *Registry, health func() Health) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, health), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return ln.Addr(), nil
 }

@@ -1,0 +1,19 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof attaches the Go runtime profiling endpoints
+// (/debug/pprof/*) to an exposition mux. It wires the handlers
+// explicitly rather than importing net/http/pprof for its DefaultServeMux
+// side effect, so profiling stays strictly opt-in behind the binaries'
+// -pprof flag and never leaks onto a mux that did not ask for it.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
