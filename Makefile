@@ -3,13 +3,14 @@
 #   make bench          telemetry overhead benchmarks (EXPERIMENTS.md table)
 #   make bench-wire     codec v1-vs-v2 benchmarks + alloc/size budget gates
 #   make bench-history  flight-recorder benchmarks + append alloc budget gate
+#   make bench-core     record/schema benchmarks + record alloc budget gate
 #   make all            everything
 
 GO ?= go
 
-.PHONY: all check vet build test bench bench-wire bench-history
+.PHONY: all check vet build test bench bench-wire bench-history bench-core
 
-all: check bench bench-wire bench-history
+all: check bench bench-wire bench-history bench-core
 
 check: vet build test
 
@@ -43,3 +44,11 @@ bench-wire:
 bench-history:
 	$(GO) test ./internal/history/ -run 'TestAppendAllocBudget|TestRetentionBoundsResident' -count 1 -v
 	$(GO) test ./internal/history/ -run '^$$' -bench 'BenchmarkHistory' -benchtime 1s -benchmem
+
+# Statistics schema: the budget test fails the build when Record.Get or
+# Record.SubInto start allocating (internal/core/testdata/
+# record_alloc_budget.txt); the benchmarks compare AttrID lookup against
+# the pre-schema string-scan baseline (EXPERIMENTS.md schema table).
+bench-core:
+	$(GO) test ./internal/core/ -run 'TestRecordAllocBudget|TestSuccessorsAllocFreeSingleChain' -count 1 -v
+	$(GO) test ./internal/core/ -run '^$$' -bench 'BenchmarkRecord|BenchmarkSuccessorsSingleChain|BenchmarkKindFromString' -benchtime 1s -benchmem

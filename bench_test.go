@@ -362,10 +362,10 @@ func benchWireMessage(elems, nattrs int, tick int64) *wire.Message {
 			Element:   core.ElementID(fmt.Sprintf("b7/vm%d/vnic", e)),
 		}
 		for a := 0; a < nattrs; a++ {
-			rec.Attrs = append(rec.Attrs, core.Attr{
-				Name:  fmt.Sprintf("attr_%d_bytes", a),
-				Value: float64(tick*1000 + int64(e*nattrs+a)),
-			})
+			rec.Attrs = append(rec.Attrs, core.NamedAttr(
+				fmt.Sprintf("attr_%d_bytes", a),
+				float64(tick*1000+int64(e*nattrs+a)),
+			))
 		}
 		m.Records = append(m.Records, rec)
 	}

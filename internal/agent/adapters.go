@@ -104,17 +104,17 @@ func (a *NetDevAdapter) Fetch(ts int64) (core.Record, error) {
 		}
 		rec := core.Record{Timestamp: ts, Element: a.ID}
 		rec.Attrs = []core.Attr{
-			{Name: core.AttrKind, Value: float64(a.DevKind)},
-			{Name: core.AttrRxPackets, Value: float64(d.RxPackets)},
-			{Name: core.AttrRxBytes, Value: float64(d.RxBytes)},
-			{Name: core.AttrTxPackets, Value: float64(d.TxPackets)},
-			{Name: core.AttrTxBytes, Value: float64(d.TxBytes)},
-			{Name: core.AttrDropPackets, Value: float64(d.RxDropped + d.TxDropped)},
-			{Name: core.AttrQueueLen, Value: float64(d.QueueLen)},
-			{Name: core.AttrQueueCap, Value: float64(d.QueueCap)},
+			{ID: core.AttrKind, Value: float64(a.DevKind)},
+			{ID: core.AttrRxPackets, Value: float64(d.RxPackets)},
+			{ID: core.AttrRxBytes, Value: float64(d.RxBytes)},
+			{ID: core.AttrTxPackets, Value: float64(d.TxPackets)},
+			{ID: core.AttrTxBytes, Value: float64(d.TxBytes)},
+			{ID: core.AttrDropPackets, Value: float64(d.RxDropped + d.TxDropped)},
+			{ID: core.AttrQueueLen, Value: float64(d.QueueLen)},
+			{ID: core.AttrQueueCap, Value: float64(d.QueueCap)},
 		}
 		if a.CapBps > 0 {
-			rec.Attrs = append(rec.Attrs, core.Attr{Name: core.AttrCapacityBps, Value: a.CapBps})
+			rec.Attrs = append(rec.Attrs, core.Attr{ID: core.AttrCapacityBps, Value: a.CapBps})
 		}
 		return rec, nil
 	}
@@ -159,12 +159,12 @@ func (a *SoftnetAdapter) Fetch(ts int64) (core.Record, error) {
 		Timestamp: ts,
 		Element:   a.ID,
 		Attrs: []core.Attr{
-			{Name: core.AttrKind, Value: float64(a.QueueKind)},
-			{Name: core.AttrRxPackets, Value: float64(r.Processed + r.Dropped)},
-			{Name: core.AttrTxPackets, Value: float64(r.Processed)},
-			{Name: core.AttrDropPackets, Value: float64(r.Dropped)},
-			{Name: core.AttrQueueLen, Value: float64(r.Queued)},
-			{Name: core.AttrQueueCap, Value: float64(a.Cap)},
+			{ID: core.AttrKind, Value: float64(a.QueueKind)},
+			{ID: core.AttrRxPackets, Value: float64(r.Processed + r.Dropped)},
+			{ID: core.AttrTxPackets, Value: float64(r.Processed)},
+			{ID: core.AttrDropPackets, Value: float64(r.Dropped)},
+			{ID: core.AttrQueueLen, Value: float64(r.Queued)},
+			{ID: core.AttrQueueCap, Value: float64(a.Cap)},
 		},
 	}, nil
 }

@@ -163,10 +163,10 @@ func TestOVSAdapterRules(t *testing.T) {
 	if err != nil || len(recs) != 1 {
 		t.Fatalf("fetch vswitch: %v", err)
 	}
-	if _, ok := recs[0].Get("rule_f1_packets"); !ok {
+	if _, ok := recs[0].Get(core.AttrIDFor("rule_f1_packets")); !ok {
 		t.Fatalf("per-rule counter missing: %v", recs[0].Attrs)
 	}
-	if recs[0].GetOr("rule_f1_packets", 0) == 0 {
+	if recs[0].GetOr(core.AttrIDFor("rule_f1_packets"), 0) == 0 {
 		t.Fatal("rule counter zero after traffic")
 	}
 }
@@ -190,11 +190,11 @@ func TestFetchAttrsFilterAndClock(t *testing.T) {
 	m := testMachine(t)
 	clock := func() int64 { return 777 }
 	a := buildTestAgent(t, m, BuildOptions{Clock: clock})
-	recs, err := a.Fetch([]core.ElementID{"m0/pnic"}, []string{core.AttrRxBytes}, false)
+	recs, err := a.Fetch([]core.ElementID{"m0/pnic"}, []string{core.AttrName(core.AttrRxBytes)}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(recs[0].Attrs) != 1 || recs[0].Attrs[0].Name != core.AttrRxBytes {
+	if len(recs[0].Attrs) != 1 || recs[0].Attrs[0].ID != core.AttrRxBytes {
 		t.Fatalf("filter leaked attrs: %v", recs[0].Attrs)
 	}
 	if recs[0].Timestamp != 777 {

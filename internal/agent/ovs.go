@@ -28,7 +28,7 @@ func (s *OVSChannelServer) Handle(conn net.Conn) {
 			rec := s.VS.Snapshot(0)
 			fmt.Fprintf(conn, "switch")
 			for _, a := range rec.Attrs {
-				fmt.Fprintf(conn, " %s=%g", a.Name, a.Value)
+				fmt.Fprintf(conn, " %s=%g", a.Name(), a.Value)
 			}
 			fmt.Fprintln(conn)
 			for _, r := range s.VS.Rules() {
@@ -92,7 +92,7 @@ func (a *OVSAdapter) Fetch(ts int64) (core.Record, error) {
 				}
 				var v float64
 				if _, err := fmt.Sscanf(val, "%g", &v); err == nil {
-					rec.Attrs = append(rec.Attrs, core.Attr{Name: name, Value: v})
+					rec.Attrs = append(rec.Attrs, core.NamedAttr(name, v))
 				}
 			}
 		case strings.HasPrefix(line, "rule "):
@@ -100,8 +100,8 @@ func (a *OVSAdapter) Fetch(ts int64) (core.Record, error) {
 			var pkts, bytes uint64
 			if _, err := fmt.Sscanf(line, "rule flow=%s packets=%d bytes=%d", &flow, &pkts, &bytes); err == nil {
 				rec.Attrs = append(rec.Attrs,
-					core.Attr{Name: "rule_" + flow + "_packets", Value: float64(pkts)},
-					core.Attr{Name: "rule_" + flow + "_bytes", Value: float64(bytes)},
+					core.NamedAttr("rule_"+flow+"_packets", float64(pkts)),
+					core.NamedAttr("rule_"+flow+"_bytes", float64(bytes)),
 				)
 			}
 		}

@@ -1,0 +1,177 @@
+// Package compat pins the externally visible byte surfaces of the record
+// format: the JSON form of core.Record (what /history, /metrics consumers
+// and the v1 JSON codec emit) and v1 frame payloads. The golden files were
+// generated before the AttrID refactor; the refactored code must reproduce
+// them byte-for-byte so old peers and dashboards see an unchanged surface.
+//
+// Regenerate (only when intentionally changing the surface) with:
+//
+//	go test ./internal/compat -run Golden -update
+package compat
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
+	"perfsight/internal/middlebox"
+	"perfsight/internal/wire"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRecords builds records through the real snapshot paths plus two
+// hand-shaped ones (host gauges, OVS-style dynamic rule counters) parsed
+// from JSON, the way an old agent's frames arrive.
+func goldenRecords(t *testing.T) []core.Record {
+	t.Helper()
+
+	pnic := dataplane.NewBase("m0/pnic", core.KindPNIC)
+	pnic.CapacityBps = 1e9
+	pnic.CountRx(dataplane.Batch{Packets: 100, Bytes: 150000})
+	pnic.CountTx(dataplane.Batch{Packets: 90, Bytes: 120000})
+	pnic.CountDrop(dataplane.Batch{Packets: 10, Bytes: 15000})
+
+	tun := dataplane.NewBase("m0/vm1/tun", core.KindTUN)
+	tun.CountRx(dataplane.Batch{Packets: 7, Bytes: 10500})
+	tun.AttachBuffer(dataplane.NewBuffer(500, 1<<20))
+
+	mb := middlebox.NewBase("m0/vm1/app", 2e8)
+	mb.IO.InBytes.Add(5000)
+	mb.IO.OutBytes.Add(4200)
+	mb.IO.InTime.Observe(3 * time.Millisecond)
+	mb.IO.OutTime.Observe(2 * time.Millisecond)
+	mb.EnableSizeHistogram()
+	mb.Hist.ObserveN(64, 10)
+	mb.Hist.ObserveN(1500, 5)
+	mb.Hist.ObserveN(9500, 1)
+
+	recs := []core.Record{
+		pnic.Snapshot(1000),
+		tun.Snapshot(1000),
+		mb.Snapshot(2000),
+	}
+
+	// Records that did not come from local snapshot paths: host utilization
+	// gauges and OVS per-rule counters whose names are minted at runtime.
+	// Parsing them from JSON is exactly how they arrive from old agents.
+	for _, raw := range []string{
+		`{"ts":12345,"element":"m0/host","attrs":[{"name":"cpu_util","value":0.5},{"name":"membus_util","value":0.25}]}`,
+		`{"ts":777,"element":"m0/vswitch","attrs":[{"name":"kind","value":5},{"name":"rx_packets","value":3},{"name":"rule_f1_packets","value":42},{"name":"rule_f1_bytes","value":63000},{"name":"custom gap attr","value":-1.5},{"name":"huge","value":1e18}]}`,
+	} {
+		var rec core.Record
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			t.Fatalf("unmarshal fixture: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+// TestRecordJSONGolden pins the JSON marshalling of Record — one record
+// per line, exactly as the v1 codec and the HTTP endpoints see it.
+func TestRecordJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	for _, rec := range goldenRecords(t) {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	checkGolden(t, "record_golden.jsonl", buf.Bytes())
+}
+
+// TestV1FrameGolden pins the v1 (JSON) codec's frame payload bytes for the
+// three frame shapes a mixed-version deployment exchanges: a query, a
+// statistics response, and an element inventory.
+func TestV1FrameGolden(t *testing.T) {
+	msgs := []*wire.Message{
+		{
+			Type:    wire.TypeQuery,
+			ID:      7,
+			Machine: "m0",
+			Query: &wire.Query{
+				Elements: []core.ElementID{"m0/pnic", "m0/vm1/app"},
+				Attrs:    []string{"rx_packets", "rx_bytes", "drop_packets"},
+			},
+			TraceID: 99,
+		},
+		{
+			Type:    wire.TypeResponse,
+			ID:      7,
+			Machine: "m0",
+			Records: goldenRecords(t),
+			AgentNS: 1234,
+		},
+		{
+			Type: wire.TypeElementList,
+			ID:   8,
+			Elements: []wire.ElementMeta{
+				{ID: "m0/pnic", Kind: core.KindPNIC},
+				{ID: "m0/vm1/tun", Kind: core.KindTUN},
+				{ID: "m0/vm1/app", Kind: core.KindMiddlebox},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		payload, err := wire.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(payload)
+		buf.WriteByte('\n')
+	}
+	checkGolden(t, "v1_frames_golden.jsonl", buf.Bytes())
+}
+
+// TestRecordJSONRoundTrip proves decode(encode(r)) is lossless for every
+// golden record, including runtime-named attributes.
+func TestRecordJSONRoundTrip(t *testing.T) {
+	for _, rec := range goldenRecords(t) {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back core.Record
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		b2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Errorf("round trip not stable:\n first: %s\nsecond: %s", b, b2)
+		}
+	}
+}

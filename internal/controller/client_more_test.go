@@ -114,8 +114,8 @@ func TestControllerNilTopology(t *testing.T) {
 
 func TestIntervalTxBps(t *testing.T) {
 	iv := Interval{
-		Prev: core.Record{Timestamp: 0, Attrs: []core.Attr{{Name: core.AttrTxBytes, Value: 0}}},
-		Cur:  core.Record{Timestamp: 2e9, Attrs: []core.Attr{{Name: core.AttrTxBytes, Value: 1000}}},
+		Prev: core.Record{Timestamp: 0, Attrs: []core.Attr{{ID: core.AttrTxBytes, Value: 0}}},
+		Cur:  core.Record{Timestamp: 2e9, Attrs: []core.Attr{{ID: core.AttrTxBytes, Value: 1000}}},
 	}
 	if got := iv.TxBps(); got != 4000 {
 		t.Fatalf("TxBps = %v; want 4000", got)

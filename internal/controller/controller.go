@@ -93,8 +93,10 @@ func (c *Controller) locate(tid core.TenantID, eid core.ElementID) (core.Machine
 	return info.Machine, nil
 }
 
-// GetAttr fetches the named attributes of one element (Figure 6 GETATTR).
-func (c *Controller) GetAttr(tid core.TenantID, eid core.ElementID, attrs ...string) (core.Record, error) {
+// GetAttr fetches the given attributes of one element (Figure 6 GETATTR).
+// Attribute identity is an AttrID end to end; the wire query carries the
+// canonical names so any agent version understands it.
+func (c *Controller) GetAttr(tid core.TenantID, eid core.ElementID, attrs ...core.AttrID) (core.Record, error) {
 	m, err := c.locate(tid, eid)
 	if err != nil {
 		return core.Record{}, err
@@ -103,7 +105,14 @@ func (c *Controller) GetAttr(tid core.TenantID, eid core.ElementID, attrs ...str
 	if !ok {
 		return core.Record{}, fmt.Errorf("controller: no agent registered for machine %q", m)
 	}
-	recs, err := a.Query(wire.Query{Elements: []core.ElementID{eid}, Attrs: attrs})
+	var names []string
+	if len(attrs) > 0 {
+		names = make([]string, len(attrs))
+		for i, id := range attrs {
+			names[i] = core.AttrName(id)
+		}
+	}
+	recs, err := a.Query(wire.Query{Elements: []core.ElementID{eid}, Attrs: names})
 	// Select the record for the requested element rather than trusting
 	// position: an agent answering with extra or reordered records must
 	// not silently misattribute another element's counters.
@@ -291,7 +300,7 @@ type Interval struct {
 }
 
 // Delta returns the counter increase over the window.
-func (iv Interval) Delta(attr string) float64 {
+func (iv Interval) Delta(attr core.AttrID) float64 {
 	return iv.Cur.GetOr(attr, 0) - iv.Prev.GetOr(attr, 0)
 }
 
@@ -369,7 +378,7 @@ func (c *Controller) SampleInterval(tid core.TenantID, ids []core.ElementID, T t
 
 // GetThroughput implements Figure 6 GETTHROUGHPUT over attribute attr
 // (e.g. rx_bytes), in bits per second.
-func (c *Controller) GetThroughput(tid core.TenantID, eid core.ElementID, attr string, T time.Duration) (float64, error) {
+func (c *Controller) GetThroughput(tid core.TenantID, eid core.ElementID, attr core.AttrID, T time.Duration) (float64, error) {
 	r1, err := c.GetAttr(tid, eid, attr)
 	if err != nil {
 		return 0, err

@@ -34,11 +34,11 @@ func testSetup(t *testing.T) (*Controller, *agent.Agent) {
 		attrs: func(ts int64) []core.Attr {
 			s := float64(ts) / 1e9
 			return []core.Attr{
-				{Name: core.AttrKind, Value: float64(core.KindPNIC)},
-				{Name: core.AttrRxBytes, Value: 1000 * s},
-				{Name: core.AttrRxPackets, Value: 10 * s},
-				{Name: core.AttrTxPackets, Value: 8 * s},
-				{Name: core.AttrDropPackets, Value: 2 * s},
+				{ID: core.AttrKind, Value: float64(core.KindPNIC)},
+				{ID: core.AttrRxBytes, Value: 1000 * s},
+				{ID: core.AttrRxPackets, Value: 10 * s},
+				{ID: core.AttrTxPackets, Value: 8 * s},
+				{ID: core.AttrDropPackets, Value: 2 * s},
 			}
 		}}})
 
@@ -56,7 +56,7 @@ func TestGetAttr(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rec.Attrs) != 1 || rec.Attrs[0].Name != core.AttrRxBytes {
+	if len(rec.Attrs) != 1 || rec.Attrs[0].ID != core.AttrRxBytes {
 		t.Fatalf("attrs: %v", rec.Attrs)
 	}
 }
@@ -96,9 +96,9 @@ func TestGetPktLossUsesDropCounter(t *testing.T) {
 func TestGetPktLossFallsBackToInOut(t *testing.T) {
 	iv := Interval{
 		Prev: core.Record{Timestamp: 0, Attrs: []core.Attr{
-			{Name: core.AttrRxPackets, Value: 0}, {Name: core.AttrTxPackets, Value: 0}}},
+			{ID: core.AttrRxPackets, Value: 0}, {ID: core.AttrTxPackets, Value: 0}}},
 		Cur: core.Record{Timestamp: 1e9, Attrs: []core.Attr{
-			{Name: core.AttrRxPackets, Value: 100}, {Name: core.AttrTxPackets, Value: 90}}},
+			{ID: core.AttrRxPackets, Value: 100}, {ID: core.AttrTxPackets, Value: 90}}},
 	}
 	if iv.DropPackets() != 10 {
 		t.Fatalf("Figure 6 in-out loss = %v; want 10", iv.DropPackets())
@@ -134,11 +134,11 @@ func TestSampleIntervalRates(t *testing.T) {
 func TestIntervalInOutRates(t *testing.T) {
 	iv := Interval{
 		Prev: core.Record{Timestamp: 0, Attrs: []core.Attr{
-			{Name: core.AttrInBytes, Value: 0}, {Name: core.AttrInTimeNS, Value: 0},
-			{Name: core.AttrOutBytes, Value: 0}, {Name: core.AttrOutTimeNS, Value: 0}}},
+			{ID: core.AttrInBytes, Value: 0}, {ID: core.AttrInTimeNS, Value: 0},
+			{ID: core.AttrOutBytes, Value: 0}, {ID: core.AttrOutTimeNS, Value: 0}}},
 		Cur: core.Record{Timestamp: 1e9, Attrs: []core.Attr{
-			{Name: core.AttrInBytes, Value: 1e6}, {Name: core.AttrInTimeNS, Value: 5e8},
-			{Name: core.AttrOutBytes, Value: 0}, {Name: core.AttrOutTimeNS, Value: 0}}},
+			{ID: core.AttrInBytes, Value: 1e6}, {ID: core.AttrInTimeNS, Value: 5e8},
+			{ID: core.AttrOutBytes, Value: 0}, {ID: core.AttrOutTimeNS, Value: 0}}},
 	}
 	in, active := iv.InRate()
 	if !active || in != 16e6 { // 1e6 B over 0.5 s = 16 Mbit/s

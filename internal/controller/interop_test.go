@@ -6,7 +6,10 @@ package controller
 // state desynchronizes mid-stream.
 
 import (
+	"encoding/json"
+	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
@@ -25,9 +28,9 @@ func tcpSetup(t *testing.T, mutate func(a *agent.Agent, c *TCPClient)) (*Control
 		attrs: func(ts int64) []core.Attr {
 			s := float64(ts) / 1e9
 			return []core.Attr{
-				{Name: core.AttrRxBytes, Value: 1000 * s},
-				{Name: core.AttrRxPackets, Value: 10 * s},
-				{Name: core.AttrDropPackets, Value: 2 * s},
+				{ID: core.AttrRxBytes, Value: 1000 * s},
+				{ID: core.AttrRxPackets, Value: 10 * s},
+				{ID: core.AttrDropPackets, Value: 2 * s},
 			}
 		}}})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -127,6 +130,97 @@ func TestInteropV2DeltaSweeps(t *testing.T) {
 	}
 }
 
+// An old JSON-only agent may report attribute names the controller's
+// schema has never heard of (a newer middlebox build, per-flow counters).
+// The names must survive decode — resolved to extension AttrIDs with
+// values intact and no attribute dropped — and re-emerge verbatim on the
+// JSON surface. The response frame is raw JSON written byte-by-byte, so
+// the names are genuinely first seen by the decode path, not registered
+// as a side effect of building the fixture.
+func TestInteropOldAgentUnknownAttrs(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			msg, err := wire.Read(conn)
+			if err != nil {
+				return
+			}
+			switch msg.Type {
+			case wire.TypeHello:
+				// Old agent: hello is an unknown message type.
+				wire.Write(conn, &wire.Message{Type: wire.TypeError, ID: msg.ID,
+					Error: "unknown message type"})
+			case wire.TypeQuery:
+				raw := fmt.Sprintf(`{"type":"response","id":%d,"machine":"m0",`+
+					`"records":[{"ts":5,"element":"m0/vm1/app","attrs":[`+
+					`{"name":"rx_packets","value":10},`+
+					`{"name":"fw_active_sessions","value":37},`+
+					`{"name":"old_agent_only_sessions_peak","value":41.5}]}]}`, msg.ID)
+				wire.WriteFrame(conn, []byte(raw))
+			default:
+				wire.Write(conn, &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: "unexpected"})
+			}
+		}
+	}()
+
+	if _, known := core.LookupAttr("fw_active_sessions"); known {
+		t.Fatal("fixture name already registered; test would be vacuous")
+	}
+
+	c := NewTCPClient(ln.Addr().String())
+	c.Timeout = 2 * time.Second
+	defer c.Close()
+	topo := core.NewTopology()
+	topo.Net("t1").Add("m0/vm1/app", core.ElementInfo{Machine: "m0", Kind: core.KindMiddlebox})
+	ctl := New(topo)
+	ctl.RegisterAgent("m0", c)
+
+	recs, err := ctl.Sample("t1", []core.ElementID{"m0/vm1/app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := recs["m0/vm1/app"]
+	if len(rec.Attrs) != 3 {
+		t.Fatalf("attrs lost in decode: %+v", rec)
+	}
+	// The unknown names resolved to extension IDs, values intact.
+	for _, want := range []struct {
+		name  string
+		value float64
+	}{{"rx_packets", 10}, {"fw_active_sessions", 37}, {"old_agent_only_sessions_peak", 41.5}} {
+		id, ok := core.LookupAttr(want.name)
+		if !ok {
+			t.Fatalf("%q not registered by decode", want.name)
+		}
+		if want.name != "rx_packets" && core.IsSchemaAttr(id) {
+			t.Fatalf("%q resolved to schema ID %d", want.name, id)
+		}
+		if v, ok := rec.Get(id); !ok || v != want.value {
+			t.Fatalf("%s = %v,%v; want %v", want.name, v, ok, want.value)
+		}
+	}
+	// Round-tripping through JSON emits the original names, not IDs.
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fw_active_sessions", "old_agent_only_sessions_peak"} {
+		if !strings.Contains(string(b), `"name":"`+name+`"`) {
+			t.Fatalf("JSON surface lost %q: %s", name, b)
+		}
+	}
+}
+
 // A peer that grants v2 and then emits frames the codec cannot parse
 // desynchronizes the connection. The client drops it, and the sweep
 // layer's retry redials; a second connection where the peer behaves as
@@ -176,7 +270,7 @@ func TestSweepSurvivesMidConnectionCodecMismatch(t *testing.T) {
 			case wire.TypeQuery:
 				wire.Write(conn, &wire.Message{Type: wire.TypeResponse, ID: msg.ID, Machine: "m0",
 					Records: []core.Record{{Timestamp: 1, Element: "m0/pnic",
-						Attrs: []core.Attr{{Name: core.AttrRxBytes, Value: 42}}}}})
+						Attrs: []core.Attr{{ID: core.AttrRxBytes, Value: 42}}}}})
 			default:
 				wire.Write(conn, &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: "unexpected"})
 			}

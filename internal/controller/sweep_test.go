@@ -345,8 +345,8 @@ func TestGetAttrSelectsMatchingRecord(t *testing.T) {
 
 	// Reordered: the matching record is second.
 	stub := &stubClient{recs: []core.Record{
-		{Element: "m0/vswitch", Attrs: []core.Attr{{Name: core.AttrRxBytes, Value: 999}}},
-		{Element: "m0/pnic", Attrs: []core.Attr{{Name: core.AttrRxBytes, Value: 42}}},
+		{Element: "m0/vswitch", Attrs: []core.Attr{{ID: core.AttrRxBytes, Value: 999}}},
+		{Element: "m0/pnic", Attrs: []core.Attr{{ID: core.AttrRxBytes, Value: 42}}},
 	}}
 	ctl.RegisterAgent("m0", stub)
 	rec, err := ctl.GetAttr("t1", "m0/pnic", core.AttrRxBytes)

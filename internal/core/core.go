@@ -13,6 +13,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -140,64 +141,67 @@ func (k ElementKind) InVirtualizationStack() bool {
 	return false
 }
 
+// kindByName inverts kindNames once at init so KindFromString is a map
+// lookup instead of a per-call iteration.
+var kindByName = func() map[string]ElementKind {
+	m := make(map[string]ElementKind, len(kindNames))
+	for k, name := range kindNames {
+		m[name] = k
+	}
+	return m
+}()
+
 // KindFromString parses the string form produced by ElementKind.String.
 func KindFromString(s string) ElementKind {
-	for k, name := range kindNames {
-		if name == s {
-			return k
-		}
+	if k, ok := kindByName[s]; ok {
+		return k
 	}
 	return KindUnknown
 }
 
-// Attribute names of the counters PerfSight gathers (§4.1). The prototype
-// implements three counter types in each element — a packet counter, a byte
-// counter, and an I/O time counter — from which drop rates, throughput and
-// packet size are derived (Figure 6).
-const (
-	AttrKind = "kind" // element kind (value: ElementKind as float)
-
-	// Packet/byte counters, receive and transmit side.
-	AttrRxPackets = "rx_packets"
-	AttrRxBytes   = "rx_bytes"
-	AttrTxPackets = "tx_packets"
-	AttrTxBytes   = "tx_bytes"
-
-	// Drop counters. Drops are attributed to the element whose enqueue or
-	// processing branch discarded the packet (§4.1: "possible code branches
-	// that might drop it").
-	AttrDropPackets = "drop_packets"
-	AttrDropBytes   = "drop_bytes"
-
-	// Occupancy of the element's buffer, if it has one.
-	AttrQueueLen = "queue_len"
-	AttrQueueCap = "queue_cap"
-
-	// I/O time counters (§5.2): bytes moved by the input/output methods and
-	// the time those methods spent (block time + memory-copy time), in
-	// nanoseconds of virtual time.
-	AttrInBytes   = "in_bytes"
-	AttrInTimeNS  = "in_time_ns"
-	AttrOutBytes  = "out_bytes"
-	AttrOutTimeNS = "out_time_ns"
-
-	// Static configuration attributes.
-	AttrCapacityBps = "capacity_bps" // vNIC / pNIC line rate
-	AttrType        = "type"         // 1.0 if the element is a middlebox
-
-	// Machine-level utilization gauges, published by the per-machine host
-	// pseudo-element. Algorithm 1's rule book consults them to disambiguate
-	// symptoms that share a drop location (§5.1: "the operator can combine
-	// this with other symptoms such as CPU utilization and NIC throughput").
-	AttrCPUUtil    = "cpu_util"    // fraction of machine CPU busy
-	AttrMembusUtil = "membus_util" // fraction of memory-bus capacity used
-	AttrMemBytes   = "mem_bytes"   // cumulative memory-hog bytes moved
-)
-
-// Attr is one (attribute, value) pair of a statistics record.
+// Attr is one (attribute, value) pair of a statistics record. Attributes
+// are identified by compact AttrIDs in memory; the JSON form keeps the
+// paper's named pairs — see MarshalJSON.
 type Attr struct {
+	ID    AttrID
+	Value float64
+}
+
+// NamedAttr builds an Attr from an attribute name, registering unknown
+// names as extension attributes. Dynamic producers (per-flow OVS rule
+// counters, custom middlebox statistics) use it; static snapshot paths use
+// the schema IDs directly.
+func NamedAttr(name string, value float64) Attr {
+	return Attr{ID: AttrIDFor(name), Value: value}
+}
+
+// Name returns the attribute's canonical name.
+func (a Attr) Name() string { return AttrName(a.ID) }
+
+// attrJSON is the JSON shape of Attr — the §4.2 named pair. It must stay
+// byte-identical to the pre-AttrID encoding (internal/compat pins it).
+type attrJSON struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
+}
+
+// MarshalJSON emits the named-pair form, so /history, /metrics consumers
+// and v1-codec peers see attribute names, never numeric IDs.
+func (a Attr) MarshalJSON() ([]byte, error) {
+	return json.Marshal(attrJSON{Name: AttrName(a.ID), Value: a.Value})
+}
+
+// UnmarshalJSON resolves the wire name to an AttrID, auto-registering
+// unknown names as extension attributes so records from old (or newer)
+// peers round-trip without losing attributes.
+func (a *Attr) UnmarshalJSON(b []byte) error {
+	var aj attrJSON
+	if err := json.Unmarshal(b, &aj); err != nil {
+		return err
+	}
+	a.ID = AttrIDFor(aj.Name)
+	a.Value = aj.Value
+	return nil
 }
 
 // Record is the unified statistics message format (§4.2):
@@ -210,33 +214,50 @@ type Record struct {
 	Attrs     []Attr    `json:"attrs"`
 }
 
-// Get returns the value of the named attribute.
-func (r Record) Get(name string) (float64, bool) {
-	for _, a := range r.Attrs {
-		if a.Name == name {
-			return a.Value, true
+// Get returns the value of the attribute. Snapshot paths emit schema
+// attributes in ascending ID order, so the attribute with ID k sits at
+// index ≤ k−1: Get probes min(k−1, len−1) and walks backward — O(1) with a
+// couple of integer compares on snapshot-shaped records — then sweeps the
+// indexes after the probe so arbitrarily ordered records stay correct.
+func (r Record) Get(id AttrID) (float64, bool) {
+	n := len(r.Attrs)
+	if n == 0 || id == AttrInvalid {
+		return 0, false
+	}
+	probe := int(id) - 1
+	if probe >= n {
+		probe = n - 1
+	}
+	for i := probe; i >= 0; i-- {
+		if r.Attrs[i].ID == id {
+			return r.Attrs[i].Value, true
+		}
+	}
+	for i := probe + 1; i < n; i++ {
+		if r.Attrs[i].ID == id {
+			return r.Attrs[i].Value, true
 		}
 	}
 	return 0, false
 }
 
-// GetOr returns the value of the named attribute, or def if absent.
-func (r Record) GetOr(name string, def float64) float64 {
-	if v, ok := r.Get(name); ok {
+// GetOr returns the value of the attribute, or def if absent.
+func (r Record) GetOr(id AttrID, def float64) float64 {
+	if v, ok := r.Get(id); ok {
 		return v
 	}
 	return def
 }
 
-// Set replaces or appends the named attribute.
-func (r *Record) Set(name string, value float64) {
+// Set replaces or appends the attribute.
+func (r *Record) Set(id AttrID, value float64) {
 	for i, a := range r.Attrs {
-		if a.Name == name {
+		if a.ID == id {
 			r.Attrs[i].Value = value
 			return
 		}
 	}
-	r.Attrs = append(r.Attrs, Attr{Name: name, Value: value})
+	r.Attrs = append(r.Attrs, Attr{ID: id, Value: value})
 }
 
 // Kind returns the element kind carried in the record, if any.
@@ -253,30 +274,24 @@ func (r Record) Kind() ElementKind {
 // value. It is the building block of the interval statistics in Figure 6
 // (GetThroughput, GetPktLoss, GetAvgPktSize all difference two snapshots).
 func (r Record) Sub(prev Record) Record {
-	out := Record{Timestamp: r.Timestamp, Element: r.Element}
-	out.Attrs = make([]Attr, 0, len(r.Attrs))
+	return r.SubInto(prev, make([]Attr, 0, len(r.Attrs)))
+}
+
+// SubInto is Sub writing its attributes into dst's storage (dst is
+// truncated first). Hot loops pass a scratch slice to difference snapshots
+// without allocating; with enough capacity it performs zero allocations.
+func (r Record) SubInto(prev Record, dst []Attr) Record {
+	out := Record{Timestamp: r.Timestamp, Element: r.Element, Attrs: dst[:0]}
 	for _, a := range r.Attrs {
 		v := a.Value
-		if isMonotonic(a.Name) {
-			if pv, ok := prev.Get(a.Name); ok {
+		if isMonotonic(a.ID) {
+			if pv, ok := prev.Get(a.ID); ok {
 				v -= pv
 			}
 		}
-		out.Attrs = append(out.Attrs, Attr{Name: a.Name, Value: v})
+		out.Attrs = append(out.Attrs, Attr{ID: a.ID, Value: v})
 	}
 	return out
-}
-
-// isMonotonic reports whether the attribute is a monotonically increasing
-// counter (as opposed to a gauge or static configuration value).
-func isMonotonic(name string) bool {
-	switch name {
-	case AttrRxPackets, AttrRxBytes, AttrTxPackets, AttrTxBytes,
-		AttrDropPackets, AttrDropBytes,
-		AttrInBytes, AttrInTimeNS, AttrOutBytes, AttrOutTimeNS:
-		return true
-	}
-	return false
 }
 
 // Interval returns the time spanned by the two records.
@@ -288,15 +303,16 @@ func (r Record) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "<%d, %s", r.Timestamp, r.Element)
 	for _, a := range r.Attrs {
-		fmt.Fprintf(&b, ", (%s, %g)", a.Name, a.Value)
+		fmt.Fprintf(&b, ", (%s, %g)", AttrName(a.ID), a.Value)
 	}
 	b.WriteString(">")
 	return b.String()
 }
 
-// SortAttrs orders the record's attributes by name, for stable output.
+// SortAttrs orders the record's attributes by canonical name, for stable
+// output on the JSON surfaces (names, not IDs, are what consumers see).
 func (r *Record) SortAttrs() {
-	sort.Slice(r.Attrs, func(i, j int) bool { return r.Attrs[i].Name < r.Attrs[j].Name })
+	sort.Slice(r.Attrs, func(i, j int) bool { return AttrName(r.Attrs[i].ID) < AttrName(r.Attrs[j].ID) })
 }
 
 // Element is the abstraction at the heart of PerfSight (§4.1): a logical
@@ -356,12 +372,27 @@ func (n *VirtualNet) Add(id ElementID, info ElementInfo) {
 }
 
 // Successors returns the elements after mb in any chain containing it.
+//
+// In the common case — mb occurs once, in one chain — the result is a
+// capacity-clamped subslice of that chain, so Algorithm 2's pruning inner
+// loop performs zero allocations. Only when mb appears at several
+// positions do the tails get copied into a fresh slice (the full-slice
+// expression forces append to copy rather than scribble on the chain).
 func (n *VirtualNet) Successors(mb ElementID) []ElementID {
 	var out []ElementID
 	for _, chain := range n.Chains {
 		for i, e := range chain {
-			if e == mb {
-				out = append(out, chain[i+1:]...)
+			if e != mb {
+				continue
+			}
+			tail := chain[i+1:]
+			if len(tail) == 0 {
+				continue
+			}
+			if out == nil {
+				out = tail[:len(tail):len(tail)]
+			} else {
+				out = append(out, tail...)
 			}
 		}
 	}
@@ -369,11 +400,20 @@ func (n *VirtualNet) Successors(mb ElementID) []ElementID {
 }
 
 // Predecessors returns the elements before mb in any chain containing it.
+// Like Successors, the single-occurrence case is allocation-free.
 func (n *VirtualNet) Predecessors(mb ElementID) []ElementID {
 	var out []ElementID
 	for _, chain := range n.Chains {
 		for i, e := range chain {
-			if e == mb {
+			if e != mb {
+				continue
+			}
+			if i == 0 {
+				continue
+			}
+			if out == nil {
+				out = chain[:i:i]
+			} else {
 				out = append(out, chain[:i]...)
 			}
 		}

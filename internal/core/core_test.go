@@ -18,8 +18,8 @@ func TestElementIDComponents(t *testing.T) {
 		{"m0/vm-lb/app", "m0", "vm-lb", "app"},
 		{"solo", "solo", "", "solo"},
 		{"", "", "", ""},
-		{"m0/vm2", "m0", "", "vm2"},     // two parts: middle segment absent
-		{"m0/v/x", "m0", "", "x"},       // middle segment too short for "vm"
+		{"m0/vm2", "m0", "", "vm2"},       // two parts: middle segment absent
+		{"m0/v/x", "m0", "", "x"},         // middle segment too short for "vm"
 		{"m0/vswitch/q0", "m0", "", "q0"}, // "v" prefix but not "vm"
 		{"/vm1/x", "", "vm1", "x"},
 	} {
@@ -84,20 +84,21 @@ func TestInVirtualizationStack(t *testing.T) {
 }
 
 func TestRecordGetSet(t *testing.T) {
+	x, y, z := AttrIDFor("x"), AttrIDFor("y"), AttrIDFor("z")
 	r := Record{Element: "e"}
-	if _, ok := r.Get("x"); ok {
+	if _, ok := r.Get(x); ok {
 		t.Fatal("Get on empty record succeeded")
 	}
-	r.Set("x", 1)
-	r.Set("y", 2)
-	r.Set("x", 3) // replace
-	if v, _ := r.Get("x"); v != 3 {
+	r.Set(x, 1)
+	r.Set(y, 2)
+	r.Set(x, 3) // replace
+	if v, _ := r.Get(x); v != 3 {
 		t.Fatalf("x = %v; want 3", v)
 	}
-	if r.GetOr("z", 42) != 42 {
+	if r.GetOr(z, 42) != 42 {
 		t.Fatal("GetOr default not applied")
 	}
-	if r.GetOr("y", 42) != 2 {
+	if r.GetOr(y, 42) != 2 {
 		t.Fatal("GetOr ignored present value")
 	}
 	if len(r.Attrs) != 2 {
@@ -107,14 +108,14 @@ func TestRecordGetSet(t *testing.T) {
 
 func TestRecordSubDifferencesCountersOnly(t *testing.T) {
 	prev := Record{Timestamp: 1000, Element: "e", Attrs: []Attr{
-		{Name: AttrRxBytes, Value: 100},
-		{Name: AttrQueueLen, Value: 7},
-		{Name: AttrCapacityBps, Value: 1e9},
+		{ID: AttrRxBytes, Value: 100},
+		{ID: AttrQueueLen, Value: 7},
+		{ID: AttrCapacityBps, Value: 1e9},
 	}}
 	cur := Record{Timestamp: 2000, Element: "e", Attrs: []Attr{
-		{Name: AttrRxBytes, Value: 250},
-		{Name: AttrQueueLen, Value: 3},
-		{Name: AttrCapacityBps, Value: 1e9},
+		{ID: AttrRxBytes, Value: 250},
+		{ID: AttrQueueLen, Value: 3},
+		{ID: AttrCapacityBps, Value: 1e9},
 	}}
 	d := cur.Sub(prev)
 	if v, _ := d.Get(AttrRxBytes); v != 150 {
@@ -143,7 +144,7 @@ func TestRecordKind(t *testing.T) {
 }
 
 func TestRecordString(t *testing.T) {
-	r := Record{Timestamp: 5, Element: "eth0", Attrs: []Attr{{Name: "rx", Value: 7}}}
+	r := Record{Timestamp: 5, Element: "eth0", Attrs: []Attr{NamedAttr("rx", 7)}}
 	want := "<5, eth0, (rx, 7)>"
 	if got := r.String(); got != want {
 		t.Fatalf("String() = %q; want %q", got, want)
@@ -151,9 +152,9 @@ func TestRecordString(t *testing.T) {
 }
 
 func TestRecordSortAttrs(t *testing.T) {
-	r := Record{Attrs: []Attr{{Name: "z"}, {Name: "a"}, {Name: "m"}}}
+	r := Record{Attrs: []Attr{NamedAttr("z", 0), NamedAttr("a", 0), NamedAttr("m", 0)}}
 	r.SortAttrs()
-	if r.Attrs[0].Name != "a" || r.Attrs[2].Name != "z" {
+	if r.Attrs[0].Name() != "a" || r.Attrs[2].Name() != "z" {
 		t.Fatalf("sorted attrs: %v", r.Attrs)
 	}
 }

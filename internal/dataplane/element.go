@@ -43,15 +43,15 @@ func (b *Base) AttachTracer(t *DropTracer) { b.tracer = t }
 // Snapshot implements core.Element.
 func (b *Base) Snapshot(ts int64) core.Record {
 	rec := core.Record{Timestamp: ts, Element: b.id}
-	rec.Attrs = append(rec.Attrs, core.Attr{Name: core.AttrKind, Value: float64(b.kind)})
+	rec.Attrs = append(rec.Attrs, core.Attr{ID: core.AttrKind, Value: float64(b.kind)})
 	rec.Attrs = append(rec.Attrs, b.ES.Attrs()...)
 	if b.CapacityBps > 0 {
-		rec.Attrs = append(rec.Attrs, core.Attr{Name: core.AttrCapacityBps, Value: b.CapacityBps})
+		rec.Attrs = append(rec.Attrs, core.Attr{ID: core.AttrCapacityBps, Value: b.CapacityBps})
 	}
 	if b.buf != nil {
 		rec.Attrs = append(rec.Attrs,
-			core.Attr{Name: core.AttrQueueLen, Value: float64(b.buf.Len())},
-			core.Attr{Name: core.AttrQueueCap, Value: float64(b.buf.CapPackets())},
+			core.Attr{ID: core.AttrQueueLen, Value: float64(b.buf.Len())},
+			core.Attr{ID: core.AttrQueueCap, Value: float64(b.buf.CapPackets())},
 		)
 	}
 	return rec

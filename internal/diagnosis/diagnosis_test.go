@@ -76,7 +76,7 @@ func TestRuleBookDisambiguation(t *testing.T) {
 }
 
 // iv builds a one-second interval with the given counter deltas.
-func iv(el core.ElementID, kind core.ElementKind, attrs map[string]float64) controller.Interval {
+func iv(el core.ElementID, kind core.ElementKind, attrs map[core.AttrID]float64) controller.Interval {
 	prev := core.Record{Timestamp: 0, Element: el}
 	cur := core.Record{Timestamp: 1e9, Element: el}
 	prev.Set(core.AttrKind, float64(kind))
@@ -90,7 +90,7 @@ func iv(el core.ElementID, kind core.ElementKind, attrs map[string]float64) cont
 
 func TestAnalyzeStackNoLoss(t *testing.T) {
 	ivs := map[core.ElementID]controller.Interval{
-		"m0/pnic": iv("m0/pnic", core.KindPNIC, map[string]float64{core.AttrDropPackets: 0}),
+		"m0/pnic": iv("m0/pnic", core.KindPNIC, map[core.AttrID]float64{core.AttrDropPackets: 0}),
 	}
 	rep := AnalyzeStackIntervals(ivs)
 	if rep.Scope != ScopeNone || rep.TopLocation != LocNone {
@@ -103,7 +103,7 @@ func TestAnalyzeStackNoLoss(t *testing.T) {
 
 func TestAnalyzeStackNoiseFloor(t *testing.T) {
 	ivs := map[core.ElementID]controller.Interval{
-		"m0/pnic": iv("m0/pnic", core.KindPNIC, map[string]float64{core.AttrDropPackets: 3}),
+		"m0/pnic": iv("m0/pnic", core.KindPNIC, map[core.AttrID]float64{core.AttrDropPackets: 3}),
 	}
 	if rep := AnalyzeStackIntervals(ivs); rep.Scope != ScopeNone {
 		t.Fatalf("3 packets should be under the noise floor: %s", rep)
@@ -112,10 +112,10 @@ func TestAnalyzeStackNoiseFloor(t *testing.T) {
 
 func TestAnalyzeStackRanksAndScopes(t *testing.T) {
 	ivs := map[core.ElementID]controller.Interval{
-		"m0/pnic":         iv("m0/pnic", core.KindPNIC, map[string]float64{core.AttrDropPackets: 10}),
-		"m0/vm0/tun":      iv("m0/vm0/tun", core.KindTUN, map[string]float64{core.AttrDropPackets: 500}),
-		"m0/vm1/tun":      iv("m0/vm1/tun", core.KindTUN, map[string]float64{core.AttrDropPackets: 400}),
-		"m0/cpu0/backlog": iv("m0/cpu0/backlog", core.KindPCPUBacklog, map[string]float64{core.AttrDropPackets: 0}),
+		"m0/pnic":         iv("m0/pnic", core.KindPNIC, map[core.AttrID]float64{core.AttrDropPackets: 10}),
+		"m0/vm0/tun":      iv("m0/vm0/tun", core.KindTUN, map[core.AttrID]float64{core.AttrDropPackets: 500}),
+		"m0/vm1/tun":      iv("m0/vm1/tun", core.KindTUN, map[core.AttrID]float64{core.AttrDropPackets: 400}),
+		"m0/cpu0/backlog": iv("m0/cpu0/backlog", core.KindPCPUBacklog, map[core.AttrID]float64{core.AttrDropPackets: 0}),
 	}
 	rep := AnalyzeStackIntervals(ivs)
 	if rep.Ranked[0].Element != "m0/vm0/tun" {
@@ -131,7 +131,7 @@ func TestAnalyzeStackRanksAndScopes(t *testing.T) {
 
 func TestAnalyzeStackSingleVMBottleneck(t *testing.T) {
 	ivs := map[core.ElementID]controller.Interval{
-		"m0/vm1/tun": iv("m0/vm1/tun", core.KindTUN, map[string]float64{core.AttrDropPackets: 100}),
+		"m0/vm1/tun": iv("m0/vm1/tun", core.KindTUN, map[core.AttrID]float64{core.AttrDropPackets: 100}),
 	}
 	rep := AnalyzeStackIntervals(ivs)
 	if rep.Scope != ScopeBottleneck || rep.BottleneckVM != "vm1" {
@@ -146,7 +146,7 @@ func TestAnalyzeStackHotMachineOverridesIndividual(t *testing.T) {
 	hostIv := iv("m0/host", core.KindUnknown, nil)
 	hostIv.Cur.Set(core.AttrMembusUtil, 0.95)
 	ivs := map[core.ElementID]controller.Interval{
-		"m0/vm1/tun": iv("m0/vm1/tun", core.KindTUN, map[string]float64{core.AttrDropPackets: 100}),
+		"m0/vm1/tun": iv("m0/vm1/tun", core.KindTUN, map[core.AttrID]float64{core.AttrDropPackets: 100}),
 		"m0/host":    hostIv,
 	}
 	rep := AnalyzeStackIntervals(ivs)

@@ -161,7 +161,7 @@ func TestCountersMonotonicUnderLoad(t *testing.T) {
 
 	ids := l.Ctl.TenantElements(tid, nil)
 	prev, _ := l.Ctl.Sample(tid, ids)
-	monotonic := []string{
+	monotonic := []core.AttrID{
 		core.AttrRxPackets, core.AttrRxBytes, core.AttrTxPackets,
 		core.AttrTxBytes, core.AttrDropPackets,
 		core.AttrInBytes, core.AttrInTimeNS, core.AttrOutBytes, core.AttrOutTimeNS,
@@ -178,7 +178,7 @@ func TestCountersMonotonicUnderLoad(t *testing.T) {
 				pv, okP := p.Get(attr)
 				cv, okC := c.Get(attr)
 				if okP && okC && cv < pv {
-					t.Fatalf("round %d: %s %s went backwards: %v -> %v", round, id, attr, pv, cv)
+					t.Fatalf("round %d: %s %s went backwards: %v -> %v", round, id, core.AttrName(attr), pv, cv)
 				}
 			}
 		}

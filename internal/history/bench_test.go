@@ -17,13 +17,13 @@ func benchRecord(eid core.ElementID, ts int64) core.Record {
 		Timestamp: ts,
 		Element:   eid,
 		Attrs: []core.Attr{
-			{Name: core.AttrKind, Value: float64(core.KindVSwitch)},
-			{Name: core.AttrRxPackets, Value: float64(ts)},
-			{Name: core.AttrRxBytes, Value: float64(ts) * 1448},
-			{Name: core.AttrTxPackets, Value: float64(ts)},
-			{Name: core.AttrTxBytes, Value: float64(ts) * 1448},
-			{Name: core.AttrDropPackets, Value: 0},
-			{Name: core.AttrQueueLen, Value: 3},
+			{ID: core.AttrKind, Value: float64(core.KindVSwitch)},
+			{ID: core.AttrRxPackets, Value: float64(ts)},
+			{ID: core.AttrRxBytes, Value: float64(ts) * 1448},
+			{ID: core.AttrTxPackets, Value: float64(ts)},
+			{ID: core.AttrTxBytes, Value: float64(ts) * 1448},
+			{ID: core.AttrDropPackets, Value: 0},
+			{ID: core.AttrQueueLen, Value: 3},
 		},
 	}
 }

@@ -23,8 +23,8 @@ func httpSetup(t *testing.T) (*httptest.Server, *Journal) {
 		s.Append(testTenant, stackRec("m0/vswitch", i*1e9, drops))
 		s.Append(testTenant, core.Record{Timestamp: i * 1e9, Element: "m0/pnic",
 			Attrs: []core.Attr{
-				{Name: core.AttrKind, Value: float64(core.KindPNIC)},
-				{Name: core.AttrRxBytes, Value: float64(i) * 1e6},
+				{ID: core.AttrKind, Value: float64(core.KindPNIC)},
+				{ID: core.AttrRxBytes, Value: float64(i) * 1e6},
 			}})
 	}
 	j := NewJournal(8)

@@ -34,8 +34,8 @@ func (f *fakeAgent) Query(q wire.Query) ([]core.Record, error) {
 			Timestamp: now,
 			Element:   eid,
 			Attrs: []core.Attr{
-				{Name: core.AttrKind, Value: float64(core.KindVSwitch)},
-				{Name: core.AttrDropPackets, Value: f.drops(eid, now)},
+				{ID: core.AttrKind, Value: float64(core.KindVSwitch)},
+				{ID: core.AttrDropPackets, Value: f.drops(eid, now)},
 			},
 		})
 	}
@@ -91,7 +91,7 @@ func TestMonitorSweepAppendsAndHooks(t *testing.T) {
 	if st.Elements != 2 {
 		t.Fatalf("store Elements = %d, want 2", st.Elements)
 	}
-	pts := mon.Store.Series(testTenant, "m0/vswitch", core.AttrDropPackets, 0, 1<<62, 0)
+	pts := mon.Store.Series(testTenant, "m0/vswitch", core.AttrName(core.AttrDropPackets), 0, 1<<62, 0)
 	if len(pts) != 3 {
 		t.Fatalf("m0/vswitch has %d points, want 3", len(pts))
 	}
@@ -106,10 +106,10 @@ func TestMonitorSweepPartialFailure(t *testing.T) {
 		t.Fatal("sweep with a dead machine returned nil error")
 	}
 	// The healthy machine's records still landed.
-	if pts := mon.Store.Series(testTenant, "m0/vswitch", core.AttrDropPackets, 0, 1<<62, 0); len(pts) != 1 {
+	if pts := mon.Store.Series(testTenant, "m0/vswitch", core.AttrName(core.AttrDropPackets), 0, 1<<62, 0); len(pts) != 1 {
 		t.Fatalf("healthy machine stored %d points, want 1", len(pts))
 	}
-	if pts := mon.Store.Series(testTenant, "m1/vswitch", core.AttrDropPackets, 0, 1<<62, 0); len(pts) != 0 {
+	if pts := mon.Store.Series(testTenant, "m1/vswitch", core.AttrName(core.AttrDropPackets), 0, 1<<62, 0); len(pts) != 0 {
 		t.Fatalf("dead machine stored %d points, want 0", len(pts))
 	}
 }

@@ -156,7 +156,7 @@ type elemKey struct {
 
 // elemSeries groups the attr series of one element.
 type elemSeries struct {
-	attrs  map[string]*series
+	attrs  map[core.AttrID]*series
 	lastTS int64
 }
 
@@ -225,7 +225,7 @@ func (s *Store) Append(tid core.TenantID, rec core.Record) {
 	sh.mu.Lock()
 	es := sh.elems[k]
 	if es == nil {
-		es = &elemSeries{attrs: make(map[string]*series, len(rec.Attrs))}
+		es = &elemSeries{attrs: make(map[core.AttrID]*series, len(rec.Attrs))}
 		sh.elems[k] = es
 		s.elements.Add(1)
 	}
@@ -233,13 +233,13 @@ func (s *Store) Append(tid core.TenantID, rec core.Record) {
 		es.lastTS = rec.Timestamp
 	}
 	for _, a := range rec.Attrs {
-		sr := es.attrs[a.Name]
+		sr := es.attrs[a.ID]
 		if sr == nil {
 			sr = &series{
 				raw:  newRing(s.cfg.MaxPointsPerSeries),
 				down: newRing(s.cfg.downCap()),
 			}
-			es.attrs[a.Name] = sr
+			es.attrs[a.ID] = sr
 			s.series.Add(1)
 		}
 		s.appendPoint(sr, Point{TS: rec.Timestamp, V: a.Value})
@@ -360,7 +360,7 @@ func (s *Store) Attrs(tid core.TenantID, eid core.ElementID) []string {
 	}
 	out := make([]string, 0, len(es.attrs))
 	for a := range es.attrs {
-		out = append(out, a)
+		out = append(out, core.AttrName(a))
 	}
 	sort.Strings(out)
 	return out
@@ -387,6 +387,10 @@ func (s *Store) NewestTS(tid core.TenantID) (int64, bool) {
 // with from <= TS <= to, oldest first, downsampled history followed by
 // raw. limit <= 0 means unlimited.
 func (s *Store) Series(tid core.TenantID, eid core.ElementID, attr string, from, to int64, limit int) []Point {
+	id, ok := core.LookupAttr(attr)
+	if !ok {
+		return nil // a name no producer ever registered has no series
+	}
 	k := elemKey{tid, eid}
 	sh := s.shardOf(k)
 	sh.mu.RLock()
@@ -395,7 +399,7 @@ func (s *Store) Series(tid core.TenantID, eid core.ElementID, attr string, from,
 	if es == nil {
 		return nil
 	}
-	sr := es.attrs[attr]
+	sr := es.attrs[id]
 	if sr == nil {
 		return nil
 	}
@@ -426,7 +430,7 @@ func (s *Store) At(tid core.TenantID, eid core.ElementID, asOf int64) (core.Reco
 		asOf = es.lastTS
 	}
 	rec := core.Record{Element: eid}
-	for name, sr := range es.attrs {
+	for id, sr := range es.attrs {
 		p, ok := sr.raw.before(asOf)
 		if !ok {
 			p, ok = sr.down.before(asOf)
@@ -434,7 +438,7 @@ func (s *Store) At(tid core.TenantID, eid core.ElementID, asOf int64) (core.Reco
 		if !ok {
 			continue
 		}
-		rec.Attrs = append(rec.Attrs, core.Attr{Name: name, Value: p.V})
+		rec.Attrs = append(rec.Attrs, core.Attr{ID: id, Value: p.V})
 		if p.TS > rec.Timestamp {
 			rec.Timestamp = p.TS
 		}

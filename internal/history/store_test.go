@@ -18,9 +18,9 @@ func stackRec(eid core.ElementID, ts int64, drops float64) core.Record {
 		Timestamp: ts,
 		Element:   eid,
 		Attrs: []core.Attr{
-			{Name: core.AttrKind, Value: float64(core.KindVSwitch)},
-			{Name: core.AttrRxPackets, Value: float64(ts) / 10},
-			{Name: core.AttrDropPackets, Value: drops},
+			{ID: core.AttrKind, Value: float64(core.KindVSwitch)},
+			{ID: core.AttrRxPackets, Value: float64(ts) / 10},
+			{ID: core.AttrDropPackets, Value: drops},
 		},
 	}
 }
@@ -32,7 +32,7 @@ func TestSeriesAtAndInterval(t *testing.T) {
 		s.Append(testTenant, stackRec(eid, i*1e9, float64(i*100)))
 	}
 
-	pts := s.Series(testTenant, eid, core.AttrDropPackets, 0, 1<<62, 0)
+	pts := s.Series(testTenant, eid, core.AttrName(core.AttrDropPackets), 0, 1<<62, 0)
 	if len(pts) != 5 {
 		t.Fatalf("Series returned %d points, want 5", len(pts))
 	}
@@ -94,7 +94,7 @@ func TestAppendDuplicateAndOutOfOrder(t *testing.T) {
 
 	// An older timestamp is dropped outright.
 	s.Append(testTenant, stackRec(eid, 1500e6, 99))
-	pts := s.Series(testTenant, eid, core.AttrDropPackets, 0, 1<<62, 0)
+	pts := s.Series(testTenant, eid, core.AttrName(core.AttrDropPackets), 0, 1<<62, 0)
 	if len(pts) != 2 {
 		t.Fatalf("out-of-order append changed point count: %d", len(pts))
 	}
@@ -108,9 +108,9 @@ func TestDownsampleLastValueWinsPreservesDeltas(t *testing.T) {
 	const eid = core.ElementID("m0/vswitch")
 	for ts := int64(1); ts <= 20; ts++ {
 		s.Append(testTenant, core.Record{Timestamp: ts, Element: eid,
-			Attrs: []core.Attr{{Name: core.AttrDropPackets, Value: float64(ts * 10)}}})
+			Attrs: []core.Attr{{ID: core.AttrDropPackets, Value: float64(ts * 10)}}})
 	}
-	pts := s.Series(testTenant, eid, core.AttrDropPackets, 0, 1<<62, 0)
+	pts := s.Series(testTenant, eid, core.AttrName(core.AttrDropPackets), 0, 1<<62, 0)
 	// Raw holds {19, 20}; displaced 1..18 fold to bucket 0 (TS 1..9 -> 9),
 	// bucket 1 (TS 10..18 -> 18).
 	want := []Point{{9, 90}, {18, 180}, {19, 190}, {20, 200}}
@@ -215,7 +215,7 @@ func TestConcurrentAppendAndRead(t *testing.T) {
 				}
 				for _, eid := range s.Elements(testTenant) {
 					s.At(testTenant, eid, 0)
-					s.Series(testTenant, eid, core.AttrDropPackets, 0, 1<<62, 10)
+					s.Series(testTenant, eid, core.AttrName(core.AttrDropPackets), 0, 1<<62, 10)
 				}
 				s.Intervals(testTenant, nil, 50*time.Millisecond, 0)
 				s.Stats()

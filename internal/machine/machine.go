@@ -684,8 +684,8 @@ func (h *HostStats) Snapshot(ts int64) core.Record {
 		Timestamp: ts,
 		Element:   h.id,
 		Attrs: []core.Attr{
-			{Name: core.AttrCPUUtil, Value: h.CPUUtil()},
-			{Name: core.AttrMembusUtil, Value: h.MembusUtil()},
+			{ID: core.AttrCPUUtil, Value: h.CPUUtil()},
+			{ID: core.AttrMembusUtil, Value: h.MembusUtil()},
 		},
 	}
 }

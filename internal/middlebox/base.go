@@ -80,9 +80,9 @@ func (b *Base) EnableSizeHistogram() {
 func (b *Base) Snapshot(ts int64) core.Record {
 	rec := core.Record{Timestamp: ts, Element: b.id}
 	rec.Attrs = append(rec.Attrs,
-		core.Attr{Name: core.AttrKind, Value: float64(core.KindMiddlebox)},
-		core.Attr{Name: core.AttrType, Value: 1},
-		core.Attr{Name: core.AttrCapacityBps, Value: b.CapacityBps},
+		core.Attr{ID: core.AttrKind, Value: float64(core.KindMiddlebox)},
+		core.Attr{ID: core.AttrType, Value: 1},
+		core.Attr{ID: core.AttrCapacityBps, Value: b.CapacityBps},
 	)
 	rec.Attrs = append(rec.Attrs, b.IO.Attrs()...)
 	if b.Hist != nil {

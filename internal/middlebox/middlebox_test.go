@@ -327,9 +327,9 @@ func TestSnapshotCarriesAlgorithm2Inputs(t *testing.T) {
 	if rec.GetOr(core.AttrCapacityBps, 0) != 2e8 {
 		t.Fatal("capacity missing")
 	}
-	for _, a := range []string{core.AttrInBytes, core.AttrInTimeNS, core.AttrOutBytes, core.AttrOutTimeNS} {
+	for _, a := range []core.AttrID{core.AttrInBytes, core.AttrInTimeNS, core.AttrOutBytes, core.AttrOutTimeNS} {
 		if _, ok := rec.Get(a); !ok {
-			t.Fatalf("missing %s", a)
+			t.Fatalf("missing %s", core.AttrName(a))
 		}
 	}
 }
@@ -343,7 +343,7 @@ func TestSizeHistogramOptIn(t *testing.T) {
 	rec := f.Snapshot(0)
 	found := false
 	for _, a := range rec.Attrs {
-		if a.Name == "size_le_1518" && a.Value > 0 {
+		if a.Name() == "size_le_1518" && a.Value > 0 {
 			found = true
 		}
 	}

@@ -78,20 +78,30 @@ func (h *SizeHistogram) Total() uint64 {
 	return t
 }
 
+// sizeAttrIDs holds the extension AttrIDs of the buckets, registered once
+// at package init rather than re-resolved on every snapshot. They stay
+// gauges so Sub passes the cumulative distribution through unchanged, as
+// the pre-schema code did.
+var sizeAttrIDs = func() [len(SizeBucketBounds) + 1]core.AttrID {
+	var ids [len(SizeBucketBounds) + 1]core.AttrID
+	for i, b := range SizeBucketBounds {
+		ids[i], _ = core.RegisterAttr(sizeAttrName(b, false), core.SemGauge, "packets")
+	}
+	ids[len(SizeBucketBounds)], _ = core.RegisterAttr(
+		sizeAttrName(SizeBucketBounds[len(SizeBucketBounds)-1], true), core.SemGauge, "packets")
+	return ids
+}()
+
 // Attrs renders the histogram as record attributes named size_le_<bound>
 // and size_gt_<maxbound>.
 func (h *SizeHistogram) Attrs() []core.Attr {
 	out := make([]core.Attr, 0, len(h.buckets))
-	for i, b := range SizeBucketBounds {
+	for i := range h.buckets {
 		out = append(out, core.Attr{
-			Name:  sizeAttrName(b, false),
+			ID:    sizeAttrIDs[i],
 			Value: float64(h.buckets[i].Load()),
 		})
 	}
-	out = append(out, core.Attr{
-		Name:  sizeAttrName(SizeBucketBounds[len(SizeBucketBounds)-1], true),
-		Value: float64(h.buckets[len(h.buckets)-1].Load()),
-	})
 	return out
 }
 

@@ -148,10 +148,10 @@ func (s *IOStats) SetTimeCountersEnabled(on bool) {
 // Attrs renders the I/O counters as record attributes.
 func (s *IOStats) Attrs() []core.Attr {
 	return []core.Attr{
-		{Name: core.AttrInBytes, Value: float64(s.InBytes.Load())},
-		{Name: core.AttrInTimeNS, Value: float64(s.InTime.Load())},
-		{Name: core.AttrOutBytes, Value: float64(s.OutBytes.Load())},
-		{Name: core.AttrOutTimeNS, Value: float64(s.OutTime.Load())},
+		{ID: core.AttrInBytes, Value: float64(s.InBytes.Load())},
+		{ID: core.AttrInTimeNS, Value: float64(s.InTime.Load())},
+		{ID: core.AttrOutBytes, Value: float64(s.OutBytes.Load())},
+		{ID: core.AttrOutTimeNS, Value: float64(s.OutTime.Load())},
 	}
 }
 
@@ -166,12 +166,12 @@ type ElementStats struct {
 // Attrs renders the counters as record attributes.
 func (s *ElementStats) Attrs() []core.Attr {
 	return []core.Attr{
-		{Name: core.AttrRxPackets, Value: float64(s.Rx.Packets.Load())},
-		{Name: core.AttrRxBytes, Value: float64(s.Rx.Bytes.Load())},
-		{Name: core.AttrTxPackets, Value: float64(s.Tx.Packets.Load())},
-		{Name: core.AttrTxBytes, Value: float64(s.Tx.Bytes.Load())},
-		{Name: core.AttrDropPackets, Value: float64(s.Drop.Packets.Load())},
-		{Name: core.AttrDropBytes, Value: float64(s.Drop.Bytes.Load())},
+		{ID: core.AttrRxPackets, Value: float64(s.Rx.Packets.Load())},
+		{ID: core.AttrRxBytes, Value: float64(s.Rx.Bytes.Load())},
+		{ID: core.AttrTxPackets, Value: float64(s.Tx.Packets.Load())},
+		{ID: core.AttrTxBytes, Value: float64(s.Tx.Bytes.Load())},
+		{ID: core.AttrDropPackets, Value: float64(s.Drop.Packets.Load())},
+		{ID: core.AttrDropBytes, Value: float64(s.Drop.Bytes.Load())},
 	}
 }
 
@@ -254,7 +254,7 @@ func (r *Registry) Audit(ts int64) []AuditFinding {
 	for _, e := range r.List() {
 		rec := e.Snapshot(ts)
 		var missing []string
-		need := []string{core.AttrRxPackets, core.AttrTxPackets}
+		need := []core.AttrID{core.AttrRxPackets, core.AttrTxPackets}
 		if hasBuffer(e.Kind()) {
 			need = append(need, core.AttrDropPackets, core.AttrQueueLen)
 		}
@@ -264,7 +264,7 @@ func (r *Registry) Audit(ts int64) []AuditFinding {
 		}
 		for _, n := range need {
 			if _, ok := rec.Get(n); !ok {
-				missing = append(missing, n)
+				missing = append(missing, core.AttrName(n))
 			}
 		}
 		if len(missing) > 0 {

@@ -117,7 +117,7 @@ func TestElementStatsAttrs(t *testing.T) {
 	es.Tx.Add(1, 50)
 	es.Drop.Add(1, 50)
 	rec := core.Record{Attrs: es.Attrs()}
-	for name, want := range map[string]float64{
+	for name, want := range map[core.AttrID]float64{
 		core.AttrRxPackets:   2,
 		core.AttrRxBytes:     100,
 		core.AttrTxPackets:   1,
@@ -126,7 +126,7 @@ func TestElementStatsAttrs(t *testing.T) {
 		core.AttrDropBytes:   50,
 	} {
 		if v, _ := rec.Get(name); v != want {
-			t.Fatalf("%s = %v; want %v", name, v, want)
+			t.Fatalf("%s = %v; want %v", core.AttrName(name), v, want)
 		}
 	}
 }
@@ -170,16 +170,16 @@ func TestAuditFlagsMissingCounters(t *testing.T) {
 	r := NewRegistry()
 	// A TUN without drop counters and queue gauges is underinstrumented.
 	r.Register(fakeElement{id: "m0/vm0/tun", kind: core.KindTUN, attrs: []core.Attr{
-		{Name: core.AttrRxPackets}, {Name: core.AttrTxPackets},
+		{ID: core.AttrRxPackets}, {ID: core.AttrTxPackets},
 	}})
 	// A fully-instrumented NAPI routine passes.
 	r.Register(fakeElement{id: "m0/napi", kind: core.KindNAPIRoutine, attrs: []core.Attr{
-		{Name: core.AttrRxPackets}, {Name: core.AttrTxPackets},
+		{ID: core.AttrRxPackets}, {ID: core.AttrTxPackets},
 	}})
 	// A middlebox missing I/O time counters is flagged.
 	r.Register(fakeElement{id: "m0/vm0/app", kind: core.KindMiddlebox, attrs: []core.Attr{
-		{Name: core.AttrRxPackets}, {Name: core.AttrTxPackets},
-		{Name: core.AttrInBytes}, {Name: core.AttrOutBytes},
+		{ID: core.AttrRxPackets}, {ID: core.AttrTxPackets},
+		{ID: core.AttrInBytes}, {ID: core.AttrOutBytes},
 	}})
 
 	findings := r.Audit(0)
@@ -196,7 +196,7 @@ func TestAuditFlagsMissingCounters(t *testing.T) {
 	mb := byID["m0/vm0/app"]
 	found := false
 	for _, m := range mb {
-		if m == core.AttrInTimeNS {
+		if m == core.AttrName(core.AttrInTimeNS) {
 			found = true
 		}
 	}
@@ -237,10 +237,10 @@ func TestSizeHistogramAttrsNames(t *testing.T) {
 	h := NewSizeHistogram()
 	h.ObserveN(100, 3)
 	rec := core.Record{Attrs: h.Attrs()}
-	if v, ok := rec.Get("size_le_128"); !ok || v != 3 {
+	if v, ok := rec.Get(core.AttrIDFor("size_le_128")); !ok || v != 3 {
 		t.Fatalf("size_le_128 = %v, present=%v", v, ok)
 	}
-	if _, ok := rec.Get("size_gt_9000"); !ok {
+	if _, ok := rec.Get(core.AttrIDFor("size_gt_9000")); !ok {
 		t.Fatal("overflow attr missing")
 	}
 }

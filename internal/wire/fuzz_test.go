@@ -57,16 +57,34 @@ func FuzzV2Decode(f *testing.F) {
 	enc := NewV2Codec(false)
 	valid, _ := enc.Encode(&Message{Type: TypeResponse, ID: 3, Machine: "m0",
 		Records: []core.Record{{Timestamp: 10, Element: "m0/pnic",
-			Attrs: []core.Attr{{Name: "rx_bytes", Value: 123}, {Name: "ratio", Value: 0.5}}}}})
+			Attrs: []core.Attr{core.NamedAttr("rx_bytes", 123), core.NamedAttr("ratio", 0.5)}}}})
 	f.Add(append([]byte{}, valid...))
-	f.Add(valid[:len(valid)/2])                        // truncated
-	f.Add([]byte{v2Magic})                             // short
-	f.Add([]byte{v2Magic, 2, 0, 0, 0, 5})              // string ref outside table
+	f.Add(valid[:len(valid)/2])                                         // truncated
+	f.Add([]byte{v2Magic})                                              // short
+	f.Add([]byte{v2Magic, 2, 0, 0, 0, 5})                               // string ref outside table
 	f.Add([]byte{v2Magic, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0x03}) // huge count
-	f.Add([]byte(`{"type":"pong","id":1}`))            // JSON frame on a v2 session
+	f.Add([]byte(`{"type":"pong","id":1}`))                             // JSON frame on a v2 session
 	query, _ := enc.Encode(&Message{Type: TypeQuery, ID: 4,
 		Query: &Query{Elements: []core.ElementID{"m0/pnic"}, Attrs: []string{"rx_bytes"}}})
 	f.Add(append([]byte{}, query...))
+	// Attr-key coding seeds: a schema-ID-coded record (final two bytes are
+	// bare attr key + varint value), its out-of-range-ID mutation, its
+	// corrupt-key mutation, and an extension attr travelling by name.
+	idFrame, _ := NewV2Codec(false).Encode(&Message{Type: TypeResponse, ID: 5, Machine: "m0",
+		Records: []core.Record{{Timestamp: 1, Element: "m0/host",
+			Attrs: []core.Attr{{ID: core.AttrMemBytes, Value: 3}}}}})
+	f.Add(append([]byte{}, idFrame...))
+	outOfRange := append([]byte{}, idFrame...)
+	outOfRange[len(outOfRange)-2] = 60 // > SchemaMax: name ref outside the table
+	f.Add(outOfRange)
+	corruptKey := append([]byte{}, idFrame...)
+	corruptKey[len(corruptKey)-2] = 0 // ext marker with no name behind it
+	f.Add(corruptKey)
+	extFrame, _ := NewV2Codec(false).Encode(&Message{Type: TypeResponse, ID: 6, Machine: "m0",
+		Records: []core.Record{{Timestamp: 1, Element: "m0/vm1/app",
+			Attrs: []core.Attr{{ID: core.AttrRxPackets, Value: 5},
+				core.NamedAttr("fuzz_ext_attr_seed", 9)}}}})
+	f.Add(append([]byte{}, extFrame...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewV2Codec(false)
@@ -112,7 +130,7 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		in := &Message{Type: TypeResponse, ID: id, TraceID: traceID, AgentNS: agentNS,
 			Machine: core.MachineID(machine), Error: errStr,
 			Records: []core.Record{{Timestamp: ts, Element: core.ElementID(elem),
-				Attrs: []core.Attr{{Name: attr, Value: val}}}}}
+				Attrs: []core.Attr{core.NamedAttr(attr, val)}}}}
 		if all {
 			in.Query = &Query{All: true}
 		}
@@ -147,7 +165,7 @@ func FuzzRecordJSON(f *testing.F) {
 		in := &Message{Type: TypeResponse, Records: []core.Record{{
 			Timestamp: ts,
 			Element:   "m0/pnic",
-			Attrs:     []core.Attr{{Name: name, Value: val}},
+			Attrs:     []core.Attr{core.NamedAttr(name, val)},
 		}}}
 		var buf bytes.Buffer
 		if err := Write(&buf, in); err != nil {

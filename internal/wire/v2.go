@@ -21,8 +21,14 @@ import (
 //	record = u8 flags(1=full, 0=delta)
 //	       | svarint ts (difference vs previous record; first absolute)
 //	       | istr element
-//	       | full:  uvarint n, n·( istr name, value )
+//	       | full:  uvarint n, n·( attrkey, value )
 //	       | delta: uvarint n, n·( uvarint attr index, value )
+//
+//	attrkey = uvarint k: 1..SchemaMax → the schema AttrID itself (1 byte,
+//	          no intern-table slot); k == 0 → new extension-attr name
+//	          (uvarint len + bytes, interned); k > SchemaMax → intern
+//	          table entry k−SchemaMax−1. Extension AttrIDs are
+//	          process-local and never travel numerically.
 //
 //	value  = uvarint u: even → integral float, unzigzag(u>>1);
 //	         u == 1 → raw float64 bits, 8 bytes little-endian.
@@ -189,21 +195,45 @@ func appendValue(b []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 }
 
-func sameAttrNames(a, b []core.Attr) bool {
+func sameAttrIDs(a, b []core.Attr) bool {
 	if len(a) != len(b) {
 		return false
 	}
 	for i := range a {
-		if a[i].Name != b[i].Name {
+		if a[i].ID != b[i].ID {
 			return false
 		}
 	}
 	return true
 }
 
+// appendAttrKey writes one attribute identifier. Schema attributes travel
+// as their 1-byte AttrID (1..SchemaMax), bypassing the intern table
+// entirely. Extension attributes — whose numeric IDs are process-local and
+// therefore meaningless to the peer — travel by name: key 0 introduces a
+// new name (interned by both sides), and keys above SchemaMax reference
+// the shared intern table at key−SchemaMax−1, so a repeated extension
+// attribute costs the same 1-2 bytes it did when all names were interned.
+func (c *V2Codec) appendAttrKey(b []byte, id core.AttrID) []byte {
+	if core.IsSchemaAttr(id) {
+		return binary.AppendUvarint(b, uint64(id))
+	}
+	name := core.AttrName(id)
+	if ref, ok := c.encTab[name]; ok {
+		return binary.AppendUvarint(b, uint64(ref)+uint64(core.SchemaMax)+1)
+	}
+	b = append(b, 0)
+	b = binary.AppendUvarint(b, uint64(len(name)))
+	b = append(b, name...)
+	if len(c.encTab) < v2MaxStrings {
+		c.encTab[name] = uint32(len(c.encTab))
+	}
+	return b
+}
+
 func (c *V2Codec) appendRecord(b []byte, rec *core.Record, mtype MsgType, prevTS int64) []byte {
 	if c.delta && mtype == TypeResponse {
-		if st := c.encSent[rec.Element]; st != nil && sameAttrNames(st.attrs, rec.Attrs) {
+		if st := c.encSent[rec.Element]; st != nil && sameAttrIDs(st.attrs, rec.Attrs) {
 			b = append(b, 0) // delta record
 			b = binary.AppendVarint(b, rec.Timestamp-prevTS)
 			b = c.appendIStr(b, string(rec.Element))
@@ -230,7 +260,7 @@ func (c *V2Codec) appendRecord(b []byte, rec *core.Record, mtype MsgType, prevTS
 	b = c.appendIStr(b, string(rec.Element))
 	b = binary.AppendUvarint(b, uint64(len(rec.Attrs)))
 	for _, a := range rec.Attrs {
-		b = c.appendIStr(b, a.Name)
+		b = c.appendAttrKey(b, a.ID)
 		b = appendValue(b, a.Value)
 	}
 	if c.delta && mtype == TypeResponse {
@@ -323,6 +353,38 @@ func (d *v2dec) istr() (string, error) {
 		return "", fmt.Errorf("wire: v2: string ref %d outside table of %d", idx, len(d.c.decTab))
 	}
 	return d.c.decTab[idx], nil
+}
+
+// attrKey reads one attribute identifier: a bare schema AttrID in
+// 1..SchemaMax; key 0 followed by a new extension-attribute name (interned
+// into the connection's string table); or a key above SchemaMax
+// referencing the table at key−SchemaMax−1. Names resolve
+// (auto-registering) to local extension IDs — a peer's numeric extension
+// IDs never appear on the wire, only table references scoped to this
+// connection, so an out-of-table key is rejected.
+func (d *v2dec) attrKey() (core.Attr, error) {
+	k, err := d.uvarint()
+	if err != nil {
+		return core.Attr{}, err
+	}
+	switch {
+	case k == 0:
+		name, err := d.bstr()
+		if err != nil {
+			return core.Attr{}, err
+		}
+		if len(d.c.decTab) < v2MaxStrings {
+			d.c.decTab = append(d.c.decTab, name)
+		}
+		return core.Attr{ID: core.AttrIDFor(name)}, nil
+	case k <= uint64(core.SchemaMax):
+		return core.Attr{ID: core.AttrID(k)}, nil
+	}
+	idx := k - uint64(core.SchemaMax) - 1
+	if idx >= uint64(len(d.c.decTab)) {
+		return core.Attr{}, fmt.Errorf("wire: v2: attr name ref %d outside table of %d", idx, len(d.c.decTab))
+	}
+	return core.Attr{ID: core.AttrIDFor(d.c.decTab[idx])}, nil
 }
 
 func (d *v2dec) bstr() (string, error) {
@@ -499,7 +561,7 @@ func (c *V2Codec) decodeRecords(d *v2dec, m *Message) error {
 				return err
 			}
 			for j := 0; j < na; j++ {
-				name, err := d.istr()
+				a, err := d.attrKey()
 				if err != nil {
 					return err
 				}
@@ -507,7 +569,8 @@ func (c *V2Codec) decodeRecords(d *v2dec, m *Message) error {
 				if err != nil {
 					return err
 				}
-				c.scratchAttrs = append(c.scratchAttrs, core.Attr{Name: name, Value: v})
+				a.Value = v
+				c.scratchAttrs = append(c.scratchAttrs, a)
 			}
 			if c.delta && m.Type == TypeResponse {
 				if c.decSeen == nil {

@@ -23,10 +23,7 @@ func v2SweepResponse(elems, nattrs int, tick int64) *Message {
 			Element:   core.ElementID(fmt.Sprintf("m7/vm%d/vnic", e)),
 		}
 		for a := 0; a < nattrs; a++ {
-			rec.Attrs = append(rec.Attrs, core.Attr{
-				Name:  fmt.Sprintf("attr_%d_bytes", a),
-				Value: float64(tick*1000 + int64(e*nattrs+a)),
-			})
+			rec.Attrs = append(rec.Attrs, core.NamedAttr(fmt.Sprintf("attr_%d_bytes", a), float64(tick*1000+int64(e*nattrs+a))))
 		}
 		m.Records = append(m.Records, rec)
 	}
@@ -51,10 +48,10 @@ func TestV2RoundTripMessageTypes(t *testing.T) {
 		{Type: TypeResponse, ID: 8, Machine: "m0", AgentNS: 42, Error: "partial: x",
 			Records: []core.Record{
 				{Timestamp: 100, Element: "m0/pnic", Attrs: []core.Attr{
-					{Name: "rx_bytes", Value: 1e12},
-					{Name: "ratio", Value: 0.625},
-					{Name: "neg", Value: -17},
-					{Name: "huge", Value: math.MaxFloat64},
+					core.NamedAttr("rx_bytes", 1e12),
+					core.NamedAttr("ratio", 0.625),
+					core.NamedAttr("neg", -17),
+					core.NamedAttr("huge", math.MaxFloat64),
 				}},
 				{Timestamp: 90, Element: "m0/vm1/vnic"}, // ts goes backwards, no attrs
 			}},
@@ -158,7 +155,7 @@ func TestV2DeltaRoundTrip(t *testing.T) {
 	// A quiet element (no changed values) costs only a few bytes.
 	quiet := &Message{Type: TypeResponse, ID: 9, Machine: "m7",
 		Records: []core.Record{{Timestamp: 5, Element: "m7/pnic", Attrs: []core.Attr{
-			{Name: "rx_bytes", Value: 100}, {Name: "tx_bytes", Value: 200}}}}}
+			core.NamedAttr("rx_bytes", 100), core.NamedAttr("tx_bytes", 200)}}}}
 	if _, err := dec.Decode(mustEncode(t, enc, quiet)); err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +172,7 @@ func TestV2DeltaRoundTrip(t *testing.T) {
 	}
 
 	// Changing the attribute set falls back to a full record.
-	quiet.Records[0].Attrs = append(quiet.Records[0].Attrs, core.Attr{Name: "drops", Value: 1})
+	quiet.Records[0].Attrs = append(quiet.Records[0].Attrs, core.NamedAttr("drops", 1))
 	got, err = dec.Decode(mustEncode(t, enc, quiet))
 	if err != nil {
 		t.Fatal(err)
@@ -201,10 +198,10 @@ func TestV2EncodeRejections(t *testing.T) {
 func TestV2DecodeErrors(t *testing.T) {
 	valid := mustEncode(t, NewV2Codec(false), v2SweepResponse(2, 3, 1))
 	cases := map[string][]byte{
-		"empty":          {},
-		"short":          {v2Magic},
-		"bad magic":      {0x7b, 1, 0, 0, 0}, // '{' — a JSON frame
-		"bad type":       {v2Magic, 0xEE, 0, 0, 0},
+		"empty":     {},
+		"short":     {v2Magic},
+		"bad magic": {0x7b, 1, 0, 0, 0}, // '{' — a JSON frame
+		"bad type":  {v2Magic, 0xEE, 0, 0, 0},
 		"truncated": valid[:len(valid)/2],
 		"trailing":  append(append([]byte{}, valid...), 0xFF),
 		// A record count far beyond what the remaining bytes could hold
@@ -234,7 +231,7 @@ func TestV2DecodeErrors(t *testing.T) {
 	// the session has not seen in full.
 	dEnc := NewV2Codec(true)
 	base := &Message{Type: TypeResponse, ID: 1, Records: []core.Record{
-		{Timestamp: 1, Element: "m0/pnic", Attrs: []core.Attr{{Name: "a", Value: 1}}}}}
+		{Timestamp: 1, Element: "m0/pnic", Attrs: []core.Attr{core.NamedAttr("a", 1)}}}}
 	if _, err := dEnc.Encode(base); err != nil {
 		t.Fatal(err)
 	}
@@ -245,6 +242,55 @@ func TestV2DecodeErrors(t *testing.T) {
 	}
 	if _, err := NewV2Codec(true).Decode(deltaFrame); err == nil {
 		t.Fatal("delta record accepted for unseen element")
+	}
+}
+
+// TestV2AttrKeyCoding pins the attribute-key wire rules introduced with
+// the statistics schema: schema attributes travel as bare 1-byte AttrIDs,
+// extension attributes by name (key 0 introduces one, higher keys
+// reference the connection's intern table), and a key referencing past
+// the table is rejected — extension IDs are process-local and never
+// travel numerically, only as connection-scoped name references.
+func TestV2AttrKeyCoding(t *testing.T) {
+	// A record whose last attribute is a schema attr yields a frame whose
+	// final two bytes are the attr key and the varint value — a stable
+	// place to mutate.
+	frame := mustEncode(t, NewV2Codec(false), &Message{Type: TypeResponse, ID: 1, Machine: "m0",
+		Records: []core.Record{{Timestamp: 1, Element: "m0/host",
+			Attrs: []core.Attr{{ID: core.AttrMemBytes, Value: 3}}}}})
+	if frame[len(frame)-2] != byte(core.AttrMemBytes) {
+		t.Fatalf("frame does not end with the bare schema attr id: % x", frame[len(frame)-4:])
+	}
+	m, err := NewV2Codec(false).Decode(frame)
+	if err != nil || m.Records[0].Attrs[0].ID != core.AttrMemBytes || m.Records[0].Attrs[0].Value != 3 {
+		t.Fatalf("decode: %v %+v", err, m)
+	}
+
+	outOfRange := append([]byte{}, frame...)
+	outOfRange[len(outOfRange)-2] = 60 // > SchemaMax: name ref far outside the table
+	if _, err := NewV2Codec(false).Decode(outOfRange); err == nil || !strings.Contains(err.Error(), "outside table") {
+		t.Fatalf("out-of-range attr key not rejected: %v", err)
+	}
+
+	corrupt := append([]byte{}, frame...)
+	corrupt[len(corrupt)-2] = 0 // ext marker: the value byte now reads as a string ref
+	if _, err := NewV2Codec(false).Decode(corrupt); err == nil {
+		t.Fatal("corrupt attr key decoded without error")
+	}
+
+	// An extension attribute round-trips by name, mixed with schema attrs.
+	frame2 := mustEncode(t, NewV2Codec(false), &Message{Type: TypeResponse, ID: 2, Machine: "m0",
+		Records: []core.Record{{Timestamp: 1, Element: "m0/vm1/app",
+			Attrs: []core.Attr{{ID: core.AttrRxPackets, Value: 5},
+				core.NamedAttr("v2_ext_attr_key_test", 9)}}}})
+	m, err = NewV2Codec(false).Decode(frame2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := m.Records[0].Attrs
+	if len(attrs) != 2 || attrs[0].ID != core.AttrRxPackets ||
+		attrs[1].Name() != "v2_ext_attr_key_test" || attrs[1].Value != 9 {
+		t.Fatalf("extension attr lost in round trip: %+v", attrs)
 	}
 }
 

@@ -241,11 +241,17 @@ func Read(r io.Reader) (*Message, error) {
 	return Decode(payload)
 }
 
-// AttrFilter selects a subset of attributes by name. Build one per query
-// with NewAttrFilter and apply it to every record, so the name set is
-// constructed once per query rather than once per element.
+// AttrFilter selects a subset of attributes. Build one per query with
+// NewAttrFilter: the wire's attribute names are compiled once to IDs —
+// schema attrs become bits in a fixed mask, extension attrs a small ID set
+// — so matching each record attribute is an integer test, not a string
+// map probe. Unknown names resolve to nothing (they cannot match any
+// record) and are deliberately not registered, so a hostile peer cannot
+// grow the extension registry by streaming made-up query names.
 type AttrFilter struct {
-	names map[string]struct{}
+	mask uint32 // bit i set: keep schema attr i (SchemaMax < 32)
+	ext  map[core.AttrID]struct{}
+	n    int // requested name count, a capacity hint for Apply
 }
 
 // NewAttrFilter compiles an attribute name list; empty names return a
@@ -254,11 +260,31 @@ func NewAttrFilter(names []string) *AttrFilter {
 	if len(names) == 0 {
 		return nil
 	}
-	set := make(map[string]struct{}, len(names))
-	for _, n := range names {
-		set[n] = struct{}{}
+	f := &AttrFilter{n: len(names)}
+	for _, name := range names {
+		id, ok := core.LookupAttr(name)
+		if !ok {
+			continue
+		}
+		if core.IsSchemaAttr(id) {
+			f.mask |= 1 << id
+			continue
+		}
+		if f.ext == nil {
+			f.ext = make(map[core.AttrID]struct{}, len(names))
+		}
+		f.ext[id] = struct{}{}
 	}
-	return &AttrFilter{names: set}
+	return f
+}
+
+// Match reports whether the filter keeps the attribute.
+func (f *AttrFilter) Match(id core.AttrID) bool {
+	if core.IsSchemaAttr(id) {
+		return f.mask&(1<<id) != 0
+	}
+	_, ok := f.ext[id]
+	return ok
 }
 
 // Apply returns a copy of rec keeping only the filter's attributes, in
@@ -268,13 +294,13 @@ func (f *AttrFilter) Apply(rec core.Record) core.Record {
 		return rec
 	}
 	n := len(rec.Attrs)
-	if len(f.names) < n {
-		n = len(f.names)
+	if f.n < n {
+		n = f.n
 	}
 	out := core.Record{Timestamp: rec.Timestamp, Element: rec.Element,
 		Attrs: make([]core.Attr, 0, n)}
 	for _, a := range rec.Attrs {
-		if _, ok := f.names[a.Name]; ok {
+		if f.Match(a.ID) {
 			out.Attrs = append(out.Attrs, a)
 		}
 	}

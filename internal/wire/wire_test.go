@@ -19,7 +19,7 @@ func TestMessageRoundTrip(t *testing.T) {
 		Records: []core.Record{{
 			Timestamp: 123,
 			Element:   "m0/pnic",
-			Attrs:     []core.Attr{{Name: "rx_bytes", Value: 1e9}},
+			Attrs:     []core.Attr{core.NamedAttr("rx_bytes", 1e9)},
 		}},
 	}
 	var buf bytes.Buffer
@@ -146,13 +146,13 @@ func TestReadRejectsMalformedJSON(t *testing.T) {
 
 func TestFilterAttrs(t *testing.T) {
 	rec := core.Record{Element: "e", Attrs: []core.Attr{
-		{Name: "a", Value: 1}, {Name: "b", Value: 2}, {Name: "c", Value: 3},
+		core.NamedAttr("a", 1), core.NamedAttr("b", 2), core.NamedAttr("c", 3),
 	}}
 	got := FilterAttrs(rec, []string{"c", "a", "missing"})
 	if len(got.Attrs) != 2 {
 		t.Fatalf("filtered attrs: %v", got.Attrs)
 	}
-	if v, _ := got.Get("c"); v != 3 {
+	if v, _ := got.Get(core.AttrIDFor("c")); v != 3 {
 		t.Fatal("filter lost value")
 	}
 	// Empty filter passes everything through untouched.
