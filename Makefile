@@ -4,13 +4,14 @@
 #   make bench-wire     codec v1-vs-v2 benchmarks + alloc/size budget gates
 #   make bench-history  flight-recorder benchmarks + append alloc budget gate
 #   make bench-core     record/schema benchmarks + record alloc budget gate
+#   make bench-anomaly  anomaly-pipeline benchmarks + sweep-eval alloc budget gate
 #   make all            everything
 
 GO ?= go
 
-.PHONY: all check vet build test bench bench-wire bench-history bench-core
+.PHONY: all check vet build test bench bench-wire bench-history bench-core bench-anomaly
 
-all: check bench bench-wire bench-history bench-core
+all: check bench bench-wire bench-history bench-core bench-anomaly
 
 check: vet build test
 
@@ -52,3 +53,11 @@ bench-history:
 bench-core:
 	$(GO) test ./internal/core/ -run 'TestRecordAllocBudget|TestSuccessorsAllocFreeSingleChain' -count 1 -v
 	$(GO) test ./internal/core/ -run '^$$' -bench 'BenchmarkRecord|BenchmarkSuccessorsSingleChain|BenchmarkKindFromString' -benchtime 1s -benchmem
+
+# Anomaly pipeline: the budget test fails the build when a quiet
+# steady-state AfterSweep evaluation starts allocating (internal/anomaly/
+# testdata/eval_alloc_budget.txt); the benchmarks print the per-sweep and
+# per-series evaluation cost (EXPERIMENTS.md anomaly table).
+bench-anomaly:
+	$(GO) test ./internal/anomaly/ -run 'TestEvalAllocBudget' -count 1 -v
+	$(GO) test ./internal/anomaly/ -run '^$$' -bench 'BenchmarkPipeline' -benchtime 1s -benchmem

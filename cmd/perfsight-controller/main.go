@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"perfsight/internal/anomaly"
 	"perfsight/internal/controller"
 	"perfsight/internal/core"
 	"perfsight/internal/diagnosis"
@@ -49,9 +50,20 @@ func main() {
 	histMaxPoints := flag.Int("history-max-points", 512, "full-cadence points retained per (element, attr) series before step-down")
 	histStep := flag.Duration("history-downsample", 10*time.Second, "step-down resolution: one retained point per step for aged history")
 	eventsCap := flag.Int("events-cap", 256, "bounded diagnosis-event journal capacity (oldest overwritten)")
-	eventThreshold := flag.Float64("event-drop-threshold", 50, "per-element drop rate (pkts/s between sweeps) that triggers a diagnosis event")
-	eventWindow := flag.Duration("event-window", 3*time.Second, "history window a triggered diagnosis event analyzes")
-	eventCooldown := flag.Duration("event-cooldown", 30*time.Second, "minimum spacing between diagnosis events per tenant")
+	anomalyOn := flag.Bool("anomaly", true, "run the always-on anomaly pipeline on monitor sweeps (per-series baselines, SLO triggers, incident correlation)")
+	sloConfigPath := flag.String("slo-config", "", "JSON per-tenant SLO file ({\"default\": {...}, \"tenants\": {...}}); flag thresholds fill its unset fields")
+	var sloDropPPS float64
+	flag.Float64Var(&sloDropPPS, "slo-drop-pps", 50, "per-element drop rate (pkts/s between sweeps) that violates the SLO and triggers a diagnosis event")
+	flag.Float64Var(&sloDropPPS, "event-drop-threshold", 50, "alias for -slo-drop-pps (pre-pipeline name)")
+	var sloWindow time.Duration
+	flag.DurationVar(&sloWindow, "slo-window", 3*time.Second, "history window a triggered diagnosis event analyzes")
+	flag.DurationVar(&sloWindow, "event-window", 3*time.Second, "alias for -slo-window (pre-pipeline name)")
+	var sloCooldown time.Duration
+	flag.DurationVar(&sloCooldown, "slo-cooldown", 30*time.Second, "minimum spacing between diagnosis triggers per tenant")
+	flag.DurationVar(&sloCooldown, "event-cooldown", 30*time.Second, "alias for -slo-cooldown (pre-pipeline name)")
+	ewmaBands := flag.Float64("ewma-bands", 6, "EWMA deviation-band multiplier for baseline detectors on non-drop series")
+	incidentWindow := flag.Duration("incident-window", 5*time.Minute, "sliding window within which same-root-cause events fold into one incident")
+	incidentResolve := flag.Duration("incident-resolve-after", time.Minute, "quiet period after which an open incident resolves")
 	pprofFlag := flag.Bool("pprof", false, "expose Go profiling endpoints (/debug/pprof/*) on the -telemetry address")
 	flag.Parse()
 	if *codec != wire.CodecV2 && *codec != wire.CodecJSON {
@@ -107,12 +119,14 @@ func main() {
 		log.Printf("  %d elements discovered", len(metas))
 	}
 
-	// Flight recorder: continuous monitoring history plus the drop-spike
-	// watcher that turns sweeps into evidence-bearing diagnosis events.
+	// Flight recorder: continuous monitoring history plus the anomaly
+	// pipeline that turns sweeps into evidence-bearing diagnosis events
+	// and correlated incidents.
 	var (
 		store   *history.Store
 		journal *history.Journal
 		mon     *history.Monitor
+		pipe    *anomaly.Pipeline
 	)
 	netOf := func(t core.TenantID) *core.VirtualNet { return topo.Tenants[t] }
 	if *monitor > 0 {
@@ -122,18 +136,39 @@ func main() {
 			DownsampleStep:     *histStep,
 		})
 		journal = history.NewJournal(*eventsCap)
-		watcher := history.NewWatcher(store, journal, history.WatcherConfig{
-			DropRateThreshold: *eventThreshold,
-			Window:            *eventWindow,
-			Cooldown:          *eventCooldown,
-		})
-		watcher.Net = netOf
 		mon = history.NewMonitor(ctl, store, history.MonitorConfig{Interval: *monitor})
-		mon.AfterSweep = watcher.AfterSweep
+		if *anomalyOn {
+			sloCfg := anomaly.SLOConfig{}
+			if *sloConfigPath != "" {
+				var err error
+				sloCfg, err = anomaly.LoadSLOConfig(*sloConfigPath)
+				if err != nil {
+					log.Fatalf("%v", err)
+				}
+			}
+			sloCfg = sloCfg.WithBase(anomaly.SLO{
+				DropRatePPS: sloDropPPS,
+				Bands:       *ewmaBands,
+				Window:      anomaly.Duration(sloWindow),
+				Cooldown:    anomaly.Duration(sloCooldown),
+			})
+			pipe = anomaly.NewPipeline(store, journal, anomaly.Config{
+				SLO: sloCfg,
+				Correlator: anomaly.CorrelatorConfig{
+					Window:       *incidentWindow,
+					ResolveAfter: *incidentResolve,
+				},
+			})
+			pipe.Net = netOf
+			mon.AfterSweep = pipe.AfterSweep
+		}
 		if reg != nil {
 			store.EnableTelemetry(reg)
 			journal.EnableTelemetry(reg)
 			mon.EnableTelemetry(reg)
+			if pipe != nil {
+				pipe.EnableTelemetry(reg)
+			}
 		}
 	}
 
@@ -159,12 +194,19 @@ func main() {
 					h.Extra["journal_last_seq"] = float64(seq)
 					h.Extra["journal_dropped"] = float64(dropped)
 				}
+				if pipe != nil {
+					h.Extra["incidents_open"] = float64(pipe.Incidents.OpenCount())
+				}
 			}
 			return h
 		})
 		if store != nil {
 			hs := &history.Server{Store: store, Journal: journal, Net: netOf, DefaultTenant: tid}
 			hs.Register(mux)
+		}
+		if pipe != nil {
+			as := &anomaly.Server{Pipeline: pipe, Journal: journal}
+			as.Register(mux)
 		}
 		if *pprofFlag {
 			telemetry.RegisterPprof(mux)

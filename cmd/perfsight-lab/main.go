@@ -22,7 +22,7 @@ type experiment struct {
 }
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiments to run (fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1,table2,fig15,fig16,ablations,fanout,history) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiments to run (fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1,table2,fig15,fig16,ablations,fanout,history,anomaly) or 'all'")
 	runs := flag.Int("runs", 10, "repetitions for the overhead experiments (the paper uses 100)")
 	outDir := flag.String("out", "", "directory to write per-experiment .txt reports and .csv data series")
 	telemetryAddr := flag.String("telemetry", "", "serve diagnosis self-metrics (/metrics, /healthz) while experiments run (empty = disabled)")
@@ -113,6 +113,10 @@ func main() {
 		{"history", func() (fmt.Stringer, bool, error) {
 			r, err := experiments.RunHistoryReplay()
 			return r, r != nil && r.Match(), err
+		}},
+		{"anomaly", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunAnomalyLab()
+			return r, r != nil && r.Correct(), err
 		}},
 	}
 

@@ -17,6 +17,14 @@
 //	perfsight history -endpoint http://localhost:9101 -element m0/vm0/app -attr drop_packets
 //	perfsight watch -endpoint http://localhost:9101
 //	perfsight diag -endpoint http://localhost:9101 -at 2026-08-05T12:00:00Z -window 3s
+//
+// The incidents subcommand lists the anomaly pipeline's correlated
+// incidents, shows one incident's event timeline, or follows the live
+// diagnosis-event stream:
+//
+//	perfsight incidents -endpoint http://localhost:9101
+//	perfsight incidents -id 3
+//	perfsight incidents -follow
 package main
 
 import (
@@ -56,6 +64,9 @@ func main() {
 			return
 		case "diag":
 			runDiag(os.Args[2:])
+			return
+		case "incidents":
+			runIncidents(os.Args[2:])
 			return
 		}
 	}

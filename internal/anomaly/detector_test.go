@@ -1,0 +1,175 @@
+package anomaly
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRateDetectorTable(t *testing.T) {
+	const maxGap = int64(30 * time.Second)
+	type step struct {
+		ts       int64
+		v        float64
+		wantRate float64
+		wantSt   RateStatus
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"cold start seeds only", []step{
+			{1e9, 100, 0, RateCold},
+			{2e9, 1100, 1000, RateOK},
+		}},
+		{"stale timestamp keeps state", []step{
+			{1e9, 100, 0, RateCold},
+			{1e9, 999, 0, RateStale}, // duplicate sweep: ignored entirely
+			{2e9, 600, 500, RateOK},  // still differenced against ts=1s, v=100
+		}},
+		{"sweep gap re-seeds instead of averaging the blackout", []step{
+			{1e9, 0, 0, RateCold},
+			{2e9, 1000, 1000, RateOK},
+			{100e9, 5000, 0, RateGap}, // 98s blackout > maxGap
+			{101e9, 6000, 1000, RateOK},
+		}},
+		{"counter reset going negative re-seeds", []step{
+			{1e9, 1e6, 0, RateCold},
+			{2e9, 1e6 + 500, 500, RateOK},
+			{3e9, 40, 0, RateReset}, // agent restarted, counter restarted
+			{4e9, 90, 50, RateOK},
+		}},
+		{"fractional-second gaps scale the rate", []step{
+			{1e9, 0, 0, RateCold},
+			{1e9 + 5e8, 100, 200, RateOK}, // 100 pkts over 0.5s
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var d RateDetector
+			for i, s := range tc.steps {
+				rate, st := d.Eval(s.ts, s.v, maxGap)
+				if st != s.wantSt {
+					t.Fatalf("step %d: status = %d, want %d", i, st, s.wantSt)
+				}
+				if rate != s.wantRate {
+					t.Fatalf("step %d: rate = %v, want %v", i, rate, s.wantRate)
+				}
+			}
+		})
+	}
+}
+
+func TestRateDetectorNoMaxGap(t *testing.T) {
+	var d RateDetector
+	d.Eval(1e9, 0, 0)
+	// maxGap 0 disables the gap check: a huge gap still yields a rate.
+	if rate, st := d.Eval(1001e9, 1000, 0); st != RateOK || rate != 1 {
+		t.Fatalf("Eval with maxGap=0 = (%v, %d), want (1, RateOK)", rate, st)
+	}
+}
+
+func TestEWMAColdStartNeverTriggers(t *testing.T) {
+	cfg := EWMAConfig{Alpha: 0.25, MinSamples: 8, Bands: 6, RelFloor: 0.15, Persistence: 3}
+	var d EWMADetector
+	// Wild samples during warmup fold into the baseline without judging.
+	for i, x := range []float64{100, 0, 5000, 3, 900, 2, 700, 1} {
+		v := d.Eval(x, cfg)
+		if v.Out || v.Trigger {
+			t.Fatalf("warmup sample %d (x=%v) judged: %+v", i, x, v)
+		}
+	}
+	if d.Warm() != cfg.MinSamples {
+		t.Fatalf("Warm = %d after %d samples, want %d", d.Warm(), 8, cfg.MinSamples)
+	}
+}
+
+func TestEWMAPersistenceSuppressesBlips(t *testing.T) {
+	cfg := EWMAConfig{Alpha: 0.25, MinSamples: 4, Bands: 6, RelFloor: 0.15, Persistence: 3}
+	var d EWMADetector
+	for i := 0; i < 6; i++ {
+		d.Eval(10, cfg)
+	}
+	// One blip: out of band but no trigger.
+	v := d.Eval(1000, cfg)
+	if !v.Out || v.Trigger {
+		t.Fatalf("blip verdict = %+v, want Out without Trigger", v)
+	}
+	if v.Deviation <= 1 {
+		t.Fatalf("blip Deviation = %v, want > 1 band", v.Deviation)
+	}
+	// Back in band: streak resets.
+	if v := d.Eval(10, cfg); v.Out {
+		t.Fatalf("recovery sample judged out: %+v", v)
+	}
+	if d.Streak() != 0 {
+		t.Fatalf("Streak after recovery = %d, want 0", d.Streak())
+	}
+	// Persistence consecutive outliers trigger on the last one.
+	for i := 1; i <= cfg.Persistence; i++ {
+		v = d.Eval(1000, cfg)
+		if !v.Out {
+			t.Fatalf("outlier %d not out of band", i)
+		}
+		if want := i == cfg.Persistence; v.Trigger != want {
+			t.Fatalf("outlier %d Trigger = %v, want %v", i, v.Trigger, want)
+		}
+	}
+}
+
+func TestEWMABaselineSurvivesAnomaly(t *testing.T) {
+	cfg := EWMAConfig{Alpha: 0.25, MinSamples: 4, Bands: 6, RelFloor: 0.15, Persistence: 2}
+	var d EWMADetector
+	for i := 0; i < 8; i++ {
+		d.Eval(100, cfg)
+	}
+	base := d.Baseline()
+	// An anomaly folds in at Alpha/8, so the baseline drifts slowly
+	// enough that the series coming back is recognized as recovery.
+	for i := 0; i < 4; i++ {
+		if v := d.Eval(5000, cfg); !v.Out {
+			t.Fatalf("anomaly sample %d already absorbed into baseline", i)
+		}
+	}
+	if d.Baseline() > 10*base {
+		t.Fatalf("baseline chased the anomaly: %v -> %v", base, d.Baseline())
+	}
+	if v := d.Eval(100, cfg); v.Out {
+		t.Fatalf("normal sample after anomaly still out of band: %+v", v)
+	}
+	if d.Streak() != 0 {
+		t.Fatalf("streak did not reset on recovery: %d", d.Streak())
+	}
+}
+
+func TestEWMAFloorsKeepFlatSeriesQuiet(t *testing.T) {
+	cfg := EWMAConfig{Alpha: 0.25, MinSamples: 2, Bands: 6, RelFloor: 0.15, AbsFloor: 0.5, Persistence: 1}
+	var d EWMADetector
+	// Perfectly flat series: dev is exactly 0, floors carry the band.
+	for i := 0; i < 5; i++ {
+		d.Eval(3, cfg)
+	}
+	// Small jitter inside AbsFloor*Bands = 0.5*6 = 3 stays quiet.
+	if v := d.Eval(4, cfg); v.Out {
+		t.Fatalf("jitter within the floor band judged out: %+v", v)
+	}
+	// A real jump is still caught.
+	if v := d.Eval(50, cfg); !v.Out || !v.Trigger {
+		t.Fatalf("jump on a flat series not caught: %+v", v)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	cfg := EWMAConfig{Alpha: 0.25, MinSamples: 3, Bands: 6, RelFloor: 0.15, Persistence: 1}
+	var d EWMADetector
+	for i := 0; i < 5; i++ {
+		d.Eval(10, cfg)
+	}
+	d.Reset()
+	if d.Warm() != 0 || d.Baseline() != 0 {
+		t.Fatalf("Reset left state: warm=%d baseline=%v", d.Warm(), d.Baseline())
+	}
+	// Post-reset the detector relearns before judging again.
+	if v := d.Eval(99999, cfg); v.Out {
+		t.Fatalf("first post-reset sample judged: %+v", v)
+	}
+}

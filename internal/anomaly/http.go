@@ -1,0 +1,90 @@
+package anomaly
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"perfsight/internal/history"
+)
+
+// Server exposes the incident correlator over HTTP on the telemetry mux:
+//
+//	/incidents?state=open|resolved|all&limit=
+//	    incident snapshots, newest first (default state=all).
+//	/incidents/{id}
+//	    one incident plus the journal events still retained for it.
+type Server struct {
+	Pipeline *Pipeline
+	// Journal resolves an incident's event timeline; nil omits events
+	// from the detail view.
+	Journal *history.Journal
+}
+
+// Register attaches the endpoints to mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/incidents", s.handleList)
+	mux.HandleFunc("/incidents/", s.handleGet)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	state := q.Get("state")
+	switch state {
+	case "", "all":
+		state = ""
+	case StateOpen, StateResolved:
+	default:
+		httpErr(w, http.StatusBadRequest, "bad state %q (want open, resolved or all)", state)
+		return
+	}
+	limit, _ := strconv.Atoi(q.Get("limit"))
+	writeJSON(w, map[string]any{
+		"incidents": s.Pipeline.Incidents.List(state, limit),
+		"open":      s.Pipeline.Incidents.OpenCount(),
+	})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/incidents/")
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil || id <= 0 {
+		httpErr(w, http.StatusBadRequest, "bad incident id %q", idStr)
+		return
+	}
+	in, ok := s.Pipeline.Incidents.Get(id)
+	if !ok {
+		httpErr(w, http.StatusNotFound, "no incident %d", id)
+		return
+	}
+	resp := map[string]any{"incident": in}
+	if s.Journal != nil {
+		want := make(map[int64]bool, len(in.EventSeqs))
+		for _, seq := range in.EventSeqs {
+			want[seq] = true
+		}
+		var evs []history.Event
+		for _, ev := range s.Journal.Since(0, 0) {
+			if want[ev.Seq] {
+				evs = append(evs, ev)
+			}
+		}
+		resp["events"] = evs
+	}
+	writeJSON(w, resp)
+}

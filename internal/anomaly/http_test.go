@@ -1,0 +1,108 @@
+package anomaly
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/history"
+)
+
+// incidentServer fires one drop-spike incident through a real pipeline
+// and serves it.
+func incidentServer(t *testing.T) (*httptest.Server, *pipeLab) {
+	t.Helper()
+	l := newPipeLab(Config{SLO: SLOConfig{Default: SLO{
+		DropRatePPS: 100, Cooldown: Duration(time.Minute), DisableBaselines: true,
+	}}})
+	total := 0.0
+	for i := int64(1); i <= 4; i++ {
+		if i >= 3 {
+			total += 1000
+		}
+		l.sweep(i*1e9, dropRecs(map[core.ElementID]float64{"m0/vswitch": total}))
+	}
+	if l.p.Incidents.OpenCount() != 1 {
+		t.Fatalf("setup fired %d incidents, want 1", l.p.Incidents.OpenCount())
+	}
+	mux := http.NewServeMux()
+	(&Server{Pipeline: l.p, Journal: l.journal}).Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, l
+}
+
+func get(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestIncidentsEndpoint(t *testing.T) {
+	ts, _ := incidentServer(t)
+
+	var list struct {
+		Incidents []Incident `json:"incidents"`
+		Open      int        `json:"open"`
+	}
+	if code := get(t, ts.URL+"/incidents", &list); code != 200 {
+		t.Fatalf("/incidents status %d", code)
+	}
+	if len(list.Incidents) != 1 || list.Open != 1 {
+		t.Fatalf("list = %+v", list)
+	}
+	in := list.Incidents[0]
+	if in.State != StateOpen || in.EventCount != 1 {
+		t.Fatalf("incident = %+v", in)
+	}
+
+	list.Incidents = nil
+	get(t, ts.URL+"/incidents?state=resolved", &list)
+	if len(list.Incidents) != 0 {
+		t.Fatalf("resolved list = %+v", list.Incidents)
+	}
+	if code := get(t, ts.URL+"/incidents?state=banana", nil); code != 400 {
+		t.Fatalf("bad state: status %d, want 400", code)
+	}
+}
+
+func TestIncidentDetailEndpoint(t *testing.T) {
+	ts, l := incidentServer(t)
+	id := l.p.Incidents.List(StateOpen, 0)[0].ID
+
+	var detail struct {
+		Incident Incident        `json:"incident"`
+		Events   []history.Event `json:"events"`
+	}
+	if code := get(t, ts.URL+"/incidents/1", &detail); code != 200 {
+		t.Fatalf("/incidents/1 status %d", code)
+	}
+	if detail.Incident.ID != id {
+		t.Fatalf("detail incident = %+v", detail.Incident)
+	}
+	if len(detail.Events) != 1 || detail.Events[0].IncidentID != id {
+		t.Fatalf("detail events = %+v", detail.Events)
+	}
+	if detail.Events[0].Detector != DetectorDropRate {
+		t.Fatalf("event detector = %q", detail.Events[0].Detector)
+	}
+
+	if code := get(t, ts.URL+"/incidents/99", nil); code != 404 {
+		t.Fatalf("unknown id: status %d, want 404", code)
+	}
+	if code := get(t, ts.URL+"/incidents/banana", nil); code != 400 {
+		t.Fatalf("bad id: status %d, want 400", code)
+	}
+}

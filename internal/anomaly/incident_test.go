@@ -1,0 +1,134 @@
+package anomaly
+
+import (
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+)
+
+const sec = int64(time.Second)
+
+func TestCorrelatorFoldsSameRootCause(t *testing.T) {
+	c := NewCorrelator(CorrelatorConfig{Window: 30 * time.Second, ResolveAfter: 10 * time.Second})
+	id1, opened := c.Observe("resource:memory-bandwidth", "t1", []core.ElementID{"m0/vm0/tun"}, 1*sec, 11, "first", 2*sec)
+	if !opened || id1 == 0 {
+		t.Fatalf("first event: id=%d opened=%v", id1, opened)
+	}
+	id2, opened := c.Observe("resource:memory-bandwidth", "t1", []core.ElementID{"m0/vm1/tun"}, 5*sec, 12, "second", 0)
+	if opened || id2 != id1 {
+		t.Fatalf("second event opened a new incident: id=%d opened=%v", id2, opened)
+	}
+	// A different root cause is its own incident.
+	id3, opened := c.Observe("m0/vm-px/app", "t2", nil, 6*sec, 13, "chain", 0)
+	if !opened || id3 == id1 {
+		t.Fatalf("different root cause folded: id=%d opened=%v", id3, opened)
+	}
+	if c.OpenCount() != 2 {
+		t.Fatalf("OpenCount = %d, want 2", c.OpenCount())
+	}
+
+	in, ok := c.Get(id1)
+	if !ok {
+		t.Fatal("Get lost the incident")
+	}
+	if in.State != StateOpen || in.FirstSeen != 1*sec || in.LastSeen != 5*sec {
+		t.Fatalf("timeline = %+v", in)
+	}
+	if in.EventCount != 2 || len(in.EventSeqs) != 2 || in.EventSeqs[0] != 11 || in.EventSeqs[1] != 12 {
+		t.Fatalf("event seqs = %+v", in)
+	}
+	if len(in.Tenants) != 1 || in.Tenants[0] != "t1" {
+		t.Fatalf("tenants = %v", in.Tenants)
+	}
+	if len(in.Elements) != 2 {
+		t.Fatalf("elements = %v", in.Elements)
+	}
+	if in.Summary != "second" {
+		t.Fatalf("summary = %q, want latest event's", in.Summary)
+	}
+	if in.DetectionNS != 2*sec {
+		t.Fatalf("DetectionNS = %d, want the opening event's", in.DetectionNS)
+	}
+}
+
+func TestCorrelatorResolvesAfterQuiet(t *testing.T) {
+	c := NewCorrelator(CorrelatorConfig{Window: 30 * time.Second, ResolveAfter: 10 * time.Second})
+	id, _ := c.Observe("k", "t1", nil, 1*sec, 1, "s", 0)
+	if n := c.Tick(5 * sec); n != 0 {
+		t.Fatalf("Tick inside quiet period resolved %d", n)
+	}
+	if n := c.Tick(11 * sec); n != 1 {
+		t.Fatalf("Tick past ResolveAfter resolved %d, want 1", n)
+	}
+	in, ok := c.Get(id)
+	if !ok || in.State != StateResolved || in.ResolvedAt != 11*sec {
+		t.Fatalf("resolved incident = %+v ok=%v", in, ok)
+	}
+	if c.OpenCount() != 0 {
+		t.Fatalf("OpenCount = %d after resolve", c.OpenCount())
+	}
+	// A recurrence after resolution is a NEW incident.
+	id2, opened := c.Observe("k", "t1", nil, 20*sec, 2, "s", 0)
+	if !opened || id2 == id {
+		t.Fatalf("recurrence reopened history: id=%d opened=%v", id2, opened)
+	}
+}
+
+func TestCorrelatorLapsedWindowOpensFresh(t *testing.T) {
+	c := NewCorrelator(CorrelatorConfig{Window: 10 * time.Second, ResolveAfter: 5 * time.Second})
+	id1, _ := c.Observe("k", "t1", nil, 1*sec, 1, "s", 0)
+	// No Tick ran (e.g. sweeps stalled), but the next same-key event is
+	// far outside the window: the stale incident resolves and a fresh one
+	// opens rather than stretching one incident across the gap.
+	id2, opened := c.Observe("k", "t1", nil, 60*sec, 2, "s", 0)
+	if !opened || id2 == id1 {
+		t.Fatalf("late burst joined the lapsed incident: id=%d opened=%v", id2, opened)
+	}
+	in, _ := c.Get(id1)
+	if in.State != StateResolved {
+		t.Fatalf("lapsed incident state = %s", in.State)
+	}
+}
+
+func TestCorrelatorListAndEviction(t *testing.T) {
+	c := NewCorrelator(CorrelatorConfig{Window: 10 * time.Second, ResolveAfter: time.Second, MaxResolved: 2})
+	for i := int64(0); i < 4; i++ {
+		c.Observe("k", "t1", nil, i*20*sec, i+1, "s", 0)
+		c.Tick(i*20*sec + 2*sec)
+	}
+	c.Observe("open-one", "t1", nil, 100*sec, 9, "s", 0)
+
+	all := c.List("", 0)
+	if len(all) != 3 { // 1 open + 2 retained resolved (2 evicted)
+		t.Fatalf("List(all) = %d incidents, want 3", len(all))
+	}
+	if all[0].ID <= all[1].ID {
+		t.Fatalf("List not newest-first: %v then %v", all[0].ID, all[1].ID)
+	}
+	if open := c.List(StateOpen, 0); len(open) != 1 || open[0].RootCause != "open-one" {
+		t.Fatalf("List(open) = %+v", open)
+	}
+	if res := c.List(StateResolved, 0); len(res) != 2 {
+		t.Fatalf("List(resolved) = %d, want 2 (MaxResolved)", len(res))
+	}
+	if lim := c.List("", 1); len(lim) != 1 {
+		t.Fatalf("List(limit 1) = %d", len(lim))
+	}
+	// Evicted incidents are gone.
+	if _, ok := c.Get(1); ok {
+		t.Fatal("evicted incident still retrievable")
+	}
+}
+
+func TestCorrelatorSnapshotsAreCopies(t *testing.T) {
+	c := NewCorrelator(CorrelatorConfig{})
+	id, _ := c.Observe("k", "t1", []core.ElementID{"e1"}, 1*sec, 1, "s", 0)
+	in, _ := c.Get(id)
+	in.Elements[0] = "mutated"
+	in.Summary = "mutated"
+	again, _ := c.Get(id)
+	if again.Elements[0] != "e1" || again.Summary != "s" {
+		t.Fatalf("snapshot mutation leaked into correlator: %+v", again)
+	}
+}

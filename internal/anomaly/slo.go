@@ -1,0 +1,176 @@
+package anomaly
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"perfsight/internal/core"
+)
+
+// Duration is a time.Duration that unmarshals from either a Go duration
+// string ("3s") or integer nanoseconds, so SLO config files stay
+// readable.
+type Duration time.Duration
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var n int64
+	if err := json.Unmarshal(b, &n); err == nil {
+		*d = Duration(n)
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("anomaly: duration must be a string or ns int, got %s", b)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return fmt.Errorf("anomaly: bad duration %q: %w", s, err)
+	}
+	*d = Duration(v)
+	return nil
+}
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// SLO is one tenant's service-level triggering thresholds. Zero fields
+// inherit from the pipeline default (which in turn inherits built-in
+// defaults), so a config file only states what differs.
+type SLO struct {
+	// DropRatePPS is the drop-counter rate (packets or errors per
+	// second between sweeps) that constitutes an SLO violation — the
+	// original Watcher threshold. Default 50.
+	DropRatePPS float64 `json:"drop_rate_pps,omitempty"`
+	// Bands is the EWMA deviation-band multiplier for baseline
+	// detectors. Default 6.
+	Bands float64 `json:"bands,omitempty"`
+	// Persistence is how many consecutive out-of-band samples a
+	// baseline series needs to trigger. Default 3.
+	Persistence int `json:"persistence,omitempty"`
+	// MinSamples is the baseline cold-start length. Default 8.
+	MinSamples int `json:"min_samples,omitempty"`
+	// Window is the history window a triggered diagnosis analyzes,
+	// ending at the trigger. Default 3s.
+	Window Duration `json:"window,omitempty"`
+	// Cooldown suppresses further triggers for the tenant after one
+	// fires, in record-clock time. Default 30s.
+	Cooldown Duration `json:"cooldown,omitempty"`
+	// DisableBaselines turns the EWMA detectors off for the tenant,
+	// leaving only the drop-rate SLO (the pre-pipeline behavior).
+	DisableBaselines bool `json:"disable_baselines,omitempty"`
+}
+
+// builtinSLO is the root of the inheritance chain.
+var builtinSLO = SLO{
+	DropRatePPS: 50,
+	Bands:       6,
+	Persistence: 3,
+	MinSamples:  8,
+	Window:      Duration(3 * time.Second),
+	Cooldown:    Duration(30 * time.Second),
+}
+
+// over fills s's zero fields from base and returns the result.
+func (s SLO) over(base SLO) SLO {
+	if s.DropRatePPS == 0 {
+		s.DropRatePPS = base.DropRatePPS
+	}
+	if s.Bands == 0 {
+		s.Bands = base.Bands
+	}
+	if s.Persistence == 0 {
+		s.Persistence = base.Persistence
+	}
+	if s.MinSamples == 0 {
+		s.MinSamples = base.MinSamples
+	}
+	if s.Window == 0 {
+		s.Window = base.Window
+	}
+	if s.Cooldown == 0 {
+		s.Cooldown = base.Cooldown
+	}
+	s.DisableBaselines = s.DisableBaselines || base.DisableBaselines
+	return s
+}
+
+// SLOConfig is the per-tenant threshold table: a default plus tenant
+// overrides, loadable from a small JSON file:
+//
+//	{
+//	  "default": {"drop_rate_pps": 50, "window": "3s"},
+//	  "tenants": {"gold": {"drop_rate_pps": 10, "cooldown": "10s"}}
+//	}
+type SLOConfig struct {
+	Default SLO                   `json:"default"`
+	Tenants map[core.TenantID]SLO `json:"tenants,omitempty"`
+}
+
+// LoadSLOConfig reads and validates a JSON SLO config file.
+func LoadSLOConfig(path string) (SLOConfig, error) {
+	var cfg SLOConfig
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return cfg, fmt.Errorf("anomaly: read SLO config: %w", err)
+	}
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		return cfg, fmt.Errorf("anomaly: parse SLO config %s: %w", path, err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, fmt.Errorf("anomaly: SLO config %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// Validate rejects thresholds that can never trigger or would divide by
+// zero once defaults are resolved.
+func (c SLOConfig) Validate() error {
+	check := func(who string, s SLO) error {
+		r := s.over(c.Default).over(builtinSLO)
+		if r.DropRatePPS < 0 {
+			return fmt.Errorf("%s: negative drop_rate_pps %v", who, r.DropRatePPS)
+		}
+		if r.Bands < 1 {
+			return fmt.Errorf("%s: bands %v < 1 would flag in-band noise", who, r.Bands)
+		}
+		if r.Persistence < 1 || r.MinSamples < 1 {
+			return fmt.Errorf("%s: persistence and min_samples must be >= 1", who)
+		}
+		if r.Window <= 0 || r.Cooldown < 0 {
+			return fmt.Errorf("%s: window must be positive and cooldown non-negative", who)
+		}
+		return nil
+	}
+	if err := check("default", c.Default); err != nil {
+		return err
+	}
+	for tid, s := range c.Tenants {
+		if err := check(fmt.Sprintf("tenant %q", tid), s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WithBase layers the config's default SLO over base (typically
+// flag-provided thresholds): file settings win where stated, base fills
+// the rest, and built-ins fill whatever remains at resolution time.
+func (c SLOConfig) WithBase(base SLO) SLOConfig {
+	c.Default = c.Default.over(base)
+	return c
+}
+
+// For resolves the effective SLO for a tenant: tenant override over the
+// config default over the built-in defaults.
+func (c SLOConfig) For(tid core.TenantID) SLO {
+	s, ok := c.Tenants[tid]
+	if !ok {
+		return c.Default.over(builtinSLO)
+	}
+	return s.over(c.Default).over(builtinSLO)
+}

@@ -1,0 +1,102 @@
+package anomaly
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+)
+
+func TestDurationUnmarshalForms(t *testing.T) {
+	var s struct {
+		D Duration `json:"d"`
+	}
+	if err := json.Unmarshal([]byte(`{"d": "3s"}`), &s); err != nil || s.D != Duration(3*time.Second) {
+		t.Fatalf(`"3s" -> (%v, %v)`, s.D, err)
+	}
+	if err := json.Unmarshal([]byte(`{"d": 1500000000}`), &s); err != nil || s.D != Duration(1500*time.Millisecond) {
+		t.Fatalf(`ns int -> (%v, %v)`, s.D, err)
+	}
+	if err := json.Unmarshal([]byte(`{"d": "not a duration"}`), &s); err == nil {
+		t.Fatal("garbage duration unmarshaled")
+	}
+	raw, _ := json.Marshal(Duration(90 * time.Second))
+	if string(raw) != `"1m30s"` {
+		t.Fatalf("marshal = %s", raw)
+	}
+}
+
+func TestSLOResolution(t *testing.T) {
+	cfg := SLOConfig{
+		Default: SLO{DropRatePPS: 200, Window: Duration(5 * time.Second)},
+		Tenants: map[core.TenantID]SLO{
+			"gold": {DropRatePPS: 10, Cooldown: Duration(10 * time.Second)},
+		},
+	}
+	// Unknown tenant: config default over built-ins.
+	s := cfg.For("t-any")
+	if s.DropRatePPS != 200 || s.Window != Duration(5*time.Second) {
+		t.Fatalf("default tenant SLO = %+v", s)
+	}
+	if s.Bands != builtinSLO.Bands || s.Cooldown != builtinSLO.Cooldown {
+		t.Fatalf("built-in fields not inherited: %+v", s)
+	}
+	// Override tenant: its fields win, the rest inherit down the chain.
+	g := cfg.For("gold")
+	if g.DropRatePPS != 10 || g.Cooldown != Duration(10*time.Second) {
+		t.Fatalf("gold SLO overrides lost: %+v", g)
+	}
+	if g.Window != Duration(5*time.Second) || g.MinSamples != builtinSLO.MinSamples {
+		t.Fatalf("gold SLO inheritance broken: %+v", g)
+	}
+}
+
+func TestSLOWithBase(t *testing.T) {
+	// Flag values act as the base; file settings win where stated.
+	cfg := SLOConfig{Default: SLO{DropRatePPS: 75}}.WithBase(SLO{
+		DropRatePPS: 999, Bands: 4, Window: Duration(7 * time.Second),
+	})
+	s := cfg.For("t")
+	if s.DropRatePPS != 75 {
+		t.Fatalf("file default overridden by base: %v", s.DropRatePPS)
+	}
+	if s.Bands != 4 || s.Window != Duration(7*time.Second) {
+		t.Fatalf("base did not fill unset fields: %+v", s)
+	}
+}
+
+func TestLoadSLOConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slo.json")
+	good := `{
+  "default": {"drop_rate_pps": 40, "window": "2s"},
+  "tenants": {"gold": {"drop_rate_pps": 5, "disable_baselines": true}}
+}`
+	if err := os.WriteFile(path, []byte(good), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadSLOConfig(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if g := cfg.For("gold"); g.DropRatePPS != 5 || !g.DisableBaselines || g.Window != Duration(2*time.Second) {
+		t.Fatalf("gold = %+v", g)
+	}
+
+	if _, err := LoadSLOConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"default": {"bands": 0.5}}`), 0o644)
+	if _, err := LoadSLOConfig(bad); err == nil {
+		t.Fatal("bands < 1 validated")
+	}
+	neg := filepath.Join(dir, "neg.json")
+	os.WriteFile(neg, []byte(`{"tenants": {"x": {"drop_rate_pps": -1}}}`), 0o644)
+	if _, err := LoadSLOConfig(neg); err == nil {
+		t.Fatal("negative threshold validated")
+	}
+}

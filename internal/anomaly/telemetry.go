@@ -1,0 +1,50 @@
+package anomaly
+
+import (
+	"perfsight/internal/telemetry"
+)
+
+// pipelineMetrics is the pipeline's self-telemetry block, resolved once
+// at EnableTelemetry time and read through one atomic pointer load on
+// the evaluation path (the repo-wide opt-in gate idiom).
+type pipelineMetrics struct {
+	evals        *telemetry.Counter
+	triggers     *telemetry.Counter
+	suppressions *telemetry.Counter
+	resets       *telemetry.Counter
+	opened       *telemetry.Counter
+	resolved     *telemetry.Counter
+	latency      *telemetry.Histogram
+}
+
+// EnableTelemetry registers the pipeline's detector and incident series
+// in reg. Call before wiring AfterSweep.
+func (p *Pipeline) EnableTelemetry(reg *telemetry.Registry) {
+	m := &pipelineMetrics{
+		evals: reg.Counter("perfsight_anomaly_evaluations_total",
+			"per-series detector evaluations performed on monitor sweeps"),
+		triggers: reg.Counter("perfsight_anomaly_triggers_total",
+			"SLO-gated detector triggers that ran an automatic diagnosis"),
+		suppressions: reg.Counter("perfsight_anomaly_suppressions_total",
+			"SLO violations suppressed by the per-tenant cooldown"),
+		resets: reg.Counter("perfsight_anomaly_counter_resets_total",
+			"counter series that moved backwards (agent restart) and re-seeded"),
+		opened: reg.Counter("perfsight_anomaly_incidents_opened_total",
+			"incidents opened by the correlator"),
+		resolved: reg.Counter("perfsight_anomaly_incidents_resolved_total",
+			"incidents resolved after their series returned inside bands"),
+		latency: reg.Histogram("perfsight_anomaly_detection_latency_ns",
+			"record-clock ns from a series' last known-good sample to its trigger"),
+	}
+	reg.GaugeFunc("perfsight_anomaly_incidents_open",
+		"incidents currently open",
+		func() float64 { return float64(p.Incidents.OpenCount()) })
+	reg.GaugeFunc("perfsight_anomaly_series",
+		"(tenant, element, attr) series with live detector state",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(len(p.series))
+		})
+	p.tel.Store(m)
+}

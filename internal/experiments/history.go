@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"perfsight/internal/anomaly"
 	"perfsight/internal/cluster"
 	"perfsight/internal/controller"
 	"perfsight/internal/core"
@@ -126,10 +127,11 @@ type recorderLab struct {
 	Store   *history.Store
 	Mon     *history.Monitor
 	Journal *history.Journal
+	Pipe    *anomaly.Pipeline
 	Queries atomic.Int64
 }
 
-func newRecorderLab(l *Lab, watch history.WatcherConfig) *recorderLab {
+func newRecorderLab(l *Lab, cfg anomaly.Config) *recorderLab {
 	rl := &recorderLab{Lab: l}
 	for mid, a := range l.Agents {
 		l.Ctl.RegisterAgent(mid, &countingClient{
@@ -139,10 +141,10 @@ func newRecorderLab(l *Lab, watch history.WatcherConfig) *recorderLab {
 	}
 	rl.Store = history.New(history.Config{Retention: time.Hour})
 	rl.Journal = history.NewJournal(64)
-	w := history.NewWatcher(rl.Store, rl.Journal, watch)
-	w.Net = func(tid core.TenantID) *core.VirtualNet { return l.C.Topology().Tenants[tid] }
+	rl.Pipe = anomaly.NewPipeline(rl.Store, rl.Journal, cfg)
+	rl.Pipe.Net = func(tid core.TenantID) *core.VirtualNet { return l.C.Topology().Tenants[tid] }
 	rl.Mon = history.NewMonitor(l.Ctl, rl.Store, history.MonitorConfig{})
-	rl.Mon.AfterSweep = w.AfterSweep
+	rl.Mon.AfterSweep = rl.Pipe.AfterSweep
 	// Measurement waits advance virtual time and then sweep, so both
 	// endpoints of a live SampleInterval window land in the store.
 	l.Ctl.Wait = func(d time.Duration) {
@@ -186,7 +188,12 @@ func RunHistoryReplay() (*HistoryReplayResult, error) {
 	if err := l.BuildAgents(); err != nil {
 		return nil, err
 	}
-	rl := newRecorderLab(l, history.WatcherConfig{DropRateThreshold: 100, Window: 3 * time.Second, Cooldown: time.Minute})
+	rl := newRecorderLab(l, anomaly.Config{SLO: anomaly.SLOConfig{Default: anomaly.SLO{
+		DropRatePPS:      100,
+		Window:           anomaly.Duration(3 * time.Second),
+		Cooldown:         anomaly.Duration(time.Minute),
+		DisableBaselines: true, // this experiment exercises the drop-rate SLO path alone
+	}}})
 
 	rl.monitorFor(5*time.Second, time.Second) // healthy baseline on record
 	m.AddHog(&machine.Hog{Name: "memvms", Kind: machine.HogMem, MemDemandBps: 23e9, CyclesPerByte: 0.33})
@@ -240,7 +247,7 @@ func RunHistoryReplay() (*HistoryReplayResult, error) {
 	if err := cl.BuildAgents(); err != nil {
 		return nil, err
 	}
-	crl := newRecorderLab(cl, history.WatcherConfig{})
+	crl := newRecorderLab(cl, anomaly.Config{SLO: anomaly.SLOConfig{Default: anomaly.SLO{DisableBaselines: true}}})
 	crl.monitorFor(3*time.Second, time.Second)
 
 	const chainWindow = 2 * time.Second

@@ -1,28 +1,41 @@
 package history
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"perfsight/internal/core"
 	"perfsight/internal/diagnosis"
 )
 
-// Event is one evidence-bearing diagnosis event: the watcher saw a
-// per-element drop-rate spike, diagnosed the window ending at the spike
-// from stored history, and recorded the full chain of evidence — the
-// ranked drop table and rule-book inference of Algorithm 1 and, when the
-// tenant has middlebox chains, the Algorithm 2 metrics with its pruning
-// steps. Nothing here requires re-querying an agent after the fact.
+// Event is one evidence-bearing diagnosis event: a detector in the
+// anomaly pipeline saw a series violate its tenant's SLO, the window
+// ending at the violation was diagnosed from stored history, and the
+// full chain of evidence was recorded — the ranked drop table and
+// rule-book inference of Algorithm 1 and, when the tenant has middlebox
+// chains, the Algorithm 2 metrics with its pruning steps. Nothing here
+// requires re-querying an agent after the fact.
 type Event struct {
-	Seq      int64          `json:"seq"`
-	TS       int64          `json:"ts"` // record-clock ns at detection
-	Tenant   core.TenantID  `json:"tenant"`
-	Element  core.ElementID `json:"element"`       // the spiking element
-	DropRate float64        `json:"drop_rate_pps"` // drops/s over the sweep gap
-	WindowNS int64          `json:"window_ns"`     // diagnosis window length
+	Seq     int64          `json:"seq"`
+	TS      int64          `json:"ts"` // record-clock ns at detection
+	Tenant  core.TenantID  `json:"tenant"`
+	Element core.ElementID `json:"element"` // the violating element
+
+	// Detector names the pipeline detector that fired ("drop-rate",
+	// "ewma-baseline"); Attr is the offending series' attribute name,
+	// Value its rate or gauge value, and Baseline the EWMA mean it was
+	// judged against (0 for threshold detectors).
+	Detector string  `json:"detector,omitempty"`
+	Attr     string  `json:"attr,omitempty"`
+	Value    float64 `json:"value,omitempty"`
+	Baseline float64 `json:"baseline,omitempty"`
+
+	DropRate float64 `json:"drop_rate_pps"` // drops/s over the sweep gap (drop-rate detector)
+	WindowNS int64   `json:"window_ns"`     // diagnosis window length
+
+	// IncidentID links the event to the correlated incident it was
+	// folded into (0 when no correlator is attached).
+	IncidentID int64 `json:"incident_id,omitempty"`
 
 	Stack *diagnosis.ContentionReport `json:"stack,omitempty"`
 	Chain *diagnosis.RootCauseReport  `json:"chain,omitempty"`
@@ -32,7 +45,8 @@ type Event struct {
 
 // Journal is a bounded in-memory ring of diagnosis events. Appends past
 // capacity overwrite the oldest events (counted as dropped); sequence
-// numbers are monotonic so readers can page with Since.
+// numbers are monotonic so readers can page with Since. Push consumers
+// attach with Subscribe.
 type Journal struct {
 	mu      sync.Mutex
 	buf     []Event
@@ -40,6 +54,7 @@ type Journal struct {
 	n       int
 	seq     int64
 	dropped int64
+	subs    []*Subscription
 
 	tel atomic.Pointer[journalMetrics]
 }
@@ -53,7 +68,8 @@ func NewJournal(capacity int) *Journal {
 	return &Journal{buf: make([]Event, capacity)}
 }
 
-// Append stores ev, assigning and returning its sequence number.
+// Append stores ev, assigning and returning its sequence number, and
+// fans the event out to subscribers.
 func (j *Journal) Append(ev Event) int64 {
 	j.mu.Lock()
 	j.seq++
@@ -68,11 +84,18 @@ func (j *Journal) Append(ev Event) int64 {
 		j.n++
 	}
 	seq := ev.Seq
+	var subDropped uint64
+	for _, s := range j.subs {
+		subDropped += s.push(ev)
+	}
 	j.mu.Unlock()
 	if m := j.tel.Load(); m != nil {
 		m.events.Inc()
 		if overwrote {
 			m.dropped.Inc()
+		}
+		if subDropped > 0 {
+			m.subDropped.Add(subDropped)
 		}
 	}
 	return seq
@@ -105,124 +128,87 @@ func (j *Journal) Stats() (retained int, lastSeq, dropped int64) {
 	return j.n, j.seq, j.dropped
 }
 
-// WatcherConfig shapes spike detection.
-type WatcherConfig struct {
-	// DropRateThreshold is the per-element drop rate (packets/s over the
-	// gap between two sweeps) that triggers a diagnosis event.
-	// Default 50.
-	DropRateThreshold float64
-	// Window is the history window the triggered diagnosis analyzes,
-	// ending at the spike. Default 3s.
-	Window time.Duration
-	// Cooldown suppresses further events for a tenant after one fires,
-	// in record-clock time. Default 30s.
-	Cooldown time.Duration
+// Subscription is one live consumer of journal appends. Events arrive
+// on C in append order; a consumer that falls more than its buffer
+// behind loses the oldest pending events (drop-oldest, counted in
+// telemetry and per-subscription), never blocking the append path.
+type Subscription struct {
+	j       *Journal
+	ch      chan Event
+	dropped atomic.Int64
+	closed  bool
 }
 
-func (c WatcherConfig) withDefaults() WatcherConfig {
-	if c.DropRateThreshold <= 0 {
-		c.DropRateThreshold = 50
+// Subscribe attaches a bounded-channel consumer (buffer default 64).
+// Close it when done or the journal retains it forever.
+func (j *Journal) Subscribe(buffer int) *Subscription {
+	if buffer <= 0 {
+		buffer = 64
 	}
-	if c.Window <= 0 {
-		c.Window = 3 * time.Second
-	}
-	if c.Cooldown <= 0 {
-		c.Cooldown = 30 * time.Second
-	}
-	return c
+	s := &Subscription{j: j, ch: make(chan Event, buffer)}
+	j.mu.Lock()
+	j.subs = append(j.subs, s)
+	j.mu.Unlock()
+	return s
 }
 
-// Watcher turns monitoring sweeps into diagnosis events: wired as a
-// Monitor.AfterSweep hook, it tracks every element's drop counter across
-// consecutive sweeps and, when some element's drop rate crosses the
-// threshold, diagnoses the surrounding window from the store and appends
-// the evidence to the journal.
-type Watcher struct {
-	Store   *Store
-	Journal *Journal
-	Cfg     WatcherConfig
-	// Net resolves a tenant's virtual network so chain events carry
-	// Algorithm 2 pruning; nil skips the chain diagnosis.
-	Net func(core.TenantID) *core.VirtualNet
+// C is the event stream.
+func (s *Subscription) C() <-chan Event { return s.ch }
 
-	mu        sync.Mutex
-	lastDrop  map[elemKey]Point // previous sweep's drop counter per element
-	lastFired map[core.TenantID]int64
-}
+// Dropped reports how many events this subscription lost to a full
+// buffer.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
 
-// NewWatcher builds a watcher emitting into journal.
-func NewWatcher(store *Store, journal *Journal, cfg WatcherConfig) *Watcher {
-	return &Watcher{
-		Store:     store,
-		Journal:   journal,
-		Cfg:       cfg.withDefaults(),
-		lastDrop:  make(map[elemKey]Point),
-		lastFired: make(map[core.TenantID]int64),
-	}
-}
-
-// AfterSweep is the Monitor hook: inspect one sweep's records, detect
-// drop-rate spikes, and emit at most one event per tenant per cooldown.
-func (w *Watcher) AfterSweep(tid core.TenantID, recs map[core.ElementID]core.Record, _ error) {
-	type spike struct {
-		id   core.ElementID
-		rate float64
-		ts   int64
-	}
-	var worst spike
-	w.mu.Lock()
-	for id, rec := range recs {
-		drops, ok := rec.Get(core.AttrDropPackets)
-		if !ok {
-			continue
-		}
-		k := elemKey{tid, id}
-		prev, seen := w.lastDrop[k]
-		w.lastDrop[k] = Point{TS: rec.Timestamp, V: drops}
-		if !seen || rec.Timestamp <= prev.TS {
-			continue
-		}
-		rate := (drops - prev.V) / (time.Duration(rec.Timestamp - prev.TS).Seconds())
-		if rate > worst.rate {
-			worst = spike{id, rate, rec.Timestamp}
-		}
-	}
-	fired := w.lastFired[tid]
-	cooled := worst.ts-fired >= int64(w.Cfg.Cooldown)
-	if worst.rate >= w.Cfg.DropRateThreshold && (fired == 0 || cooled) {
-		w.lastFired[tid] = worst.ts
-	} else {
-		worst.rate = 0
-	}
-	w.mu.Unlock()
-	if worst.rate == 0 {
+// Close detaches the subscription and closes its channel. Safe to call
+// once; pending buffered events remain readable until the channel
+// drains.
+func (s *Subscription) Close() {
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	if s.closed {
 		return
 	}
-
-	ev := Event{
-		TS:       worst.ts,
-		Tenant:   tid,
-		Element:  worst.id,
-		DropRate: worst.rate,
-		WindowNS: int64(w.Cfg.Window),
-	}
-	if rep, err := w.Store.DiagnoseStack(tid, w.Cfg.Window, worst.ts); err == nil {
-		ev.Stack = rep
-		ev.Summary = rep.String()
-	}
-	if w.Net != nil {
-		if net := w.Net(tid); net != nil && len(net.Chains) > 0 {
-			if rep, err := w.Store.DiagnoseChain(tid, w.Cfg.Window, worst.ts, net); err == nil {
-				ev.Chain = rep
-				if ev.Summary != "" {
-					ev.Summary += "; "
-				}
-				ev.Summary += rep.String()
-			}
+	s.closed = true
+	subs := s.j.subs
+	for i, other := range subs {
+		if other == s {
+			s.j.subs = append(subs[:i:i], subs[i+1:]...)
+			break
 		}
 	}
-	if ev.Summary == "" {
-		ev.Summary = fmt.Sprintf("drop spike at %s (%.0f pps), window too thin to diagnose", worst.id, worst.rate)
+	close(s.ch)
+}
+
+// push delivers ev without blocking, dropping the oldest pending event
+// when the buffer is full. Caller holds j.mu (which also serializes
+// push with Close, so the channel cannot close mid-send). Returns how
+// many events were dropped (0 or 1).
+func (s *Subscription) push(ev Event) uint64 {
+	for {
+		select {
+		case s.ch <- ev:
+			return 0
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+			select {
+			case s.ch <- ev:
+				return 1
+			default:
+				continue // another reader raced the slot; retry
+			}
+		default:
+			// The reader drained the buffer between our two selects;
+			// loop and try the plain send again.
+		}
 	}
-	w.Journal.Append(ev)
+}
+
+// SubscriberCount reports attached subscriptions.
+func (j *Journal) SubscriberCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.subs)
 }

@@ -18,6 +18,11 @@ import (
 //	    attrs; without element, the tenant's elements.
 //	/events?since=SEQ&limit=
 //	    the journal's diagnosis events after SEQ, oldest first.
+//	/events?since=SEQ&follow=1
+//	    the same backlog, then an NDJSON stream of events as they land
+//	    (one JSON event per line, flushed per event) until the client
+//	    disconnects — the push mechanism behind `perfsight incidents
+//	    --follow`, backed by Journal.Subscribe's drop-oldest fan-out.
 //	/diagnose?tenant=&at=&window=
 //	    run Algorithm 1 (and Algorithm 2 when the tenant has chains)
 //	    from stored history over the window ending at `at`, without
@@ -118,6 +123,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "bad since %q", q.Get("since"))
 		return
 	}
+	if f := q.Get("follow"); f != "" && f != "0" && f != "false" {
+		s.followEvents(w, r, since)
+		return
+	}
 	limit, _ := strconv.Atoi(q.Get("limit"))
 	evs := s.Journal.Since(since, limit)
 	_, last, dropped := s.Journal.Stats()
@@ -128,6 +137,53 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"events": evs, "next": next, "last_seq": last, "dropped": dropped,
 	})
+}
+
+// followEvents streams the journal as NDJSON: the backlog after since,
+// then live events from a subscription until the client goes away. The
+// subscription's bounded buffer means a stalled client skips events
+// (drop-oldest) rather than back-pressuring the pipeline; seq numbers
+// let the client notice the gap.
+func (s *Server) followEvents(w http.ResponseWriter, r *http.Request, since int64) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpErr(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+
+	// Subscribe before draining the backlog so no event can fall into
+	// the gap; the seq filter below deduplicates the overlap.
+	sub := s.Journal.Subscribe(256)
+	defer sub.Close()
+	last := since
+	for _, ev := range s.Journal.Since(since, 0) {
+		if enc.Encode(ev) != nil {
+			return
+		}
+		last = ev.Seq
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			if ev.Seq <= last {
+				continue // already sent in the backlog
+			}
+			if enc.Encode(ev) != nil {
+				return
+			}
+			last = ev.Seq
+			fl.Flush()
+		}
+	}
 }
 
 // diagnoseResponse is the /diagnose payload.

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"perfsight/internal/core"
 	"perfsight/internal/diagnosis"
@@ -102,6 +103,60 @@ func TestEventsEndpoint(t *testing.T) {
 	get(t, ts.URL+"/events?since=1", &resp)
 	if len(resp.Events) != 1 || resp.Events[0].Summary != "again" {
 		t.Fatalf("since=1 events = %+v", resp.Events)
+	}
+}
+
+func TestEventsFollowStreams(t *testing.T) {
+	ts, j := httpSetup(t)
+
+	resp, err := http.Get(ts.URL + "/events?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	lines := make(chan Event, 8)
+	go func() {
+		dec := json.NewDecoder(resp.Body)
+		for {
+			var ev Event
+			if dec.Decode(&ev) != nil {
+				close(lines)
+				return
+			}
+			lines <- ev
+		}
+	}()
+	recv := func() Event {
+		t.Helper()
+		select {
+		case ev := <-lines:
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for streamed event")
+			return Event{}
+		}
+	}
+	// Backlog first (the seeded spike), then live appends as they land.
+	if ev := recv(); ev.Seq != 1 || ev.Summary != "test spike" {
+		t.Fatalf("backlog event = %+v", ev)
+	}
+	j.Append(Event{TS: 7e9, Tenant: testTenant, Element: "m0/vswitch", Summary: "live one"})
+	if ev := recv(); ev.Seq != 2 || ev.Summary != "live one" {
+		t.Fatalf("live event = %+v", ev)
+	}
+	// Disconnecting tears the subscription down.
+	resp.Body.Close()
+	deadline := time.After(5 * time.Second)
+	for j.SubscriberCount() != 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("subscription leaked after disconnect: %d", j.SubscriberCount())
+		default:
+			time.Sleep(time.Millisecond)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package history
 import (
 	"context"
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -162,51 +163,79 @@ func TestJournalBoundedWithSequence(t *testing.T) {
 	}
 }
 
-func TestWatcherEmitsOnSpikeWithCooldown(t *testing.T) {
-	mon, clock, _ := monitorSetup(func(eid core.ElementID, now int64) float64 {
-		if eid == "m0/vswitch" && now >= 3e9 {
-			// 1000 drops per 1s sweep gap from t=3s on.
-			return float64(now-2e9) / 1e6
+// Drop-spike detection itself now lives in internal/anomaly (the
+// pipeline's first registered detector); see anomaly's pipeline tests
+// for the spike/cooldown behavior that used to be tested here.
+
+func TestJournalSubscribeFanOut(t *testing.T) {
+	j := NewJournal(16)
+	sub := j.Subscribe(2)
+	defer sub.Close()
+	if j.SubscriberCount() != 1 {
+		t.Fatalf("SubscriberCount = %d, want 1", j.SubscriberCount())
+	}
+	j.Append(Event{Summary: "a"})
+	j.Append(Event{Summary: "b"})
+	// Buffer full: the third append drops the oldest pending event.
+	j.Append(Event{Summary: "c"})
+	if got := sub.Dropped(); got != 1 {
+		t.Fatalf("sub.Dropped = %d, want 1", got)
+	}
+	if ev := <-sub.C(); ev.Summary != "b" || ev.Seq != 2 {
+		t.Fatalf("first received = %+v, want summary b seq 2 (a dropped)", ev)
+	}
+	if ev := <-sub.C(); ev.Summary != "c" {
+		t.Fatalf("second received = %+v, want summary c", ev)
+	}
+	sub.Close()
+	sub.Close() // idempotent
+	if j.SubscriberCount() != 0 {
+		t.Fatalf("SubscriberCount after close = %d, want 0", j.SubscriberCount())
+	}
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("closed subscription channel still open")
+	}
+	// Appends after close must not panic or deliver.
+	j.Append(Event{Summary: "d"})
+}
+
+func TestJournalSubscribeConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	sub := j.Subscribe(8)
+	done := make(chan int64)
+	go func() {
+		var last, n int64
+		for ev := range sub.C() {
+			if ev.Seq <= last {
+				panic("out-of-order delivery")
+			}
+			last = ev.Seq
+			n++
 		}
-		return 0
-	})
-	journal := NewJournal(16)
-	w := NewWatcher(mon.Store, journal, WatcherConfig{
-		DropRateThreshold: 100,
-		Window:            2 * time.Second,
-		Cooldown:          5 * time.Second,
-	})
-	mon.AfterSweep = w.AfterSweep
-
-	for i := int64(1); i <= 6; i++ {
-		clock.Store(i * 1e9)
-		mon.Sweep(context.Background())
+		done <- n
+	}()
+	const total = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < total/4; i++ {
+				j.Append(Event{Summary: "x"})
+			}
+		}()
 	}
-	evs := journal.Since(0, 0)
-	if len(evs) != 1 {
-		t.Fatalf("watcher emitted %d events, want 1 (cooldown suppresses the rest)", len(evs))
+	wg.Wait()
+	// Give the consumer a moment to drain what's buffered, then close.
+	for len(sub.C()) > 0 {
+		time.Sleep(time.Millisecond)
 	}
-	ev := evs[0]
-	if ev.Element != "m0/vswitch" || ev.Tenant != testTenant {
-		t.Fatalf("event blames %s/%s", ev.Tenant, ev.Element)
+	sub.Close()
+	received := <-done
+	if received+sub.Dropped() > total {
+		t.Fatalf("received %d + dropped %d > appended %d", received, sub.Dropped(), total)
 	}
-	if ev.DropRate < 900 || ev.DropRate > 1100 {
-		t.Fatalf("event drop rate = %v, want ~1000 pps", ev.DropRate)
-	}
-	if ev.Summary == "" {
-		t.Fatal("event has no summary")
-	}
-	if ev.Stack == nil {
-		t.Fatalf("event carries no stack evidence (summary %q)", ev.Summary)
-	}
-	if len(ev.Stack.Ranked) == 0 || ev.Stack.Ranked[0].Element != "m0/vswitch" {
-		t.Fatalf("stack evidence does not rank the dropping element first: %+v", ev.Stack.Ranked)
-	}
-
-	// Past the cooldown, the still-spiking element fires again.
-	clock.Store(9e9)
-	mon.Sweep(context.Background())
-	if evs := journal.Since(0, 0); len(evs) != 2 {
-		t.Fatalf("post-cooldown sweep: %d events, want 2", len(evs))
+	if received == 0 {
+		t.Fatal("subscriber received nothing")
 	}
 }

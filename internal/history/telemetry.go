@@ -61,6 +61,8 @@ func (j *Journal) EnableTelemetry(reg *telemetry.Registry) {
 			"diagnosis events appended to the journal"),
 		dropped: reg.Counter("perfsight_history_events_dropped_total",
 			"journal events overwritten before being read"),
+		subDropped: reg.Counter("perfsight_history_sub_notifications_dropped_total",
+			"journal events dropped from slow subscriber buffers (drop-oldest)"),
 	}
 	reg.GaugeFunc("perfsight_history_journal_events",
 		"events currently held in the bounded journal",
@@ -69,11 +71,15 @@ func (j *Journal) EnableTelemetry(reg *telemetry.Registry) {
 			defer j.mu.Unlock()
 			return float64(j.n)
 		})
+	reg.GaugeFunc("perfsight_history_journal_subscribers",
+		"live journal subscriptions (event fan-out consumers)",
+		func() float64 { return float64(j.SubscriberCount()) })
 	j.tel.Store(m)
 }
 
 // journalMetrics is the journal's telemetry block.
 type journalMetrics struct {
-	events  *telemetry.Counter
-	dropped *telemetry.Counter
+	events     *telemetry.Counter
+	dropped    *telemetry.Counter
+	subDropped *telemetry.Counter
 }
