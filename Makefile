@@ -5,13 +5,14 @@
 #   make bench-history  flight-recorder benchmarks + append alloc budget gate
 #   make bench-core     record/schema benchmarks + record alloc budget gate
 #   make bench-anomaly  anomaly-pipeline benchmarks + sweep-eval alloc budget gate
+#   make bench-ingest   push-ingest throughput floor + drain alloc budget gate
 #   make all            everything
 
 GO ?= go
 
-.PHONY: all check vet build test bench bench-wire bench-history bench-core bench-anomaly
+.PHONY: all check vet build test bench bench-wire bench-history bench-core bench-anomaly bench-ingest
 
-all: check bench bench-wire bench-history bench-core bench-anomaly
+all: check bench bench-wire bench-history bench-core bench-anomaly bench-ingest
 
 check: vet build test
 
@@ -61,3 +62,12 @@ bench-core:
 bench-anomaly:
 	$(GO) test ./internal/anomaly/ -run 'TestEvalAllocBudget' -count 1 -v
 	$(GO) test ./internal/anomaly/ -run '^$$' -bench 'BenchmarkPipeline' -benchtime 1s -benchmem
+
+# Push ingest: the throughput test fails the build when the queue→store
+# path sustains under 10k element-updates/s; the alloc test fails when a
+# steady-state push/take/append cycle allocates past internal/ingest/
+# testdata/ingest_alloc_budget.txt; the benchmarks print pipeline and
+# queue costs (EXPERIMENTS.md ingest table).
+bench-ingest:
+	$(GO) test ./internal/ingest/ -run 'TestIngestSustains10k|TestIngestAllocBudget' -count 1 -v
+	$(GO) test ./internal/ingest/ -run '^$$' -bench 'BenchmarkIngestPipeline|BenchmarkQueue' -benchtime 1s -benchmem

@@ -42,6 +42,9 @@ func main() {
 	maxConns := flag.Int("max-conns", 64, "maximum concurrent controller connections; extras are refused at accept (0 = unlimited)")
 	codec := flag.String("codec", wire.CodecV2, "wire codecs offered to controllers: v2 (binary, with JSON fallback per connection) or json (JSON only)")
 	delta := flag.Bool("delta", true, "permit delta-encoded responses on v2 connections that request them (changed attrs only)")
+	push := flag.Bool("push", true, "grant push streaming to controllers that request it (delta frames at adaptive cadence; controllers without it keep pulling)")
+	cadenceMin := flag.Duration("cadence-min", agent.DefaultCadenceMin, "fastest push cadence this agent will stream at, whatever the controller asks for")
+	cadenceMax := flag.Duration("cadence-max", agent.DefaultCadenceMax, "slowest push cadence the stream decays to while counters are quiescent")
 	pprofFlag := flag.Bool("pprof", false, "expose Go profiling endpoints (/debug/pprof/*) on the -telemetry address")
 	flag.Parse()
 	if *codec != wire.CodecV2 && *codec != wire.CodecJSON {
@@ -88,6 +91,9 @@ func main() {
 	a.MaxConns = *maxConns
 	a.Codec = *codec
 	a.AllowDelta = *delta
+	a.AllowStream = *push
+	a.CadenceMin = *cadenceMin
+	a.CadenceMax = *cadenceMax
 
 	if *telemetryAddr != "" {
 		reg := telemetry.NewRegistry()

@@ -24,6 +24,7 @@ import (
 	"perfsight/internal/core"
 	"perfsight/internal/diagnosis"
 	"perfsight/internal/history"
+	"perfsight/internal/ingest"
 	"perfsight/internal/operator"
 	"perfsight/internal/telemetry"
 	"perfsight/internal/wire"
@@ -46,6 +47,10 @@ func main() {
 	codec := flag.String("codec", wire.CodecV2, "wire codec to offer agents: v2 (binary, falls back to JSON per agent) or json (skip negotiation)")
 	delta := flag.Bool("delta", false, "request delta-encoded sweep responses on v2 connections (changed attrs only)")
 	monitor := flag.Duration("monitor", 0, "flight recorder: sweep all elements at this cadence into the history store and keep serving (0 = off)")
+	push := flag.Bool("push", true, "with -monitor: stream delta frames from push-capable agents on arrival, demoting the sweep loop to a fallback for pull-only or stream-down agents")
+	cadenceMin := flag.Duration("cadence-min", 100*time.Millisecond, "fastest push cadence to request from streaming agents (they may enforce a slower floor)")
+	cadenceMax := flag.Duration("cadence-max", 5*time.Second, "slowest push cadence streams decay to while counters are quiescent")
+	ingestQueue := flag.Int("ingest-queue", 64, "bounded per-agent ingest queue (batches); overflow drops oldest and throttles the sender")
 	histRetention := flag.Duration("history-retention", 15*time.Minute, "evict downsampled history older than this behind the newest sample")
 	histMaxPoints := flag.Int("history-max-points", 512, "full-cadence points retained per (element, attr) series before step-down")
 	histStep := flag.Duration("history-downsample", 10*time.Second, "step-down resolution: one retained point per step for aged history")
@@ -90,12 +95,14 @@ func main() {
 		diagnosis.EnableTelemetry(reg)
 	}
 
+	agentAddrs := make(map[core.MachineID]string)
 	for _, spec := range strings.Split(*agents, ",") {
 		name, addr, ok := strings.Cut(strings.TrimSpace(spec), "=")
 		if !ok {
 			log.Fatalf("bad -agents entry %q (want machine=host:port)", spec)
 		}
 		mid := core.MachineID(name)
+		agentAddrs[mid] = addr
 		client := controller.NewTCPClient(addr)
 		client.Codec = *codec
 		client.Delta = *delta
@@ -172,6 +179,41 @@ func main() {
 		}
 	}
 
+	// Push ingest: stream delta frames from push-capable agents straight
+	// into the store (and through the anomaly pipeline) on arrival. The
+	// monitor keeps sweeping as a fallback, skipping machines with a live
+	// stream; pull-only agents and dropped streams stay covered.
+	var ingestMgr *ingest.Manager
+	if *push && mon != nil {
+		ingestMgr = ingest.NewManager(ingest.Config{
+			CadenceMin: *cadenceMin,
+			CadenceMax: *cadenceMax,
+			QueueSize:  *ingestQueue,
+			Codec:      *codec,
+			Delta:      *delta,
+			Sink: func(_ core.MachineID, recs []core.Record) {
+				for _, r := range recs {
+					store.Append(tid, r)
+				}
+				if pipe != nil {
+					pipe.Observe(tid, recs)
+				}
+			},
+		})
+		for mid, addr := range agentAddrs {
+			ingestMgr.Add(mid, addr)
+		}
+		mon.Skip = ingestMgr.Streaming
+		if reg != nil {
+			ingestMgr.EnableTelemetry(reg)
+		}
+		go func() { _ = ingestMgr.Run(context.Background()) }()
+		log.Printf("push ingest: streaming %d agents (cadence %v..%v, queue %d); sweep loop demoted to fallback",
+			len(agentAddrs), *cadenceMin, *cadenceMax, *ingestQueue)
+	} else if *push && mon == nil {
+		log.Printf("-push ignored: push ingest needs -monitor for the history store")
+	}
+
 	if reg != nil {
 		started := time.Now()
 		mux := telemetry.NewMux(reg, func() telemetry.Health {
@@ -197,6 +239,21 @@ func main() {
 				if pipe != nil {
 					h.Extra["incidents_open"] = float64(pipe.Incidents.OpenCount())
 				}
+			}
+			if ingestMgr != nil {
+				var streaming, dropped, gaps, queued float64
+				for _, sh := range ingestMgr.Health() {
+					if sh.State == ingest.StateStreaming {
+						streaming++
+					}
+					dropped += float64(sh.Dropped)
+					gaps += float64(sh.Gaps)
+					queued += float64(sh.QueueLen)
+				}
+				h.Extra["ingest_streams_active"] = streaming
+				h.Extra["ingest_batches_dropped"] = dropped
+				h.Extra["ingest_seq_gaps"] = gaps
+				h.Extra["ingest_queue_depth"] = queued
 			}
 			return h
 		})

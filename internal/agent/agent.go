@@ -53,6 +53,19 @@ type Agent struct {
 	// the connection's previous response are resent. Set before Serve.
 	AllowDelta bool
 
+	// AllowStream permits controllers to convert a connection into a
+	// push stream (stream_start): the agent then sends stream_data
+	// batches at an adaptive cadence instead of answering polls. Set
+	// before Serve.
+	AllowStream bool
+
+	// CadenceMin/CadenceMax bound the adaptive push cadence. CadenceMin
+	// is a floor the controller cannot undercut; CadenceMax is the
+	// quiescent heartbeat period. Zero values use DefaultCadenceMin/Max.
+	// Set before Serve.
+	CadenceMin time.Duration
+	CadenceMax time.Duration
+
 	// tel holds the optional self-telemetry block (see EnableTelemetry);
 	// nil means uninstrumented, and every hot-path check is one atomic
 	// pointer load.
@@ -253,6 +266,16 @@ func (a *Agent) handle(conn net.Conn) {
 		var next wire.Codec
 		if msg.Type == wire.TypeHello {
 			resp, next = a.hello(msg)
+		} else if msg.Type == wire.TypeStreamStart {
+			if errStr := a.streamStartErr(msg); errStr != "" {
+				resp = &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: errStr}
+			} else {
+				// The connection converts to push mode; serveStream owns
+				// it (and buf) until the stream ends, then the connection
+				// closes — streams never fall back to request/response.
+				a.serveStream(conn, sess, msg, buf)
+				return
+			}
 		} else {
 			recScratch = recScratch[:0]
 			resp = a.dispatch(msg, &recScratch)
@@ -291,6 +314,11 @@ func (a *Agent) hello(msg *wire.Message) (*wire.Message, wire.Codec) {
 		tel.countRequest(msg.Type)
 	}
 	ack := &wire.Message{Type: wire.TypeHelloAck, ID: msg.ID, Machine: a.machine, Hello: &wire.Hello{}}
+	if msg.Hello != nil {
+		// Stream capability is codec-independent: a JSON session can push
+		// too, it just forgoes delta compression.
+		ack.Hello.Stream = msg.Hello.Stream && a.AllowStream
+	}
 	if a.Codec == wire.CodecJSON || msg.Hello == nil || !containsCodec(msg.Hello.Codecs, wire.CodecV2) {
 		if tel := a.tel.Load(); tel != nil {
 			tel.codecJSON.Inc()

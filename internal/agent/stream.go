@@ -1,0 +1,209 @@
+package agent
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/wire"
+)
+
+// Default adaptive-cadence bounds for push streaming, used when neither
+// the agent config nor the controller's stream_start frame narrows them.
+const (
+	DefaultCadenceMin = 100 * time.Millisecond
+	DefaultCadenceMax = 5 * time.Second
+)
+
+// cadenceBounds resolves the adaptive-cadence window for one stream: the
+// agent's own floor wins over a controller asking for a faster minimum
+// (the agent protects its gather budget), while the controller may set
+// any maximum — slower heartbeats only make the stream cheaper.
+func (a *Agent) cadenceBounds(si *wire.StreamInfo) (cadMin, cadMax time.Duration) {
+	cadMin, cadMax = a.CadenceMin, a.CadenceMax
+	if cadMin <= 0 {
+		cadMin = DefaultCadenceMin
+	}
+	if cadMax <= 0 {
+		cadMax = DefaultCadenceMax
+	}
+	if si != nil {
+		if d := time.Duration(si.CadenceMinNS); d > cadMin {
+			cadMin = d
+		}
+		if d := time.Duration(si.CadenceMaxNS); d > 0 {
+			cadMax = d
+		}
+	}
+	if cadMax < cadMin {
+		cadMax = cadMin
+	}
+	return cadMin, cadMax
+}
+
+// streamStartErr validates a stream_start request; non-empty means
+// reject (the connection then stays in request/response mode).
+func (a *Agent) streamStartErr(msg *wire.Message) string {
+	if !a.AllowStream {
+		return "agent: push streaming not enabled"
+	}
+	if msg.Query == nil {
+		return "agent: stream_start without query body"
+	}
+	return ""
+}
+
+// serveStream owns a connection after an accepted stream_start: it
+// pushes stream_data batches at an adaptive cadence — halving the period
+// toward the floor while counters move, doubling toward the quiescent
+// ceiling while they don't — and obeys stream_control throttles from the
+// controller's ingest queue. Unchanged ticks still push (tiny delta
+// frames on v2 sessions), so the stream doubles as a liveness signal.
+//
+// The reader goroutine and the push loop share the session codec: the
+// V2Codec's encode and decode halves keep disjoint state (intern tables,
+// delta maps, scratch), so one decoding reader and one encoding writer
+// never touch the same fields.
+func (a *Agent) serveStream(conn net.Conn, sess wire.Codec, start *wire.Message, buf *[]byte) {
+	tel := a.tel.Load()
+	if tel != nil {
+		tel.countRequest(wire.TypeStreamStart)
+		tel.streams.Inc()
+	}
+	cadMin, cadMax := a.cadenceBounds(start.Stream)
+	q := start.Query
+
+	// Control plane: the reader drains throttle frames until the peer
+	// hangs up (its read error is the stream's termination signal — a
+	// streaming connection has no idle timeout, quiet controllers are
+	// normal). The push loop must not return before the reader: they
+	// share buf, which the caller pools on return.
+	var throttle atomic.Int64
+	done := make(chan struct{})
+	conn.SetReadDeadline(time.Time{})
+	go func() {
+		defer close(done)
+		for {
+			payload, err := wire.ReadFrameBuf(conn, buf)
+			if err != nil {
+				return
+			}
+			msg, err := sess.Decode(payload)
+			if err != nil {
+				return
+			}
+			if msg.Type == wire.TypeStreamControl && msg.Stream != nil {
+				throttle.Store(msg.Stream.ThrottleNS)
+				if tel != nil {
+					tel.countRequest(msg.Type)
+					if msg.Stream.ThrottleNS > 0 {
+						tel.streamThrottled.Inc()
+					}
+				}
+			}
+		}
+	}()
+	defer func() {
+		conn.Close()
+		<-done
+	}()
+
+	cadence := cadMin
+	var seq uint64
+	var recs, prev []core.Record
+	var prevFlat []core.Attr
+	timer := time.NewTimer(0) // first batch immediately
+	defer timer.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-timer.C:
+		}
+		recs, _ = a.fetchAppend(recs[:0], q.Elements, q.Attrs, q.All)
+		changed := !sameValues(prev, recs)
+		prev, prevFlat = copyRecords(prev, prevFlat, recs)
+
+		seq++
+		out, err := sess.Encode(&wire.Message{
+			Type: wire.TypeStreamData, ID: start.ID, Machine: a.machine,
+			Stream: &wire.StreamInfo{Seq: seq}, Records: recs,
+		})
+		if err == nil {
+			if a.ReadTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(a.ReadTimeout))
+			}
+			err = wire.WriteFrame(conn, out)
+		}
+		if err != nil {
+			if tel != nil {
+				tel.wireWrite.Inc()
+			}
+			return
+		}
+		if tel != nil {
+			tel.streamFrames.Inc()
+			tel.bytesTx.Add(uint64(len(out)) + 4)
+		}
+
+		if changed {
+			cadence /= 2
+			if cadence < cadMin {
+				cadence = cadMin
+			}
+		} else {
+			cadence *= 2
+			if cadence > cadMax {
+				cadence = cadMax
+			}
+		}
+		eff := cadence
+		if th := time.Duration(throttle.Load()); th > eff {
+			eff = th // backpressure raises the floor, never lowers it
+		}
+		timer.Reset(eff)
+	}
+}
+
+// sameValues reports whether two gathers carry identical attribute
+// values. Timestamps are ignored: a quiescent element still advances its
+// clock, and cadence decay must key on the counters alone.
+func sameValues(a, b []core.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Element != b[i].Element || len(a[i].Attrs) != len(b[i].Attrs) {
+			return false
+		}
+		for j := range a[i].Attrs {
+			if a[i].Attrs[j].ID != b[i].Attrs[j].ID || a[i].Attrs[j].Value != b[i].Attrs[j].Value {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// copyRecords deep-copies src into the dst scratch pair (records + flat
+// attr backing) so the previous tick's values survive the adapters
+// reusing their buffers. Two passes: the flat buffer must stop growing
+// before record slices can alias into it.
+func copyRecords(dst []core.Record, dstFlat []core.Attr, src []core.Record) ([]core.Record, []core.Attr) {
+	dst, dstFlat = dst[:0], dstFlat[:0]
+	for i := range src {
+		dstFlat = append(dstFlat, src[i].Attrs...)
+	}
+	off := 0
+	for i := range src {
+		n := len(src[i].Attrs)
+		dst = append(dst, core.Record{
+			Timestamp: src[i].Timestamp,
+			Element:   src[i].Element,
+			Attrs:     dstFlat[off : off+n : off+n],
+		})
+		off += n
+	}
+	return dst, dstFlat
+}

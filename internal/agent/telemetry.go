@@ -29,6 +29,10 @@ type metrics struct {
 	codecV2      *telemetry.Counter
 	codecJSON    *telemetry.Counter
 
+	streams         *telemetry.Counter
+	streamFrames    *telemetry.Counter
+	streamThrottled *telemetry.Counter
+
 	reqMu    sync.RWMutex
 	requests map[wire.MsgType]*telemetry.Counter
 
@@ -71,6 +75,12 @@ func (a *Agent) EnableTelemetry(reg *telemetry.Registry) *Agent {
 		codecJSON: reg.Counter("perfsight_agent_codec_negotiations_total",
 			"hello exchanges by granted wire codec",
 			telemetry.Label{Key: "codec", Value: wire.CodecJSON}),
+		streams: reg.Counter("perfsight_agent_streams_total",
+			"connections converted to push streaming by stream_start"),
+		streamFrames: reg.Counter("perfsight_agent_stream_frames_total",
+			"stream_data batches pushed to controllers"),
+		streamThrottled: reg.Counter("perfsight_agent_stream_throttles_total",
+			"non-zero backpressure throttles received from controllers"),
 		requests: make(map[wire.MsgType]*telemetry.Counter),
 		gather:   make(map[core.ElementKind]*telemetry.Histogram),
 	}

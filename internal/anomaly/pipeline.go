@@ -156,120 +156,175 @@ const (
 	DetectorBaseline = "ewma-baseline"
 )
 
+// evalCtx is one evaluation pass's resolved context (SLO, EWMA config)
+// plus its accumulators: the worst violation seen and telemetry tallies.
+// Built under p.mu and consumed by evalRecord calls holding p.mu.
+type evalCtx struct {
+	slo    SLO
+	ecfg   EWMAConfig
+	maxGap int64
+
+	worst         violation
+	evals, resets uint64
+	now           int64 // newest record timestamp seen this pass
+}
+
+// beginEval resolves the tenant's evaluation context. Callers hold
+// p.mu. Returned by value so the hot path keeps it on the stack (the
+// eval alloc budget is zero).
+func (p *Pipeline) beginEval(tid core.TenantID) evalCtx {
+	slo := p.sloFor(tid)
+	return evalCtx{
+		slo:    slo,
+		maxGap: int64(p.cfg.MaxGap),
+		ecfg: EWMAConfig{
+			Alpha:       0.25,
+			MinSamples:  slo.MinSamples,
+			Bands:       slo.Bands,
+			RelFloor:    0.15,
+			Persistence: slo.Persistence,
+		},
+	}
+}
+
+// evalRecord runs one record through every attached detector, folding
+// any violation into ec.worst. Callers hold p.mu. All timing is record
+// clock: violations carry the record's own timestamp, never wall time,
+// so detection latency is invariant to how late the record arrived.
+func (p *Pipeline) evalRecord(tid core.TenantID, id core.ElementID, rec core.Record, ec *evalCtx) {
+	if rec.Timestamp > ec.now {
+		ec.now = rec.Timestamp
+	}
+	for _, a := range rec.Attrs {
+		st, cls := p.stateFor(tid, id, a.ID)
+		if cls == classSkip {
+			continue
+		}
+		ec.evals++
+		prevTS := st.rate.LastTS()
+		switch cls {
+		case classDropRate:
+			rate, rst := st.rate.Eval(rec.Timestamp, a.Value, ec.maxGap)
+			if rst != RateOK {
+				if rst == RateReset {
+					ec.resets++
+				}
+				st.lastGood = rec.Timestamp
+				continue
+			}
+			if rate >= ec.slo.DropRatePPS && ec.slo.DropRatePPS > 0 {
+				sev := rate / ec.slo.DropRatePPS
+				if sev > ec.worst.severity {
+					ec.worst = violation{
+						elem: id, attr: a.ID, detector: DetectorDropRate,
+						value: rate, severity: sev, ts: rec.Timestamp,
+						lastGood: prevTS, dropRate: rate,
+					}
+				}
+			} else {
+				st.lastGood = rec.Timestamp
+			}
+		case classCounter, classGauge:
+			x := a.Value
+			if cls == classCounter {
+				r, rst := st.rate.Eval(rec.Timestamp, a.Value, ec.maxGap)
+				if rst != RateOK {
+					if rst == RateReset {
+						ec.resets++
+					}
+					if rst == RateGap || rst == RateReset {
+						st.ewma.Reset() // re-learn the baseline
+					}
+					st.lastGood = rec.Timestamp
+					continue
+				}
+				x = r
+			}
+			if ec.slo.DisableBaselines {
+				st.lastGood = rec.Timestamp
+				continue
+			}
+			v := st.ewma.Eval(x, ec.ecfg)
+			if !v.Out {
+				st.lastGood = rec.Timestamp
+				continue
+			}
+			if v.Trigger && v.Deviation > ec.worst.severity {
+				ec.worst = violation{
+					elem: id, attr: a.ID, detector: DetectorBaseline,
+					value: x, baseline: v.Baseline, severity: v.Deviation,
+					ts: rec.Timestamp, lastGood: st.lastGood,
+				}
+			}
+		}
+	}
+}
+
+// finishEval applies the cooldown gate, fires the diagnosis if the pass
+// found a triggering violation, and ticks incident resolution. Called
+// WITHOUT p.mu (it takes and releases it for the gate).
+func (p *Pipeline) finishEval(tid core.TenantID, ec *evalCtx) {
+	p.mu.Lock()
+	fired := p.lastFired[tid]
+	cooled := ec.worst.ts-fired >= int64(ec.slo.Cooldown)
+	trigger := ec.worst.severity >= 1 && (fired == 0 || cooled)
+	suppressed := ec.worst.severity >= 1 && !trigger
+	if trigger {
+		p.lastFired[tid] = ec.worst.ts
+	}
+	p.mu.Unlock()
+
+	if m := p.tel.Load(); m != nil {
+		m.evals.Add(ec.evals)
+		m.resets.Add(ec.resets)
+		if suppressed {
+			m.suppressions.Inc()
+		}
+	}
+	if trigger {
+		p.fire(tid, ec.slo, ec.worst)
+	}
+	if ec.now > 0 {
+		if n := p.Incidents.Tick(ec.now); n > 0 {
+			if m := p.tel.Load(); m != nil {
+				m.resolved.Add(uint64(n))
+			}
+		}
+	}
+}
+
 // AfterSweep is the Monitor hook: evaluate one sweep's records through
 // every attached detector, gate through the tenant's SLO, and on
 // trigger diagnose-journal-correlate. The err argument (per-machine
 // sweep failures) is ignored: partial records still evaluate, and
 // missing elements simply do not advance their series.
 func (p *Pipeline) AfterSweep(tid core.TenantID, recs map[core.ElementID]core.Record, _ error) {
-	var worst violation
-	var evals, resets uint64
-	var now int64
-
 	p.mu.Lock()
-	slo := p.sloFor(tid)
-	maxGap := int64(p.cfg.MaxGap)
-	ecfg := EWMAConfig{
-		Alpha:       0.25,
-		MinSamples:  slo.MinSamples,
-		Bands:       slo.Bands,
-		RelFloor:    0.15,
-		Persistence: slo.Persistence,
-	}
+	ec := p.beginEval(tid)
 	for id, rec := range recs {
-		if rec.Timestamp > now {
-			now = rec.Timestamp
-		}
-		for _, a := range rec.Attrs {
-			st, cls := p.stateFor(tid, id, a.ID)
-			if cls == classSkip {
-				continue
-			}
-			evals++
-			prevTS := st.rate.LastTS()
-			switch cls {
-			case classDropRate:
-				rate, rst := st.rate.Eval(rec.Timestamp, a.Value, maxGap)
-				if rst != RateOK {
-					if rst == RateReset {
-						resets++
-					}
-					st.lastGood = rec.Timestamp
-					continue
-				}
-				if rate >= slo.DropRatePPS && slo.DropRatePPS > 0 {
-					sev := rate / slo.DropRatePPS
-					if sev > worst.severity {
-						worst = violation{
-							elem: id, attr: a.ID, detector: DetectorDropRate,
-							value: rate, severity: sev, ts: rec.Timestamp,
-							lastGood: prevTS, dropRate: rate,
-						}
-					}
-				} else {
-					st.lastGood = rec.Timestamp
-				}
-			case classCounter, classGauge:
-				x := a.Value
-				if cls == classCounter {
-					r, rst := st.rate.Eval(rec.Timestamp, a.Value, maxGap)
-					if rst != RateOK {
-						if rst == RateReset {
-							resets++
-						}
-						if rst == RateGap || rst == RateReset {
-							st.ewma.Reset() // re-learn the baseline
-						}
-						st.lastGood = rec.Timestamp
-						continue
-					}
-					x = r
-				}
-				if slo.DisableBaselines {
-					st.lastGood = rec.Timestamp
-					continue
-				}
-				v := st.ewma.Eval(x, ecfg)
-				if !v.Out {
-					st.lastGood = rec.Timestamp
-					continue
-				}
-				if v.Trigger && v.Deviation > worst.severity {
-					worst = violation{
-						elem: id, attr: a.ID, detector: DetectorBaseline,
-						value: x, baseline: v.Baseline, severity: v.Deviation,
-						ts: rec.Timestamp, lastGood: st.lastGood,
-					}
-				}
-			}
-		}
-	}
-	fired := p.lastFired[tid]
-	cooled := worst.ts-fired >= int64(slo.Cooldown)
-	trigger := worst.severity >= 1 && (fired == 0 || cooled)
-	suppressed := worst.severity >= 1 && !trigger
-	if trigger {
-		p.lastFired[tid] = worst.ts
+		p.evalRecord(tid, id, rec, &ec)
 	}
 	p.mu.Unlock()
+	p.finishEval(tid, &ec)
+}
 
-	if m := p.tel.Load(); m != nil {
-		m.evals.Add(evals)
-		m.resets.Add(resets)
-		if suppressed {
-			m.suppressions.Inc()
-		}
+// Observe is the push-ingest hook: evaluate records the moment they
+// arrive off a stream instead of waiting for the next sweep. Detection
+// latency therefore tracks the stream cadence, not the sweep period —
+// the point of push ingest. Safe to call concurrently with AfterSweep
+// (per-series detector state is shared under p.mu, so a machine moving
+// between push and fallback-sweep keeps its baselines).
+func (p *Pipeline) Observe(tid core.TenantID, recs []core.Record) {
+	if len(recs) == 0 {
+		return
 	}
-	if trigger {
-		p.fire(tid, slo, worst)
+	p.mu.Lock()
+	ec := p.beginEval(tid)
+	for _, rec := range recs {
+		p.evalRecord(tid, rec.Element, rec, &ec)
 	}
-	if now > 0 {
-		if n := p.Incidents.Tick(now); n > 0 {
-			if m := p.tel.Load(); m != nil {
-				m.resolved.Add(uint64(n))
-			}
-		}
-	}
+	p.mu.Unlock()
+	p.finishEval(tid, &ec)
 }
 
 // stateFor returns (creating if needed) one series' detector state.

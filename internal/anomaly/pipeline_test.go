@@ -118,6 +118,92 @@ func TestPipelineDropSpikeFiresOnceWithCooldown(t *testing.T) {
 	}
 }
 
+// Detection latency must be computed on the RECORD clock — the gap from
+// the violating record's timestamp back to the series' last healthy
+// sample — never from evaluation wall time. The test drives Observe
+// (the push-ingest hook) with record timestamps near epoch and inserts
+// a real wall-clock delay before delivering the violating record: if
+// any wall time leaked into the math, DetectionNS could not come out as
+// the exact 1s record-clock gap.
+func TestPipelineObserveLatencyFromRecordClock(t *testing.T) {
+	l := newPipeLab(Config{SLO: SLOConfig{Default: SLO{
+		DropRatePPS:      100,
+		Window:           Duration(3 * time.Second),
+		DisableBaselines: true,
+	}}})
+	rec := func(ts int64, drops float64) core.Record {
+		r := core.Record{
+			Timestamp: ts,
+			Element:   "m0/vswitch",
+			Attrs: []core.Attr{
+				{ID: core.AttrKind, Value: float64(core.KindVSwitch)},
+				{ID: core.AttrDropPackets, Value: drops},
+			},
+		}
+		l.store.Append(testTenant, r)
+		return r
+	}
+	// Healthy stream: four quiet arrivals, record clock 1s apart.
+	for ts := int64(1e9); ts <= 4e9; ts += 1e9 {
+		l.p.Observe(testTenant, []core.Record{rec(ts, 0)})
+	}
+	// The violating record carries ts=5s but is DELIVERED late — the
+	// wall clock advances well past the 1s record-clock gap first.
+	violating := rec(5e9, 1000) // 1000 pps over the 1s record interval
+	time.Sleep(60 * time.Millisecond)
+	l.p.Observe(testTenant, []core.Record{violating})
+
+	evs := l.journal.Since(0, 0)
+	if len(evs) != 1 {
+		t.Fatalf("Observe emitted %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.TS != 5e9 {
+		t.Fatalf("event TS = %d, want the violating record's 5e9", ev.TS)
+	}
+	in, ok := l.p.Incidents.Get(ev.IncidentID)
+	if !ok {
+		t.Fatalf("incident %d missing", ev.IncidentID)
+	}
+	// Exactly the record-clock gap (5s-4s); wall time at evaluation was
+	// ~56 years after these timestamps plus a 60ms delivery delay, so
+	// any wall-clock contamination breaks the equality.
+	if in.DetectionNS != 1e9 {
+		t.Fatalf("DetectionNS = %d, want exactly 1e9 (record clock)", in.DetectionNS)
+	}
+}
+
+// Observe and AfterSweep share per-series detector state: a machine
+// that falls back from push to sweep keeps its baselines and rate
+// windows instead of re-learning from scratch.
+func TestPipelineObserveSharesStateWithSweep(t *testing.T) {
+	l := newPipeLab(Config{SLO: SLOConfig{Default: SLO{
+		DropRatePPS:      100,
+		DisableBaselines: true,
+	}}})
+	mk := func(ts int64, drops float64) core.Record {
+		return core.Record{
+			Timestamp: ts,
+			Element:   "m0/vswitch",
+			Attrs: []core.Attr{
+				{ID: core.AttrKind, Value: float64(core.KindVSwitch)},
+				{ID: core.AttrDropPackets, Value: drops},
+			},
+		}
+	}
+	// Seed the rate window via the push path...
+	l.p.Observe(testTenant, []core.Record{mk(1e9, 0)})
+	// ...then deliver the spike via the sweep path. If state were not
+	// shared, the sweep's first sample would only seed its own window
+	// and nothing could fire.
+	l.p.AfterSweep(testTenant, map[core.ElementID]core.Record{
+		"m0/vswitch": mk(2e9, 1000),
+	}, nil)
+	if evs := l.journal.Since(0, 0); len(evs) != 1 {
+		t.Fatalf("sweep after push seed emitted %d events, want 1 (state not shared?)", len(evs))
+	}
+}
+
 func TestPipelineBaselineDetectsGaugeShift(t *testing.T) {
 	l := newPipeLab(Config{})
 	gauge := func(v float64) map[core.ElementID]core.Record {

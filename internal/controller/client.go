@@ -81,8 +81,7 @@ type TCPClient struct {
 	Delta bool
 
 	mu         sync.Mutex
-	conn       net.Conn
-	sess       wire.Codec // nil iff conn is nil
+	link       *agentLink // nil when disconnected
 	negotiated string     // codec of the last negotiation, for operators
 	frameBuf   []byte
 	nextID     uint64
@@ -140,15 +139,24 @@ func (c *TCPClient) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.T
 	return c
 }
 
-// dropConn closes and forgets the cached connection together with its
-// session codec (the codec's intern/delta state is connection-scoped, so
-// the two must always be reset as a pair).
+// agentLink is one live connection and its session codec, bound
+// together structurally: the codec's intern tables and delta baselines
+// are connection-scoped, so client code can never hold a socket from one
+// dial with the codec state of another — a redial after a mid-delta-chain
+// kill always decodes against a freshly negotiated codec, never a stale
+// baseline.
+type agentLink struct {
+	conn net.Conn
+	sess wire.Codec
+}
+
+// dropConn closes and forgets the cached link (connection + codec as a
+// pair).
 func (c *TCPClient) dropConn() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+	if c.link != nil {
+		c.link.conn.Close()
+		c.link = nil
 	}
-	c.sess = nil
 }
 
 // negotiate runs the codec hello on a freshly dialed connection and
@@ -226,7 +234,7 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 	// is connection-scoped (intern tables, delta state), and a redial may
 	// renegotiate it.
 	try := func() (*wire.Message, error) {
-		if c.conn == nil {
+		if c.link == nil {
 			conn, err := net.DialTimeout("tcp", c.Addr, c.Timeout)
 			if err != nil {
 				return nil, fmt.Errorf("controller: dial agent %s: %w", c.Addr, err)
@@ -247,28 +255,28 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 			} else {
 				c.negotiated = wire.CodecJSON
 			}
-			c.conn = conn
-			c.sess = sess
+			c.link = &agentLink{conn: conn, sess: sess}
 		}
+		link := c.link
 		if c.Timeout > 0 {
-			if err := c.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+			if err := link.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
 				return nil, fmt.Errorf("controller: set deadline for agent %s: %w", c.Addr, err)
 			}
 		}
 		stopEncode := qt.Time(telemetry.StageEncode)
-		payload, err := c.sess.Encode(req)
+		payload, err := link.sess.Encode(req)
 		stopEncode()
 		if err != nil {
 			return nil, err
 		}
 		wireStart := time.Now()
-		if err := wire.WriteFrame(c.conn, payload); err != nil {
+		if err := wire.WriteFrame(link.conn, payload); err != nil {
 			return nil, err
 		}
 		if c.bytesTx != nil {
 			c.bytesTx.Add(uint64(len(payload)) + 4)
 		}
-		raw, err := wire.ReadFrameBuf(c.conn, &c.frameBuf)
+		raw, err := wire.ReadFrameBuf(link.conn, &c.frameBuf)
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +285,7 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 		}
 		transport := time.Since(wireStart)
 		stopDecode := qt.Time(telemetry.StageDecode)
-		resp, err := c.sess.Decode(raw)
+		resp, err := link.sess.Decode(raw)
 		stopDecode()
 		if err != nil {
 			return nil, err
@@ -305,7 +313,7 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 	// the last request. A failure on a freshly dialed connection (dial
 	// refused, or the agent died mid-handshake) is reported immediately —
 	// retry policy with backoff belongs to the sweep layer, not here.
-	hadConn := c.conn != nil
+	hadConn := c.link != nil
 	resp, err := try()
 	if err != nil {
 		c.dropConn()
@@ -379,10 +387,9 @@ func (c *TCPClient) Ping() (time.Duration, error) {
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn != nil {
-		err := c.conn.Close()
-		c.conn = nil
-		c.sess = nil
+	if c.link != nil {
+		err := c.link.conn.Close()
+		c.link = nil
 		return err
 	}
 	return nil

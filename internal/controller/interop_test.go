@@ -130,6 +130,57 @@ func TestInteropV2DeltaSweeps(t *testing.T) {
 	}
 }
 
+// Killing the connection mid-delta-chain and redialing must yield
+// byte-exact records: the redial renegotiates a fresh codec pair on both
+// ends (conn and codec are bound structurally in agentLink), so the
+// first response after reconnect re-sends full records rather than
+// applying deltas against the dead connection's baseline.
+func TestInteropRedialMidDeltaChainExactValues(t *testing.T) {
+	ctl, c := tcpSetup(t, func(a *agent.Agent, c *TCPClient) {
+		a.AllowDelta = true
+		c.Delta = true
+	})
+	// Establish a delta chain: first sweep full, second sweep delta.
+	sampleOnce(t, ctl)
+	ctl.Wait(time.Second)
+	sampleOnce(t, ctl)
+
+	// Kill the established connection out from under the client — the
+	// next sweep's write (or read) fails and earns the one transparent
+	// redial, which must renegotiate codec state from scratch.
+	c.mu.Lock()
+	if c.link == nil {
+		c.mu.Unlock()
+		t.Fatal("no cached link after two sweeps")
+	}
+	c.link.conn.Close()
+	c.mu.Unlock()
+
+	for i := 2; i <= 4; i++ {
+		ctl.Wait(time.Second)
+		rec := sampleOnce(t, ctl)
+		// The virtual clock says exactly what every counter must read;
+		// any stale delta baseline shears values off these lattices.
+		s := float64(i)
+		for _, want := range []struct {
+			id core.AttrID
+			v  float64
+		}{
+			{core.AttrRxBytes, 1000 * s},
+			{core.AttrRxPackets, 10 * s},
+			{core.AttrDropPackets, 2 * s},
+		} {
+			if got, ok := rec.Get(want.id); !ok || got != want.v {
+				t.Fatalf("sweep %d after redial: %s = %v,%v; want exactly %v",
+					i, core.AttrName(want.id), got, ok, want.v)
+			}
+		}
+	}
+	if got := c.NegotiatedCodec(); got != wire.CodecV2 {
+		t.Fatalf("renegotiated %q; want %q", got, wire.CodecV2)
+	}
+}
+
 // An old JSON-only agent may report attribute names the controller's
 // schema has never heard of (a newer middlebox build, per-flow counters).
 // The names must survive decode — resolved to extension AttrIDs with

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"perfsight/internal/controller"
@@ -44,7 +45,16 @@ type Monitor struct {
 	// failures, as from SampleContext.
 	AfterSweep func(tid core.TenantID, recs map[core.ElementID]core.Record, err error)
 
-	tel *monitorMetrics
+	// Skip, when set, excludes elements hosted on machines it reports
+	// true for. The push-ingest path sets it to ingest.Manager.Streaming,
+	// demoting the monitor to a fallback sweeper: streamed machines are
+	// already feeding the store on arrival, and double-appending them
+	// would skew rate math. A machine whose stream drops automatically
+	// falls back into the next sweep.
+	Skip func(core.MachineID) bool
+
+	tel     *monitorMetrics
+	skipped atomic.Uint64
 }
 
 // NewMonitor builds a monitor over ctl writing into store.
@@ -70,9 +80,13 @@ func (m *Monitor) tenants() []core.TenantID {
 // results. Partial failures are recorded (the healthy machines' records
 // still land) and joined into the returned error.
 func (m *Monitor) Sweep(ctx context.Context) error {
+	var keep func(core.ElementID, core.ElementInfo) bool
+	if m.Skip != nil {
+		keep = func(_ core.ElementID, info core.ElementInfo) bool { return !m.Skip(info.Machine) }
+	}
 	var errs []error
 	for _, tid := range m.tenants() {
-		ids := m.Ctl.TenantElements(tid, nil)
+		ids := m.Ctl.TenantElements(tid, keep)
 		if len(ids) == 0 {
 			continue
 		}
@@ -100,19 +114,49 @@ func (m *Monitor) Sweep(ctx context.Context) error {
 // Run sweeps at the configured cadence until ctx is done. Sweep errors
 // are absorbed (the store keeps whatever arrived; the next tick retries);
 // the only exit is ctx cancellation.
+//
+// A sweep that outlasts the interval does NOT earn an immediate re-sweep:
+// the ticker buffers one tick while Sweep runs, and taking it on return
+// would start a second sweep back-to-back — overlapping measurement
+// windows whose intervals mis-measure every rate derived from them.
+// Pending ticks are drained and counted as skipped instead, so the loop
+// re-aligns to the cadence and the monitor_sweeps_skipped series says
+// how often collection fell behind.
 func (m *Monitor) Run(ctx context.Context) error {
 	tick := time.NewTicker(m.Cfg.Interval)
 	defer tick.Stop()
 	_ = m.Sweep(ctx) // an immediate first sweep so history starts at t0
+	m.drainPending(tick)
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-tick.C:
 			_ = m.Sweep(ctx)
+			m.drainPending(tick)
 		}
 	}
 }
+
+// drainPending consumes ticks that fired while a sweep ran, counting
+// each as a skipped sweep.
+func (m *Monitor) drainPending(tick *time.Ticker) {
+	for {
+		select {
+		case <-tick.C:
+			m.skipped.Add(1)
+			if m.tel != nil {
+				m.tel.sweepsSkipped.Inc()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// SkippedSweeps reports how many sweep ticks were skipped because the
+// previous sweep overran the interval.
+func (m *Monitor) SkippedSweeps() uint64 { return m.skipped.Load() }
 
 // DiagnoseStack runs Algorithm 1 (contention/bottleneck) purely from
 // stored history: it synthesizes intervals for the tenant's

@@ -21,10 +21,19 @@ type fakeAgent struct {
 	drops func(eid core.ElementID, now int64) float64
 	fail  atomic.Bool
 	calls atomic.Int64
+	delay time.Duration // per-query stall, for slow-sweep tests
+
+	onQuery func() // observes each query's start, for timing tests
 }
 
 func (f *fakeAgent) Query(q wire.Query) ([]core.Record, error) {
 	f.calls.Add(1)
+	if f.onQuery != nil {
+		f.onQuery()
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
 	if f.fail.Load() {
 		return nil, errors.New("fake: agent down")
 	}
@@ -142,6 +151,90 @@ func TestMonitorRunStopsOnCancel(t *testing.T) {
 	}
 }
 
+// A sweep that outlasts the interval must not trigger an immediate
+// back-to-back re-sweep off the ticker's buffered tick: pending ticks
+// are skipped and counted, and the next sweep waits for a fresh tick.
+func TestMonitorSlowSweepSkipsNotOverlaps(t *testing.T) {
+	mon, clock, fakes := monitorSetup(func(_ core.ElementID, now int64) float64 { return float64(now) })
+	clock.Store(1e9)
+	const interval = 100 * time.Millisecond
+	mon.Cfg.Interval = interval
+	for _, f := range fakes {
+		f.delay = 240 * time.Millisecond // every sweep overruns ~2.4 intervals
+	}
+
+	var mu sync.Mutex
+	var starts, ends []time.Time
+	fakes[0].onQuery = func() {
+		mu.Lock()
+		starts = append(starts, time.Now())
+		mu.Unlock()
+	}
+	mon.AfterSweep = func(core.TenantID, map[core.ElementID]core.Record, error) {
+		mu.Lock()
+		ends = append(ends, time.Now())
+		mu.Unlock()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- mon.Run(ctx) }()
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(ends)
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("monitor never completed 3 sweeps")
+		default:
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	cancel()
+	<-done
+
+	if got := mon.SkippedSweeps(); got == 0 {
+		t.Fatal("overrunning sweeps skipped no ticks")
+	}
+	// Between one sweep's end and the next sweep's start there must be
+	// real idle time (waiting for a fresh tick). The pre-fix loop takes
+	// the buffered tick the instant Sweep returns, so this gap collapses
+	// to ~0.
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(starts) && i < len(ends)+1; i++ {
+		gap := starts[i].Sub(ends[i-1])
+		if gap < interval/10 {
+			t.Fatalf("sweep %d started %v after sweep %d ended — back-to-back overlap, want >= %v idle",
+				i, gap, i-1, interval/10)
+		}
+	}
+}
+
+// With Skip set (the push-ingest demotion hook), the sweeper excludes
+// elements on streaming machines and never queries their agents.
+func TestMonitorSkipStreamingMachines(t *testing.T) {
+	mon, clock, fakes := monitorSetup(func(_ core.ElementID, now int64) float64 { return float64(now) })
+	clock.Store(1e9)
+	mon.Skip = func(m core.MachineID) bool { return m == "m1" }
+	if err := mon.Sweep(context.Background()); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if pts := mon.Store.Series(testTenant, "m0/vswitch", core.AttrName(core.AttrDropPackets), 0, 1<<62, 0); len(pts) != 1 {
+		t.Fatalf("pull machine stored %d points, want 1", len(pts))
+	}
+	if pts := mon.Store.Series(testTenant, "m1/vswitch", core.AttrName(core.AttrDropPackets), 0, 1<<62, 0); len(pts) != 0 {
+		t.Fatalf("streaming machine stored %d points, want 0 (covered by push ingest)", len(pts))
+	}
+	if got := fakes[1].calls.Load(); got != 0 {
+		t.Fatalf("streaming machine's agent was queried %d times by the fallback sweeper", got)
+	}
+}
+
 func TestJournalBoundedWithSequence(t *testing.T) {
 	j := NewJournal(4)
 	for i := 0; i < 6; i++ {
@@ -197,6 +290,90 @@ func TestJournalSubscribeFanOut(t *testing.T) {
 	}
 	// Appends after close must not panic or deliver.
 	j.Append(Event{Summary: "d"})
+}
+
+// Unsubscribe churn: closing followers concurrently with publishes (the
+// /events?follow=1 disconnect path) must never double-close a channel,
+// send on a closed channel, or leak the subscription from the fan-out
+// list. Run under -race (make check does); the assertions at the end
+// catch leaks, the detector catches the rest.
+func TestJournalSubscribeChurn(t *testing.T) {
+	j := NewJournal(64)
+	stop := make(chan struct{})
+	var pubs, churn sync.WaitGroup
+
+	// Publishers: tight append loops.
+	for p := 0; p < 3; p++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					j.Append(Event{Summary: "churn"})
+				}
+			}
+		}()
+	}
+
+	// Churners: subscribe, consume a little, close — including a close
+	// racing the consumer mid-receive and a redundant concurrent Close.
+	for c := 0; c < 4; c++ {
+		churn.Add(1)
+		go func() {
+			defer churn.Done()
+			iters := 60
+			if testing.Short() {
+				iters = 15
+			}
+			for i := 0; i < iters; i++ {
+				sub := j.Subscribe(2)
+				drained := make(chan struct{})
+				go func() {
+					for range sub.C() {
+					}
+					close(drained)
+				}()
+				if i%2 == 0 {
+					<-sub.C() // sometimes race the drainer for events
+				}
+				var cwg sync.WaitGroup
+				cwg.Add(2)
+				go func() { defer cwg.Done(); sub.Close() }()
+				go func() { defer cwg.Done(); sub.Close() }()
+				cwg.Wait()
+				<-drained // channel must actually close exactly once
+			}
+		}()
+	}
+
+	churnDone := make(chan struct{})
+	go func() { churn.Wait(); close(churnDone) }()
+	select {
+	case <-churnDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("subscribe/close churn wedged")
+	}
+	close(stop)
+	pubDone := make(chan struct{})
+	go func() { pubs.Wait(); close(pubDone) }()
+	select {
+	case <-pubDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publishers wedged after stop")
+	}
+	if got := j.SubscriberCount(); got != 0 {
+		t.Fatalf("leaked %d subscriptions after churn", got)
+	}
+	// The journal still works after the churn.
+	sub := j.Subscribe(1)
+	j.Append(Event{Summary: "after"})
+	if ev := <-sub.C(); ev.Summary != "after" {
+		t.Fatalf("post-churn delivery = %+v", ev)
+	}
+	sub.Close()
 }
 
 func TestJournalSubscribeConcurrent(t *testing.T) {

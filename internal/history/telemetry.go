@@ -36,9 +36,10 @@ func (s *Store) EnableTelemetry(reg *telemetry.Registry) {
 
 // monitorMetrics counts the background collection loop's sweeps.
 type monitorMetrics struct {
-	sweeps      *telemetry.Counter
-	sweepErrors *telemetry.Counter
-	records     *telemetry.Counter
+	sweeps        *telemetry.Counter
+	sweepErrors   *telemetry.Counter
+	records       *telemetry.Counter
+	sweepsSkipped *telemetry.Counter
 }
 
 // EnableTelemetry registers monitor sweep counters in reg. Call before
@@ -51,6 +52,8 @@ func (m *Monitor) EnableTelemetry(reg *telemetry.Registry) {
 			"monitoring sweeps with at least one per-machine failure"),
 		records: reg.Counter("perfsight_monitor_records_total",
 			"records collected by monitoring sweeps"),
+		sweepsSkipped: reg.Counter("perfsight_monitor_sweeps_skipped_total",
+			"sweep ticks skipped because the previous sweep overran the interval"),
 	}
 }
 

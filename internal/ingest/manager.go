@@ -1,0 +1,196 @@
+package ingest
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/wire"
+)
+
+// Sink receives each drained batch. The controller wires it to
+// history.Store.Append plus the anomaly pipeline's per-arrival hook; it
+// is called from one goroutine per agent stream, so it must be safe for
+// concurrent use across machines (Store.Append is).
+type Sink func(machine core.MachineID, recs []core.Record)
+
+// Config shapes the ingest side of push streaming.
+type Config struct {
+	// CadenceMin/CadenceMax are the adaptive-cadence bounds requested in
+	// stream_start. The agent may raise the floor but honors the ceiling
+	// as its quiescent heartbeat period. Defaults 100ms / 5s.
+	CadenceMin time.Duration
+	CadenceMax time.Duration
+
+	// QueueSize bounds each agent's ingest queue, in batches; overflow
+	// drops oldest and is counted. Default 64.
+	QueueSize int
+
+	// Throttle is the cadence floor pushed to an agent whose queue
+	// crosses the high watermark; released when the drain catches up to
+	// the low watermark. Default 1s.
+	Throttle time.Duration
+
+	// DialTimeout bounds dial + hello + stream_start. Default 5s.
+	DialTimeout time.Duration
+
+	// Redial is the backoff after a broken streaming connection;
+	// FallbackRetry is how often an agent that declined the stream
+	// capability is re-probed (it may have been upgraded in place).
+	// Defaults 1s / 30s.
+	Redial        time.Duration
+	FallbackRetry time.Duration
+
+	// Codec and Delta mirror the pull client's negotiation knobs:
+	// wire.CodecV2 (or empty) offers the binary codec, wire.CodecJSON
+	// pins JSON; Delta requests delta-encoded stream frames.
+	Codec string
+	Delta bool
+
+	// Query selects what each agent streams. Zero value streams all
+	// elements.
+	Query wire.Query
+
+	// Sink receives drained batches. Required.
+	Sink Sink
+}
+
+func (c Config) withDefaults() Config {
+	if c.CadenceMin <= 0 {
+		c.CadenceMin = 100 * time.Millisecond
+	}
+	if c.CadenceMax <= 0 {
+		c.CadenceMax = 5 * time.Second
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.Throttle <= 0 {
+		c.Throttle = time.Second
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.Redial <= 0 {
+		c.Redial = time.Second
+	}
+	if c.FallbackRetry <= 0 {
+		c.FallbackRetry = 30 * time.Second
+	}
+	if c.Query.Elements == nil && !c.Query.All {
+		c.Query.All = true
+	}
+	return c
+}
+
+// Manager owns the push streams of a fleet: one Stream per agent, each
+// with a bounded queue and a drain goroutine feeding the sink. Register
+// every agent with Add before Run.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	streams map[core.MachineID]*Stream
+
+	tel *metrics
+}
+
+// NewManager builds a manager; cfg.Sink is required.
+func NewManager(cfg Config) *Manager {
+	if cfg.Sink == nil {
+		panic("ingest: Config.Sink is required")
+	}
+	return &Manager{cfg: cfg.withDefaults(), streams: make(map[core.MachineID]*Stream)}
+}
+
+// Add registers one agent's stream endpoint. Call before Run.
+func (m *Manager) Add(machine core.MachineID, addr string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.streams[machine] = &Stream{
+		machine: machine,
+		addr:    addr,
+		cfg:     m.cfg,
+		q:       NewQueue(m.cfg.QueueSize),
+		tel:     m.tel,
+		state:   StateConnecting,
+	}
+}
+
+// Run starts every registered stream (receiver + drain per agent) and
+// blocks until ctx is done, then force-closes connections and waits for
+// the goroutines to settle.
+func (m *Manager) Run(ctx context.Context) error {
+	m.mu.Lock()
+	streams := make([]*Stream, 0, len(m.streams))
+	for _, s := range m.streams {
+		streams = append(streams, s)
+	}
+	m.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for _, s := range streams {
+		wg.Add(2)
+		go func(s *Stream) { defer wg.Done(); s.run(ctx) }(s)
+		go func(s *Stream) { defer wg.Done(); s.drain(ctx) }(s)
+	}
+	<-ctx.Done()
+	for _, s := range streams {
+		s.closeConn()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// Streaming reports whether the machine's push stream is currently
+// established — the history Monitor uses this to demote itself to a
+// fallback sweeper for pull-only (or stream-down) agents.
+func (m *Manager) Streaming(machine core.MachineID) bool {
+	m.mu.Lock()
+	s := m.streams[machine]
+	m.mu.Unlock()
+	return s != nil && s.streaming()
+}
+
+// Health snapshots every stream, sorted by machine, for the healthz
+// surface.
+func (m *Manager) Health() []StreamHealth {
+	m.mu.Lock()
+	streams := make([]*Stream, 0, len(m.streams))
+	for _, s := range m.streams {
+		streams = append(streams, s)
+	}
+	m.mu.Unlock()
+	out := make([]StreamHealth, 0, len(streams))
+	for _, s := range streams {
+		out = append(out, s.Health())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+	return out
+}
+
+// active counts established streams (telemetry gauge).
+func (m *Manager) active() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.streams {
+		if s.streaming() {
+			n++
+		}
+	}
+	return n
+}
+
+// queued sums queue depth across agents (telemetry gauge).
+func (m *Manager) queued() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, s := range m.streams {
+		n += s.q.Len()
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+// Package ingest is the controller-side receive path for agent push
+// streaming: it owns one persistent connection per agent, converts each
+// to a stream_data push stream (negotiated through the codec hello's
+// stream capability), buffers arriving batches in bounded per-agent
+// queues, and drains them into the flight recorder so the anomaly
+// pipeline evaluates on arrival instead of per sweep. Agents that do not
+// grant the stream capability stay on the pull path — the history
+// Monitor remains their fallback sweeper.
+package ingest
+
+import (
+	"context"
+	"sync/atomic"
+
+	"perfsight/internal/core"
+)
+
+// Batch is one pushed stream_data frame's payload: the records of a
+// single agent gather, in arrival order.
+type Batch struct {
+	Machine core.MachineID
+	Seq     uint64
+	Records []core.Record
+}
+
+// Queue is a bounded batch queue with drop-oldest overflow: when the
+// drain (store append + anomaly evaluation) falls behind the stream, the
+// newest data wins and the eviction is counted — PerfSight diagnoses
+// from fresh counters, so an old batch is strictly less valuable than
+// the one behind it. One producer (the stream reader) and one consumer
+// (the drain) are assumed; Len and Dropped may be read from anywhere.
+type Queue struct {
+	ch      chan Batch
+	dropped atomic.Uint64
+}
+
+// NewQueue builds a queue holding up to size batches (default 64).
+func NewQueue(size int) *Queue {
+	if size <= 0 {
+		size = 64
+	}
+	return &Queue{ch: make(chan Batch, size)}
+}
+
+// Push enqueues b, evicting oldest batches as needed, and reports
+// whether anything was dropped to make room.
+func (q *Queue) Push(b Batch) (dropped bool) {
+	for {
+		select {
+		case q.ch <- b:
+			return dropped
+		default:
+		}
+		select {
+		case <-q.ch:
+			q.dropped.Add(1)
+			dropped = true
+		default:
+			// The consumer raced the eviction away; retry the send.
+		}
+	}
+}
+
+// Take blocks until a batch is available or ctx is done.
+func (q *Queue) Take(ctx context.Context) (Batch, bool) {
+	select {
+	case b := <-q.ch:
+		return b, true
+	case <-ctx.Done():
+		return Batch{}, false
+	}
+}
+
+// Len returns the number of queued batches.
+func (q *Queue) Len() int { return len(q.ch) }
+
+// Cap returns the queue bound.
+func (q *Queue) Cap() int { return cap(q.ch) }
+
+// Dropped returns the cumulative count of evicted batches.
+func (q *Queue) Dropped() uint64 { return q.dropped.Load() }
+
+// high and low are the backpressure watermarks: crossing high sends the
+// agent a throttle (raising its cadence floor), and draining back to low
+// releases it.
+func (q *Queue) high() int {
+	h := cap(q.ch) * 3 / 4
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+func (q *Queue) low() int { return cap(q.ch) / 4 }

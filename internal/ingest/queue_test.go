@@ -1,0 +1,66 @@
+package ingest
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(4)
+	for i := uint64(1); i <= 3; i++ {
+		if dropped := q.Push(Batch{Seq: i}); dropped {
+			t.Fatalf("push %d dropped below capacity", i)
+		}
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d, want 3", q.Len())
+	}
+	ctx := context.Background()
+	for i := uint64(1); i <= 3; i++ {
+		b, ok := q.Take(ctx)
+		if !ok || b.Seq != i {
+			t.Fatalf("take = %+v,%v; want seq %d", b, ok, i)
+		}
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q := NewQueue(2)
+	q.Push(Batch{Seq: 1})
+	q.Push(Batch{Seq: 2})
+	if dropped := q.Push(Batch{Seq: 3}); !dropped {
+		t.Fatal("overflow push did not report a drop")
+	}
+	if got := q.Dropped(); got != 1 {
+		t.Fatalf("dropped = %d, want 1", got)
+	}
+	// The oldest batch went; the newest two remain in order.
+	b, _ := q.Take(context.Background())
+	if b.Seq != 2 {
+		t.Fatalf("first surviving seq = %d, want 2 (oldest evicted)", b.Seq)
+	}
+	b, _ = q.Take(context.Background())
+	if b.Seq != 3 {
+		t.Fatalf("second surviving seq = %d, want 3", b.Seq)
+	}
+}
+
+func TestQueueTakeHonorsContext(t *testing.T) {
+	q := NewQueue(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, ok := q.Take(ctx); ok {
+		t.Fatal("Take returned a batch from an empty queue")
+	}
+}
+
+func TestQueueWatermarks(t *testing.T) {
+	q := NewQueue(8)
+	if q.high() != 6 || q.low() != 2 {
+		t.Fatalf("watermarks = %d/%d, want 6/2", q.high(), q.low())
+	}
+	if q1 := NewQueue(1); q1.high() != 1 {
+		t.Fatalf("size-1 high = %d, want 1", q1.high())
+	}
+}

@@ -1,0 +1,56 @@
+package ingest
+
+import (
+	"perfsight/internal/telemetry"
+)
+
+// metrics is the ingest path's self-telemetry block, shared by every
+// stream of one manager.
+type metrics struct {
+	frames    *telemetry.Counter
+	records   *telemetry.Counter
+	drops     *telemetry.Counter
+	gaps      *telemetry.Counter
+	throttles *telemetry.Counter
+	releases  *telemetry.Counter
+	redials   *telemetry.Counter
+	fallbacks *telemetry.Counter
+}
+
+// EnableTelemetry wires the manager's self-metrics into reg and returns
+// the manager for chaining. Call before Add so every stream shares the
+// block.
+func (m *Manager) EnableTelemetry(reg *telemetry.Registry) *Manager {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tel = &metrics{
+		frames: reg.Counter("perfsight_ingest_frames_total",
+			"stream_data batches received from agents"),
+		records: reg.Counter("perfsight_ingest_records_total",
+			"element records received over push streams"),
+		drops: reg.Counter("perfsight_ingest_dropped_batches_total",
+			"batches evicted from full ingest queues (drop-oldest)"),
+		gaps: reg.Counter("perfsight_ingest_seq_gaps_total",
+			"stream sequence discontinuities (frames lost in transit)"),
+		throttles: reg.Counter("perfsight_ingest_throttles_total",
+			"backpressure throttles sent to agents at the high watermark"),
+		releases: reg.Counter("perfsight_ingest_releases_total",
+			"backpressure releases sent once queues drained to the low watermark"),
+		redials: reg.Counter("perfsight_ingest_redials_total",
+			"streaming connections re-dialed after a failure"),
+		fallbacks: reg.Counter("perfsight_ingest_fallbacks_total",
+			"hello exchanges where the agent declined the stream capability"),
+	}
+	reg.GaugeFunc("perfsight_ingest_streams_active",
+		"agent push streams currently established", func() float64 {
+			return float64(m.active())
+		})
+	reg.GaugeFunc("perfsight_ingest_queue_depth",
+		"batches buffered across all agent ingest queues", func() float64 {
+			return float64(m.queued())
+		})
+	for _, s := range m.streams {
+		s.tel = m.tel
+	}
+	return m
+}

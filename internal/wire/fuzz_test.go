@@ -85,6 +85,28 @@ func FuzzV2Decode(f *testing.F) {
 			Attrs: []core.Attr{{ID: core.AttrRxPackets, Value: 5},
 				core.NamedAttr("fuzz_ext_attr_seed", 9)}}}})
 	f.Add(append([]byte{}, extFrame...))
+	// Stream frames: a start with cadence bounds, a sequenced data batch,
+	// a throttle control, and a corrupt stream-presence-flag mutation.
+	startFrame, _ := NewV2Codec(false).Encode(&Message{Type: TypeStreamStart, ID: 7,
+		Query:  &Query{All: true},
+		Stream: &StreamInfo{CadenceMinNS: 1e8, CadenceMaxNS: 2e9}})
+	f.Add(append([]byte{}, startFrame...))
+	dataFrame, _ := NewV2Codec(false).Encode(&Message{Type: TypeStreamData, ID: 8, Machine: "m0",
+		Stream: &StreamInfo{Seq: 3},
+		Records: []core.Record{{Timestamp: 9, Element: "m0/pnic",
+			Attrs: []core.Attr{{ID: core.AttrRxBytes, Value: 11}}}}})
+	f.Add(append([]byte{}, dataFrame...))
+	ctrlFrame, _ := NewV2Codec(false).Encode(&Message{Type: TypeStreamControl, ID: 9,
+		Stream: &StreamInfo{ThrottleNS: 5e8}})
+	f.Add(append([]byte{}, ctrlFrame...))
+	badStream := append([]byte{}, ctrlFrame...)
+	for i := range badStream {
+		if badStream[i] == 1 { // the stream presence flag
+			badStream[i] = 9
+			break
+		}
+	}
+	f.Add(badStream)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewV2Codec(false)

@@ -49,13 +49,31 @@ const (
 )
 
 var v2TypeCode = map[MsgType]byte{
-	TypeQuery:        1,
-	TypeResponse:     2,
-	TypeListElements: 3,
-	TypeElementList:  4,
-	TypePing:         5,
-	TypePong:         6,
-	TypeError:        7,
+	TypeQuery:         1,
+	TypeResponse:      2,
+	TypeListElements:  3,
+	TypeElementList:   4,
+	TypePing:          5,
+	TypePong:          6,
+	TypeError:         7,
+	TypeStreamStart:   8,
+	TypeStreamData:    9,
+	TypeStreamControl: 10,
+}
+
+// v2StreamType reports whether frames of this type carry a StreamInfo
+// section. Scoping the section to stream frames keeps every pre-stream
+// frame byte-identical to earlier codec versions.
+func v2StreamType(t MsgType) bool {
+	return t == TypeStreamStart || t == TypeStreamData || t == TypeStreamControl
+}
+
+// v2DeltaType reports whether records of this frame type participate in
+// the connection's delta state: pull responses and pushed stream batches
+// share one chain, which is what lets a connection switch from sweeps to
+// streaming without resending the world.
+func v2DeltaType(t MsgType) bool {
+	return t == TypeResponse || t == TypeStreamData
 }
 
 // v2CodeType is the reverse of v2TypeCode, built once so the two can
@@ -153,6 +171,17 @@ func (c *V2Codec) Encode(m *Message) ([]byte, error) {
 	} else {
 		b = append(b, 0)
 	}
+	if v2StreamType(m.Type) {
+		if m.Stream != nil {
+			b = append(b, 1)
+			b = binary.AppendVarint(b, m.Stream.CadenceMinNS)
+			b = binary.AppendVarint(b, m.Stream.CadenceMaxNS)
+			b = binary.AppendUvarint(b, m.Stream.Seq)
+			b = binary.AppendVarint(b, m.Stream.ThrottleNS)
+		} else {
+			b = append(b, 0)
+		}
+	}
 	b = binary.AppendUvarint(b, uint64(len(m.Elements)))
 	for _, el := range m.Elements {
 		b = c.appendIStr(b, string(el.ID))
@@ -232,7 +261,7 @@ func (c *V2Codec) appendAttrKey(b []byte, id core.AttrID) []byte {
 }
 
 func (c *V2Codec) appendRecord(b []byte, rec *core.Record, mtype MsgType, prevTS int64) []byte {
-	if c.delta && mtype == TypeResponse {
+	if c.delta && v2DeltaType(mtype) {
 		if st := c.encSent[rec.Element]; st != nil && sameAttrIDs(st.attrs, rec.Attrs) {
 			b = append(b, 0) // delta record
 			b = binary.AppendVarint(b, rec.Timestamp-prevTS)
@@ -263,7 +292,7 @@ func (c *V2Codec) appendRecord(b []byte, rec *core.Record, mtype MsgType, prevTS
 		b = c.appendAttrKey(b, a.ID)
 		b = appendValue(b, a.Value)
 	}
-	if c.delta && mtype == TypeResponse {
+	if c.delta && v2DeltaType(mtype) {
 		if c.encSent == nil {
 			c.encSent = make(map[core.ElementID]*v2DeltaState)
 		}
@@ -499,6 +528,32 @@ func (c *V2Codec) Decode(payload []byte) (*Message, error) {
 	default:
 		return nil, fmt.Errorf("wire: v2: bad query presence flag %d", hasQuery)
 	}
+	if v2StreamType(mt) {
+		hasStream, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		switch hasStream {
+		case 0:
+		case 1:
+			si := &StreamInfo{}
+			if si.CadenceMinNS, err = d.varint(); err != nil {
+				return nil, err
+			}
+			if si.CadenceMaxNS, err = d.varint(); err != nil {
+				return nil, err
+			}
+			if si.Seq, err = d.uvarint(); err != nil {
+				return nil, err
+			}
+			if si.ThrottleNS, err = d.varint(); err != nil {
+				return nil, err
+			}
+			m.Stream = si
+		default:
+			return nil, fmt.Errorf("wire: v2: bad stream presence flag %d", hasStream)
+		}
+	}
 	n, err := d.count(2)
 	if err != nil {
 		return nil, err
@@ -572,7 +627,7 @@ func (c *V2Codec) decodeRecords(d *v2dec, m *Message) error {
 				a.Value = v
 				c.scratchAttrs = append(c.scratchAttrs, a)
 			}
-			if c.delta && m.Type == TypeResponse {
+			if c.delta && v2DeltaType(m.Type) {
 				if c.decSeen == nil {
 					c.decSeen = make(map[core.ElementID]*v2DeltaState)
 				}

@@ -48,6 +48,18 @@ const (
 	// "JSON only".
 	TypeHello    MsgType = "hello"
 	TypeHelloAck MsgType = "hello_ack"
+	// TypeStreamStart flips a negotiated connection into push mode: the
+	// agent streams TypeStreamData frames at adaptive cadence until the
+	// connection closes. Only valid after a hello granted the stream
+	// capability.
+	TypeStreamStart MsgType = "stream_start"
+	// TypeStreamData is one pushed batch of records (agent → controller),
+	// sequenced so the receiver can count gaps.
+	TypeStreamData MsgType = "stream_data"
+	// TypeStreamControl is the controller's backpressure signal
+	// (controller → agent): it raises the sender's cadence floor while
+	// ingest queues are congested, and releases it when they drain.
+	TypeStreamControl MsgType = "stream_control"
 )
 
 // Codec names carried in Hello frames.
@@ -66,6 +78,31 @@ type Hello struct {
 	// the agent resends only attrs whose values changed since that
 	// connection's previous response for the same element.
 	Delta bool `json:"delta,omitempty"`
+	// Stream requests (offer) or grants (ack) push streaming: the
+	// connection accepts a TypeStreamStart and pushes TypeStreamData
+	// frames. Old agents never set it in an ack, so a controller falls
+	// back to pull sweeps transparently.
+	Stream bool `json:"stream,omitempty"`
+}
+
+// StreamInfo parameterizes push streaming; it rides TypeStreamStart
+// (cadence bounds), TypeStreamData (sequence), and TypeStreamControl
+// (throttle) frames.
+type StreamInfo struct {
+	// CadenceMinNS/CadenceMaxNS bound the adaptive push cadence on a
+	// stream_start: the agent sends every CadenceMinNS while counters
+	// move and decays toward CadenceMaxNS when quiescent. The agent may
+	// clamp both to its own configured bounds; the effective bounds are
+	// echoed on the first stream_data frame.
+	CadenceMinNS int64 `json:"cadence_min_ns,omitempty"`
+	CadenceMaxNS int64 `json:"cadence_max_ns,omitempty"`
+	// Seq numbers stream_data frames per connection, starting at 1, so
+	// the receiver can detect sender-side restarts and count gaps.
+	Seq uint64 `json:"seq,omitempty"`
+	// ThrottleNS is the backpressure signal on a stream_control frame: a
+	// new cadence floor the sender must respect (0 releases the throttle
+	// back to the negotiated CadenceMinNS).
+	ThrottleNS int64 `json:"throttle_ns,omitempty"`
 }
 
 // Codec turns Messages into frame payloads and back. JSONCodec is
@@ -121,6 +158,9 @@ type Message struct {
 	// Hello carries codec negotiation; only valid on TypeHello and
 	// TypeHelloAck frames, which are always JSON-encoded.
 	Hello *Hello `json:"hello,omitempty"`
+	// Stream carries push-streaming parameters; only valid on the
+	// TypeStream* frames.
+	Stream *StreamInfo `json:"stream,omitempty"`
 
 	// TraceID correlates a request/response pair with the controller's
 	// query-lifecycle trace (internal/telemetry); agents echo it back.
