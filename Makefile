@@ -6,13 +6,14 @@
 #   make bench-core     record/schema benchmarks + record alloc budget gate
 #   make bench-anomaly  anomaly-pipeline benchmarks + sweep-eval alloc budget gate
 #   make bench-ingest   push-ingest throughput floor + drain alloc budget gate
+#   make bench-sketch   flow-sketch hot-path alloc gate + 1M-flow memory lab
 #   make all            everything
 
 GO ?= go
 
-.PHONY: all check vet build test bench bench-wire bench-history bench-core bench-anomaly bench-ingest
+.PHONY: all check vet build test bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch
 
-all: check bench bench-wire bench-history bench-core bench-anomaly bench-ingest
+all: check bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch
 
 check: vet build test
 
@@ -71,3 +72,16 @@ bench-anomaly:
 bench-ingest:
 	$(GO) test ./internal/ingest/ -run 'TestIngestSustains10k|TestIngestAllocBudget' -count 1 -v
 	$(GO) test ./internal/ingest/ -run '^$$' -bench 'BenchmarkIngestPipeline|BenchmarkQueue' -benchtime 1s -benchmem
+
+# Flow sketch: the alloc test fails the build when a hot-path FlowSketch
+# Update allocates past internal/dataplane/testdata/
+# sketch_alloc_budget.txt; the 1M-flow lab fails when sketch memory stops
+# being ≥100× below the legacy per-flow enumeration, heavy-hitter top-k
+# loses exactness, or estimates exceed the ε·N bound; the rule-parse
+# alloc test gates the legacy enumeration parser at zero. The benchmarks
+# print the hot-path and encode costs (EXPERIMENTS.md sketch table).
+bench-sketch:
+	$(GO) test ./internal/dataplane/ -run 'TestSketchUpdateAllocBudget|TestSketchMillionFlowsLab' -count 1 -v
+	$(GO) test ./internal/agent/ -run 'TestParseRuleLineAllocBudget' -count 1 -v
+	$(GO) test ./internal/dataplane/ -run '^$$' -bench 'BenchmarkSketch' -benchtime 1s -benchmem
+	$(GO) test ./internal/agent/ -run '^$$' -bench 'BenchmarkOVSRuleParse' -benchtime 1s -benchmem

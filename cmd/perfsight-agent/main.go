@@ -46,9 +46,17 @@ func main() {
 	cadenceMin := flag.Duration("cadence-min", agent.DefaultCadenceMin, "fastest push cadence this agent will stream at, whatever the controller asks for")
 	cadenceMax := flag.Duration("cadence-max", agent.DefaultCadenceMax, "slowest push cadence the stream decays to while counters are quiescent")
 	pprofFlag := flag.Bool("pprof", false, "expose Go profiling endpoints (/debug/pprof/*) on the -telemetry address")
+	flowStats := flag.String("flow-stats", "sketch", "per-flow statistics mode: sketch (constant-memory count-min + top-k summary) or exact (legacy per-rule enumeration, O(flows) attrs)")
+	sketchWidth := flag.Int("sketch-width", 0, "count-min sketch counters per row (0 = default 4096; error bound ε = e/width)")
+	sketchDepth := flag.Int("sketch-depth", 0, "count-min sketch rows (0 = default 4; confidence 1−e^−depth)")
+	sketchTopK := flag.Int("sketch-topk", 0, "heavy-hitter table capacity (0 = default 64)")
 	flag.Parse()
 	if *codec != wire.CodecV2 && *codec != wire.CodecJSON {
 		log.Fatalf("bad -codec %q (want v2 or json)", *codec)
+	}
+	flowMode, err := agent.FlowStatsModeFromString(*flowStats)
+	if err != nil {
+		log.Fatalf("bad -flow-stats: %v", err)
 	}
 
 	mid := core.MachineID(*machineID)
@@ -83,7 +91,15 @@ func main() {
 		}()
 	}
 
-	a, err := agent.Build(m, agent.BuildOptions{Clock: c.NowNS})
+	a, err := agent.Build(m, agent.BuildOptions{
+		Clock:     c.NowNS,
+		FlowStats: flowMode,
+		Sketch: dataplane.SketchConfig{
+			Width: *sketchWidth,
+			Depth: *sketchDepth,
+			TopK:  *sketchTopK,
+		},
+	})
 	if err != nil {
 		log.Fatalf("build agent: %v", err)
 	}
@@ -107,6 +123,10 @@ func main() {
 				Identity:  *machineID,
 				Elements:  len(a.Elements()),
 				UptimeSec: time.Since(started).Seconds(),
+				Extra: map[string]float64{
+					"schema_ext_attrs":    float64(core.ExtAttrCount()),
+					"schema_ext_rejected": float64(core.ExtRejected()),
+				},
 			}
 		})
 		if *pprofFlag {

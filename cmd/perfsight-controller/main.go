@@ -46,6 +46,7 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", def.BreakerCooldown, "how long an open breaker waits before a single probe query")
 	codec := flag.String("codec", wire.CodecV2, "wire codec to offer agents: v2 (binary, falls back to JSON per agent) or json (skip negotiation)")
 	delta := flag.Bool("delta", false, "request delta-encoded sweep responses on v2 connections (changed attrs only)")
+	sketch := flag.Bool("sketch", true, "request sketch flow summaries from agents that offer them (constant-size flow_sketch blob instead of per-rule attr enumeration); agents without the capability fall back to legacy")
 	monitor := flag.Duration("monitor", 0, "flight recorder: sweep all elements at this cadence into the history store and keep serving (0 = off)")
 	push := flag.Bool("push", true, "with -monitor: stream delta frames from push-capable agents on arrival, demoting the sweep loop to a fallback for pull-only or stream-down agents")
 	cadenceMin := flag.Duration("cadence-min", 100*time.Millisecond, "fastest push cadence to request from streaming agents (they may enforce a slower floor)")
@@ -106,6 +107,7 @@ func main() {
 		client := controller.NewTCPClient(addr)
 		client.Codec = *codec
 		client.Delta = *delta
+		client.Sketch = *sketch
 		if reg != nil {
 			client.EnableTelemetry(reg, tracer)
 		}
@@ -191,6 +193,7 @@ func main() {
 			QueueSize:  *ingestQueue,
 			Codec:      *codec,
 			Delta:      *delta,
+			Sketch:     *sketch,
 			Sink: func(_ core.MachineID, recs []core.Record) {
 				for _, r := range recs {
 					store.Append(tid, r)
@@ -222,14 +225,20 @@ func main() {
 				Identity:  "controller",
 				Elements:  len(ctl.TenantElements(tid, nil)),
 				UptimeSec: time.Since(started).Seconds(),
+				// Schema-registry pressure: decoding legacy exact flow
+				// records registers one ext attr per rule name, so a big
+				// tenant mix can exhaust the 16,384-name cap. Rejections
+				// used to be silent; now they are countable here.
+				Extra: map[string]float64{
+					"schema_ext_attrs":    float64(core.ExtAttrCount()),
+					"schema_ext_rejected": float64(core.ExtRejected()),
+				},
 			}
 			if store != nil {
 				st := store.Stats()
-				h.Extra = map[string]float64{
-					"history_series":          float64(st.Series),
-					"history_resident_points": float64(st.Resident),
-					"history_evicted_points":  float64(st.Evicted),
-				}
+				h.Extra["history_series"] = float64(st.Series)
+				h.Extra["history_resident_points"] = float64(st.Resident)
+				h.Extra["history_evicted_points"] = float64(st.Evicted)
 				if journal != nil {
 					n, seq, dropped := journal.Stats()
 					h.Extra["journal_events"] = float64(n)

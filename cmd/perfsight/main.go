@@ -25,6 +25,13 @@
 //	perfsight incidents -endpoint http://localhost:9101
 //	perfsight incidents -id 3
 //	perfsight incidents -follow
+//
+// The flows subcommand ranks an element's per-flow traffic, heaviest
+// first — from the constant-memory flow_sketch summary when the agent
+// runs -flow-stats=sketch (heavy hitters with exactness flags plus the
+// ε·N bound for everything else), or from legacy rule_* enumeration:
+//
+//	perfsight flows -endpoint http://localhost:9101 -element m0/vswitch -k 10
 package main
 
 import (
@@ -67,6 +74,9 @@ func main() {
 			return
 		case "incidents":
 			runIncidents(os.Args[2:])
+			return
+		case "flows":
+			runFlows(os.Args[2:])
 			return
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"strings"
 	"time"
 
 	"perfsight/internal/core"
@@ -192,6 +193,38 @@ func runDiag(args []string) {
 	}
 }
 
+// runFlows ranks per-flow traffic per element: sketch heavy hitters
+// (with exactness flags and the ε·N bound) or legacy enumeration.
+func runFlows(args []string) {
+	fs := flag.NewFlagSet("flows", flag.ExitOnError)
+	endpoint := fs.String("endpoint", "http://localhost:9101", "flight-recorder controller base URL")
+	tenant := fs.String("tenant", "", "tenant (empty = controller default)")
+	element := fs.String("element", "", "element ID; empty ranks every element with flow statistics")
+	at := fs.String("at", "", "as-of timestamp (ns int or RFC3339; empty = newest)")
+	k := fs.Int("k", 10, "flows to print per element (0 = all)")
+	fs.Parse(args)
+
+	q := url.Values{}
+	for key, v := range map[string]string{"tenant": *tenant, "element": *element, "at": *at} {
+		if v != "" {
+			q.Set(key, v)
+		}
+	}
+	if *k > 0 {
+		q.Set("k", fmt.Sprint(*k))
+	}
+	var resp struct {
+		Tenant core.TenantID           `json:"tenant"`
+		Flows  []*diagnosis.FlowReport `json:"flows"`
+	}
+	if err := getJSON(*endpoint, "/flows", q, &resp); err != nil {
+		fatalf("perfsight flows: %v", err)
+	}
+	for _, fr := range resp.Flows {
+		fmt.Print(fr)
+	}
+}
+
 func printStack(rep *diagnosis.ContentionReport, pad string) {
 	fmt.Printf("%sstack:  %s\n", pad, rep)
 	for i, e := range rep.Ranked {
@@ -199,6 +232,11 @@ func printStack(rep *diagnosis.ContentionReport, pad string) {
 			break
 		}
 		fmt.Printf("%s  #%d %-30s %8.0f pkts lost\n", pad, i+1, e.Element, e.Loss)
+	}
+	if rep.HotFlows != nil {
+		for _, line := range strings.Split(strings.TrimRight(rep.HotFlows.String(), "\n"), "\n") {
+			fmt.Printf("%s  %s\n", pad, line)
+		}
 	}
 }
 

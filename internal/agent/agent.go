@@ -59,6 +59,13 @@ type Agent struct {
 	// before Serve.
 	AllowStream bool
 
+	// AllowSketch advertises sketch-based flow statistics to controllers
+	// that request them. Peers that never negotiate the capability — old
+	// controllers, JSON peers that skip the hello — transparently get the
+	// legacy per-rule enumeration from adapters that can produce it
+	// (LegacyFlowFetcher). Set before Serve.
+	AllowSketch bool
+
 	// CadenceMin/CadenceMax bound the adaptive push cadence. CadenceMin
 	// is a floor the controller cannot undercut; CadenceMax is the
 	// quiescent heartbeat period. Zero values use DefaultCadenceMin/Max.
@@ -114,17 +121,28 @@ func (a *Agent) Elements() []core.ElementID {
 	return out
 }
 
+// LegacyFlowFetcher is implemented by adapters that can serve the legacy
+// per-flow enumeration alongside their native mode — what a
+// sketch-unaware controller is handed when it never negotiated the
+// sketch capability.
+type LegacyFlowFetcher interface {
+	FetchLegacy(ts int64) (core.Record, error)
+}
+
 // Fetch gathers records for the requested elements (all when ids empty and
 // all=true). Unknown elements yield an error; partial results are
-// returned alongside it.
+// returned alongside it. In-process callers are sketch-native: adapters
+// report flow statistics in their configured mode.
 func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Record, error) {
-	return a.fetchAppend(nil, ids, attrs, all)
+	return a.fetchAppend(nil, ids, attrs, all, false)
 }
 
 // fetchAppend is Fetch appending into recs — the serve loop passes a
 // per-connection scratch slice so steady-state queries reuse its backing
-// array instead of growing a fresh one per frame.
-func (a *Agent) fetchAppend(recs []core.Record, ids []core.ElementID, attrs []string, all bool) ([]core.Record, error) {
+// array instead of growing a fresh one per frame. legacyFlows demotes
+// LegacyFlowFetcher adapters to per-rule enumeration for connections
+// whose peer never negotiated the sketch capability.
+func (a *Agent) fetchAppend(recs []core.Record, ids []core.ElementID, attrs []string, all, legacyFlows bool) ([]core.Record, error) {
 	start := time.Now()
 	tel := a.tel.Load()
 	defer func() {
@@ -154,14 +172,20 @@ func (a *Agent) fetchAppend(recs []core.Record, ids []core.ElementID, attrs []st
 			}
 			continue
 		}
+		fetch := ad.Fetch
+		if legacyFlows {
+			if lf, ok := ad.(LegacyFlowFetcher); ok {
+				fetch = lf.FetchLegacy
+			}
+		}
 		var rec core.Record
 		var err error
 		if tel != nil {
 			g := time.Now()
-			rec, err = ad.Fetch(ts)
+			rec, err = fetch(ts)
 			tel.observeGather(ad.Kind(), time.Since(g))
 		} else {
-			rec, err = ad.Fetch(ts)
+			rec, err = fetch(ts)
 		}
 		if err != nil {
 			if firstErr == nil {
@@ -228,6 +252,9 @@ func (a *Agent) handle(conn net.Conn) {
 	buf := wire.GetBuf()
 	defer wire.PutBuf(buf)
 	var recScratch []core.Record
+	// Until a hello negotiates the sketch capability, the peer is assumed
+	// old and gets the legacy flow enumeration.
+	legacyFlows := true
 	for {
 		if a.ReadTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(a.ReadTimeout)); err != nil {
@@ -266,6 +293,7 @@ func (a *Agent) handle(conn net.Conn) {
 		var next wire.Codec
 		if msg.Type == wire.TypeHello {
 			resp, next = a.hello(msg)
+			legacyFlows = resp.Hello == nil || !resp.Hello.Sketch
 		} else if msg.Type == wire.TypeStreamStart {
 			if errStr := a.streamStartErr(msg); errStr != "" {
 				resp = &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: errStr}
@@ -273,12 +301,12 @@ func (a *Agent) handle(conn net.Conn) {
 				// The connection converts to push mode; serveStream owns
 				// it (and buf) until the stream ends, then the connection
 				// closes — streams never fall back to request/response.
-				a.serveStream(conn, sess, msg, buf)
+				a.serveStream(conn, sess, msg, buf, legacyFlows)
 				return
 			}
 		} else {
 			recScratch = recScratch[:0]
-			resp = a.dispatch(msg, &recScratch)
+			resp = a.dispatch(msg, &recScratch, legacyFlows)
 		}
 		if a.ReadTimeout > 0 {
 			if err := conn.SetWriteDeadline(time.Now().Add(a.ReadTimeout)); err != nil {
@@ -315,9 +343,11 @@ func (a *Agent) hello(msg *wire.Message) (*wire.Message, wire.Codec) {
 	}
 	ack := &wire.Message{Type: wire.TypeHelloAck, ID: msg.ID, Machine: a.machine, Hello: &wire.Hello{}}
 	if msg.Hello != nil {
-		// Stream capability is codec-independent: a JSON session can push
-		// too, it just forgoes delta compression.
+		// Stream and sketch capabilities are codec-independent: a JSON
+		// session can push or consume sketch blobs too, it just forgoes
+		// delta compression.
 		ack.Hello.Stream = msg.Hello.Stream && a.AllowStream
+		ack.Hello.Sketch = msg.Hello.Sketch && a.AllowSketch
 	}
 	if a.Codec == wire.CodecJSON || msg.Hello == nil || !containsCodec(msg.Hello.Codecs, wire.CodecV2) {
 		if tel := a.tel.Load(); tel != nil {
@@ -347,9 +377,9 @@ func containsCodec(codecs []string, want string) bool {
 // trace_id and carries the agent-side handling time so the controller's
 // query-lifecycle tracer can split transport from gather work. scratch
 // is the connection's reusable record slice (already truncated).
-func (a *Agent) dispatch(msg *wire.Message, scratch *[]core.Record) *wire.Message {
+func (a *Agent) dispatch(msg *wire.Message, scratch *[]core.Record, legacyFlows bool) *wire.Message {
 	start := time.Now()
-	resp := a.dispatchInner(msg, scratch)
+	resp := a.dispatchInner(msg, scratch, legacyFlows)
 	resp.TraceID = msg.TraceID
 	resp.AgentNS = time.Since(start).Nanoseconds()
 	if tel := a.tel.Load(); tel != nil {
@@ -358,7 +388,7 @@ func (a *Agent) dispatch(msg *wire.Message, scratch *[]core.Record) *wire.Messag
 	return resp
 }
 
-func (a *Agent) dispatchInner(msg *wire.Message, scratch *[]core.Record) *wire.Message {
+func (a *Agent) dispatchInner(msg *wire.Message, scratch *[]core.Record, legacyFlows bool) *wire.Message {
 	switch msg.Type {
 	case wire.TypePing:
 		return &wire.Message{Type: wire.TypePong, ID: msg.ID, Machine: a.machine}
@@ -375,7 +405,7 @@ func (a *Agent) dispatchInner(msg *wire.Message, scratch *[]core.Record) *wire.M
 		if msg.Query == nil {
 			return &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: "query message without query body"}
 		}
-		recs, err := a.fetchAppend(*scratch, msg.Query.Elements, msg.Query.Attrs, msg.Query.All)
+		recs, err := a.fetchAppend(*scratch, msg.Query.Elements, msg.Query.Attrs, msg.Query.All, legacyFlows)
 		*scratch = recs
 		resp := &wire.Message{Type: wire.TypeResponse, ID: msg.ID, Machine: a.machine, Records: recs}
 		if err != nil {

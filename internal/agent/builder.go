@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 
 	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
 	"perfsight/internal/machine"
 	"perfsight/internal/procfs"
 )
@@ -47,6 +48,14 @@ type BuildOptions struct {
 	Latencies Latencies
 	// Clock supplies record timestamps (nil = wall clock).
 	Clock func() int64
+	// FlowStats selects how vswitch adapters report per-flow traffic. The
+	// zero value is FlowStatsExact — the legacy per-rule enumeration —
+	// so existing construction sites behave as before; the agent binary
+	// defaults its -flow-stats flag to sketch.
+	FlowStats FlowStatsMode
+	// Sketch sizes the flow summary when FlowStats is FlowStatsSketch
+	// (zero fields take the dataplane defaults).
+	Sketch dataplane.SketchConfig
 }
 
 // Build assembles the agent for a machine, mounting the virtual /proc
@@ -115,9 +124,16 @@ func Build(m *machine.Machine, opts BuildOptions) (*Agent, error) {
 	a.Register(&DirectAdapter{E: stack.Driver, Latency: lat.Direct})
 	a.Register(&DirectAdapter{E: stack.Napi, Latency: lat.Direct})
 
-	// Virtual switch over its control channel.
+	// Virtual switch over its control channel. In sketch mode the switch
+	// feeds its datapath into a constant-memory flow summary, the adapter
+	// fetches it via DUMP-SKETCH, and the agent advertises the capability
+	// (old controllers still negotiate down to legacy enumeration).
+	if opts.FlowStats == FlowStatsSketch {
+		stack.VSwitch.EnableFlowSketch(opts.Sketch)
+		a.AllowSketch = true
+	}
 	ovs := &OVSChannelServer{VS: stack.VSwitch}
-	a.Register(&OVSAdapter{ID: stack.VSwitch.ID(), Dial: ovs.PipeDialer(), Latency: lat.OVS})
+	a.Register(&OVSAdapter{ID: stack.VSwitch.ID(), Dial: ovs.PipeDialer(), Latency: lat.OVS, Mode: opts.FlowStats})
 
 	// Per-VM elements.
 	for _, id := range vmIDs {

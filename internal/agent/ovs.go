@@ -2,17 +2,57 @@ package agent
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/base64"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
+	"sync"
 
 	"perfsight/internal/core"
 	"perfsight/internal/dataplane"
 )
 
+// FlowStatsMode selects how a vswitch adapter reports per-flow traffic.
+type FlowStatsMode int
+
+const (
+	// FlowStatsExact is the legacy path: one `rule_<flow>_packets`/
+	// `_bytes` extension attribute per flow, enumerated over the control
+	// channel. O(flows) attrs per sweep and O(flows) registry entries.
+	FlowStatsExact FlowStatsMode = iota
+	// FlowStatsSketch ships one constant-size `flow_sketch` payload attr
+	// (count-min + top-k summary) regardless of flow count.
+	FlowStatsSketch
+)
+
+func (m FlowStatsMode) String() string {
+	if m == FlowStatsSketch {
+		return "sketch"
+	}
+	return "exact"
+}
+
+// FlowStatsModeFromString parses the -flow-stats flag value.
+func FlowStatsModeFromString(s string) (FlowStatsMode, error) {
+	switch s {
+	case "sketch":
+		return FlowStatsSketch, nil
+	case "exact":
+		return FlowStatsExact, nil
+	}
+	return FlowStatsExact, fmt.Errorf("agent: unknown flow-stats mode %q (want sketch or exact)", s)
+}
+
 // OVSChannelServer exposes a virtual switch's statistics over a control
 // channel in an ovs-ofctl dump-flows style, the way the real agent fetches
-// per-rule counters via OpenFlow (§6).
+// per-rule counters via OpenFlow (§6). Two commands:
+//
+//	DUMP         switch-level attrs + one `rule flow=... packets=... bytes=...`
+//	             line per flow-table entry (legacy enumeration)
+//	DUMP-SKETCH  switch-level attrs + one `sketch <base64 blob>` line
+//	             carrying the constant-size flow summary
 type OVSChannelServer struct {
 	VS *dataplane.VSwitch
 }
@@ -25,21 +65,34 @@ func (s *OVSChannelServer) Handle(conn net.Conn) {
 		cmd := strings.TrimSpace(sc.Text())
 		switch cmd {
 		case "DUMP":
-			rec := s.VS.Snapshot(0)
-			fmt.Fprintf(conn, "switch")
-			for _, a := range rec.Attrs {
-				fmt.Fprintf(conn, " %s=%g", a.Name(), a.Value)
-			}
-			fmt.Fprintln(conn)
+			s.writeSwitchLine(conn)
 			for _, r := range s.VS.Rules() {
 				fmt.Fprintf(conn, "rule flow=%s packets=%d bytes=%d\n",
 					r.Flow, r.Packets.Load(), r.Bytes.Load())
 			}
 			fmt.Fprintln(conn, "END")
+		case "DUMP-SKETCH":
+			fs := s.VS.FlowStats()
+			if fs == nil {
+				fmt.Fprintln(conn, "ERR sketch flow statistics not enabled\nEND")
+				continue
+			}
+			s.writeSwitchLine(conn)
+			fmt.Fprintf(conn, "sketch %s\n", base64.StdEncoding.EncodeToString(fs.Encode()))
+			fmt.Fprintln(conn, "END")
 		default:
 			fmt.Fprintf(conn, "ERR unknown command %q\nEND\n", cmd)
 		}
 	}
+}
+
+func (s *OVSChannelServer) writeSwitchLine(conn net.Conn) {
+	rec := s.VS.Snapshot(0)
+	fmt.Fprintf(conn, "switch")
+	for _, a := range rec.Attrs {
+		fmt.Fprintf(conn, " %s=%g", a.Name(), a.Value)
+	}
+	fmt.Fprintln(conn)
 }
 
 // PipeDialer returns an in-memory dialer to the channel server.
@@ -51,11 +104,25 @@ func (s *OVSChannelServer) PipeDialer() func() (net.Conn, error) {
 	}
 }
 
+// ruleAttrIDs caches the pair of extension AttrIDs for one flow so the
+// legacy enumeration registers (and concatenates) each name once, not
+// once per sweep.
+type ruleAttrIDs struct {
+	pkts, byts core.AttrID
+}
+
 // OVSAdapter fetches virtual-switch statistics over the control channel.
+// Mode selects sketch summaries (one payload attr) or legacy per-rule
+// enumeration; either way, a peer that cannot consume sketches can ask
+// for the legacy form explicitly via FetchLegacy.
 type OVSAdapter struct {
 	ID      core.ElementID
 	Dial    func() (net.Conn, error)
 	Latency Latency
+	Mode    FlowStatsMode
+
+	ruleMu  sync.RWMutex
+	ruleIDs map[string]ruleAttrIDs
 }
 
 // ElementID implements Adapter.
@@ -64,50 +131,166 @@ func (a *OVSAdapter) ElementID() core.ElementID { return a.ID }
 // Kind implements Adapter.
 func (a *OVSAdapter) Kind() core.ElementKind { return core.KindVSwitch }
 
-// Fetch implements Adapter.
+// Fetch implements Adapter in the configured mode.
 func (a *OVSAdapter) Fetch(ts int64) (core.Record, error) {
+	if a.Mode == FlowStatsSketch {
+		return a.fetch(ts, "DUMP-SKETCH")
+	}
+	return a.fetch(ts, "DUMP")
+}
+
+// FetchLegacy implements LegacyFlowFetcher: the per-rule enumeration an
+// old (sketch-unaware) controller negotiates down to.
+func (a *OVSAdapter) FetchLegacy(ts int64) (core.Record, error) {
+	return a.fetch(ts, "DUMP")
+}
+
+func (a *OVSAdapter) fetch(ts int64, cmd string) (core.Record, error) {
 	a.Latency.apply()
 	conn, err := a.Dial()
 	if err != nil {
 		return core.Record{}, fmt.Errorf("agent: ovs %s: dial: %w", a.ID, err)
 	}
 	defer conn.Close()
-	if _, err := fmt.Fprintln(conn, "DUMP"); err != nil {
+	if _, err := fmt.Fprintln(conn, cmd); err != nil {
 		return core.Record{}, fmt.Errorf("agent: ovs %s: send: %w", a.ID, err)
 	}
 	rec := core.Record{Timestamp: ts, Element: a.ID}
 	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20) // sketch blobs exceed the 64K default line cap
 	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+		line := bytes.TrimSpace(sc.Bytes())
 		switch {
-		case line == "END":
+		case string(line) == "END":
 			return rec, nil
-		case strings.HasPrefix(line, "ERR"):
+		case bytes.HasPrefix(line, []byte("ERR")):
 			return core.Record{}, fmt.Errorf("agent: ovs %s: %s", a.ID, line)
-		case strings.HasPrefix(line, "switch"):
-			for _, kv := range strings.Fields(line)[1:] {
-				name, val, ok := strings.Cut(kv, "=")
-				if !ok {
-					continue
-				}
-				var v float64
-				if _, err := fmt.Sscanf(val, "%g", &v); err == nil {
-					rec.Attrs = append(rec.Attrs, core.NamedAttr(name, v))
-				}
-			}
-		case strings.HasPrefix(line, "rule "):
-			var flow string
-			var pkts, bytes uint64
-			if _, err := fmt.Sscanf(line, "rule flow=%s packets=%d bytes=%d", &flow, &pkts, &bytes); err == nil {
+		case bytes.HasPrefix(line, []byte("switch")):
+			rec.Attrs = parseSwitchLine(rec.Attrs, string(line))
+		case bytes.HasPrefix(line, []byte("rule ")):
+			if flow, pkts, byts, ok := parseRuleLine(line[len("rule "):]); ok {
+				ids := a.ruleAttrIDsFor(flow)
 				rec.Attrs = append(rec.Attrs,
-					core.NamedAttr("rule_"+flow+"_packets", float64(pkts)),
-					core.NamedAttr("rule_"+flow+"_bytes", float64(bytes)),
+					core.Attr{ID: ids.pkts, Value: float64(pkts)},
+					core.Attr{ID: ids.byts, Value: float64(byts)},
 				)
 			}
+		case bytes.HasPrefix(line, []byte("sketch ")):
+			blob, err := base64.StdEncoding.AppendDecode(nil, line[len("sketch "):])
+			if err != nil {
+				return core.Record{}, fmt.Errorf("agent: ovs %s: sketch line: %w", a.ID, err)
+			}
+			epoch, ok := dataplane.SketchEpoch(blob)
+			if !ok {
+				return core.Record{}, fmt.Errorf("agent: ovs %s: malformed sketch blob", a.ID)
+			}
+			rec.Attrs = append(rec.Attrs, core.Attr{
+				ID:      core.SketchAttrID(),
+				Value:   float64(epoch),
+				Payload: blob,
+			})
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return core.Record{}, fmt.Errorf("agent: ovs %s: read: %w", a.ID, err)
 	}
 	return core.Record{}, fmt.Errorf("agent: ovs %s: channel closed before END", a.ID)
+}
+
+// ruleAttrIDsFor returns the cached attr-ID pair for one flow's legacy
+// counters, registering the names on first sight only. The map lookup
+// with a string(flow) key compiles without allocating, so a steady-state
+// sweep over a stable flow table costs zero name churn. Connections are
+// served concurrently and share the adapter, hence the lock.
+func (a *OVSAdapter) ruleAttrIDsFor(flow []byte) ruleAttrIDs {
+	a.ruleMu.RLock()
+	ids, ok := a.ruleIDs[string(flow)]
+	a.ruleMu.RUnlock()
+	if ok {
+		return ids
+	}
+	a.ruleMu.Lock()
+	defer a.ruleMu.Unlock()
+	if ids, ok := a.ruleIDs[string(flow)]; ok {
+		return ids
+	}
+	if a.ruleIDs == nil {
+		a.ruleIDs = make(map[string]ruleAttrIDs)
+	}
+	f := string(flow)
+	ids = ruleAttrIDs{
+		pkts: core.NamedAttr("rule_"+f+"_packets", 0).ID,
+		byts: core.NamedAttr("rule_"+f+"_bytes", 0).ID,
+	}
+	a.ruleIDs[f] = ids
+	return ids
+}
+
+// parseSwitchLine appends the space-separated name=value attrs of a
+// `switch ...` line.
+func parseSwitchLine(attrs []core.Attr, line string) []core.Attr {
+	for _, kv := range strings.Fields(line)[1:] {
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		if v, err := strconv.ParseFloat(val, 64); err == nil {
+			attrs = append(attrs, core.NamedAttr(name, v))
+		}
+	}
+	return attrs
+}
+
+// parseRuleLine parses `flow=<id> packets=<n> bytes=<n>` by hand.
+// fmt.Sscanf here cost two allocations plus reflection per flow per
+// sweep — at enumeration scale, the dominant fetch cost (see
+// BenchmarkOVSRuleParse).
+func parseRuleLine(rest []byte) (flow []byte, pkts, byts uint64, ok bool) {
+	flowField, rest, ok := bytes.Cut(rest, []byte(" "))
+	if !ok {
+		return nil, 0, 0, false
+	}
+	flow, ok = bytes.CutPrefix(flowField, []byte("flow="))
+	if !ok || len(flow) == 0 {
+		return nil, 0, 0, false
+	}
+	pktsField, bytsField, ok := bytes.Cut(rest, []byte(" "))
+	if !ok {
+		return nil, 0, 0, false
+	}
+	p, ok := bytes.CutPrefix(pktsField, []byte("packets="))
+	if !ok {
+		return nil, 0, 0, false
+	}
+	b, ok := bytes.CutPrefix(bytsField, []byte("bytes="))
+	if !ok {
+		return nil, 0, 0, false
+	}
+	var err error
+	if pkts, err = parseUint(p); err != nil {
+		return nil, 0, 0, false
+	}
+	if byts, err = parseUint(b); err != nil {
+		return nil, 0, 0, false
+	}
+	return flow, pkts, byts, true
+}
+
+// parseUint is strconv.ParseUint without the []byte→string conversion.
+func parseUint(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		return 0, strconv.ErrSyntax
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, strconv.ErrSyntax
+		}
+		d := uint64(c - '0')
+		if n > (1<<64-1-d)/10 {
+			return 0, strconv.ErrRange
+		}
+		n = n*10 + d
+	}
+	return n, nil
 }

@@ -65,7 +65,7 @@ func (a *Agent) streamStartErr(msg *wire.Message) string {
 // V2Codec's encode and decode halves keep disjoint state (intern tables,
 // delta maps, scratch), so one decoding reader and one encoding writer
 // never touch the same fields.
-func (a *Agent) serveStream(conn net.Conn, sess wire.Codec, start *wire.Message, buf *[]byte) {
+func (a *Agent) serveStream(conn net.Conn, sess wire.Codec, start *wire.Message, buf *[]byte, legacyFlows bool) {
 	tel := a.tel.Load()
 	if tel != nil {
 		tel.countRequest(wire.TypeStreamStart)
@@ -121,7 +121,7 @@ func (a *Agent) serveStream(conn net.Conn, sess wire.Codec, start *wire.Message,
 			return
 		case <-timer.C:
 		}
-		recs, _ = a.fetchAppend(recs[:0], q.Elements, q.Attrs, q.All)
+		recs, _ = a.fetchAppend(recs[:0], q.Elements, q.Attrs, q.All, legacyFlows)
 		changed := !sameValues(prev, recs)
 		prev, prevFlat = copyRecords(prev, prevFlat, recs)
 

@@ -95,6 +95,18 @@ func (a *Agent) EnableTelemetry(reg *telemetry.Registry) *Agent {
 			_, busy := a.Stats()
 			return busy.Seconds()
 		})
+	// Schema-registry pressure: extension-attr population and cap
+	// rejections. Before this series, hitting the 16,384-name cap (a
+	// production tenant mix in legacy exact flow mode) silently dropped
+	// attributes.
+	reg.GaugeFunc("perfsight_schema_ext_attrs",
+		"extension attributes registered in the process-wide schema registry", func() float64 {
+			return float64(core.ExtAttrCount())
+		})
+	reg.GaugeFunc("perfsight_schema_ext_rejected_total",
+		"attribute registrations refused because the extension registry hit its cap", func() float64 {
+			return float64(core.ExtRejected())
+		})
 	a.tel.Store(m)
 	return a
 }

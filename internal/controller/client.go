@@ -80,6 +80,13 @@ type TCPClient struct {
 	// connection's previous response. Set before the first request.
 	Delta bool
 
+	// Sketch requests sketch-based flow statistics: vswitch records carry
+	// one constant-size `flow_sketch` payload attr instead of per-rule
+	// counter enumeration. Agents that predate the capability ignore the
+	// bit and keep enumerating, so it is safe to always request. Set
+	// before the first request.
+	Sketch bool
+
 	mu         sync.Mutex
 	link       *agentLink // nil when disconnected
 	negotiated string     // codec of the last negotiation, for operators
@@ -169,7 +176,7 @@ func (c *TCPClient) negotiate(conn net.Conn) (wire.Codec, error) {
 	hello := &wire.Message{
 		Type:  wire.TypeHello,
 		ID:    c.nextID,
-		Hello: &wire.Hello{Codecs: []string{wire.CodecV2}, Delta: c.Delta},
+		Hello: &wire.Hello{Codecs: []string{wire.CodecV2}, Delta: c.Delta, Sketch: c.Sketch},
 	}
 	payload, err := wire.Encode(hello)
 	if err != nil {

@@ -165,6 +165,11 @@ func KindFromString(s string) ElementKind {
 type Attr struct {
 	ID    AttrID
 	Value float64
+	// Payload carries the encoded summary of a SemSketch attribute (a
+	// count-min sketch + top-k blob); nil for ordinary scalar attributes.
+	// Value then holds the summary epoch, so delta codecs and change
+	// detectors that compare Values alone still notice a new summary.
+	Payload []byte
 }
 
 // NamedAttr builds an Attr from an attribute name, registering unknown
@@ -179,16 +184,19 @@ func NamedAttr(name string, value float64) Attr {
 func (a Attr) Name() string { return AttrName(a.ID) }
 
 // attrJSON is the JSON shape of Attr — the §4.2 named pair. It must stay
-// byte-identical to the pre-AttrID encoding (internal/compat pins it).
+// byte-identical to the pre-AttrID encoding for payload-free attrs
+// (internal/compat pins it); Payload rides as an extra base64 field only
+// when present, so every pre-sketch record is unchanged on the wire.
 type attrJSON struct {
-	Name  string  `json:"name"`
-	Value float64 `json:"value"`
+	Name    string  `json:"name"`
+	Value   float64 `json:"value"`
+	Payload []byte  `json:"payload,omitempty"`
 }
 
 // MarshalJSON emits the named-pair form, so /history, /metrics consumers
 // and v1-codec peers see attribute names, never numeric IDs.
 func (a Attr) MarshalJSON() ([]byte, error) {
-	return json.Marshal(attrJSON{Name: AttrName(a.ID), Value: a.Value})
+	return json.Marshal(attrJSON{Name: AttrName(a.ID), Value: a.Value, Payload: a.Payload})
 }
 
 // UnmarshalJSON resolves the wire name to an AttrID, auto-registering
@@ -201,6 +209,11 @@ func (a *Attr) UnmarshalJSON(b []byte) error {
 	}
 	a.ID = AttrIDFor(aj.Name)
 	a.Value = aj.Value
+	if len(aj.Payload) > 0 {
+		a.Payload = aj.Payload
+	} else {
+		a.Payload = nil
+	}
 	return nil
 }
 
@@ -239,6 +252,18 @@ func (r Record) Get(id AttrID) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// GetAttr returns the whole attribute — value and payload — for id.
+// Payload-carrying attrs (SemSketch) need this; Get returns only the
+// numeric value.
+func (r Record) GetAttr(id AttrID) (Attr, bool) {
+	for i := range r.Attrs {
+		if r.Attrs[i].ID == id {
+			return r.Attrs[i], true
+		}
+	}
+	return Attr{}, false
 }
 
 // GetOr returns the value of the attribute, or def if absent.
@@ -283,13 +308,14 @@ func (r Record) Sub(prev Record) Record {
 func (r Record) SubInto(prev Record, dst []Attr) Record {
 	out := Record{Timestamp: r.Timestamp, Element: r.Element, Attrs: dst[:0]}
 	for _, a := range r.Attrs {
-		v := a.Value
 		if isMonotonic(a.ID) {
 			if pv, ok := prev.Get(a.ID); ok {
-				v -= pv
+				a.Value -= pv
 			}
 		}
-		out.Attrs = append(out.Attrs, Attr{ID: a.ID, Value: v})
+		// a is a copy, so Payload (sketch summaries are not differenced)
+		// and non-counter values pass through unchanged.
+		out.Attrs = append(out.Attrs, a)
 	}
 	return out
 }

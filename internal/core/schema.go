@@ -97,6 +97,11 @@ const (
 	SemCounter
 	// SemConfig values are static configuration (kind, type, capacity).
 	SemConfig
+	// SemSketch attributes carry an encoded summary blob in Attr.Payload
+	// (count-min sketch + heavy-hitter top-k); the numeric Value is the
+	// summary's epoch, which advances whenever the summary content
+	// changes. Sub passes sketch attrs through undifferenced.
+	SemSketch
 )
 
 func (s AttrSemantics) String() string {
@@ -105,6 +110,8 @@ func (s AttrSemantics) String() string {
 		return "counter"
 	case SemConfig:
 		return "config"
+	case SemSketch:
+		return "sketch"
 	}
 	return "gauge"
 }
@@ -170,11 +177,32 @@ type extTable struct {
 var (
 	extMu  sync.Mutex
 	extCur atomic.Pointer[extTable]
+
+	// extRejected counts RegisterAttr calls refused because the extension
+	// registry hit maxExtAttrs. Before this counter existed, cap
+	// exhaustion was invisible: AttrIDFor silently dropped the attribute.
+	// Telemetry surfaces it as perfsight_schema_ext_rejected_total.
+	extRejected atomic.Uint64
 )
+
+// FlowSketchAttrName is the extension attribute carrying an element's
+// encoded per-flow summary (count-min sketch + heavy-hitter top-k).
+// Attr.Payload holds the blob; Attr.Value holds the summary epoch.
+const FlowSketchAttrName = "flow_sketch"
+
+// attrFlowSketch is registered eagerly in init so every layer — including
+// wire decoders that resolve attrs by name via AttrIDFor, which would
+// otherwise default the name to SemGauge — sees SemSketch semantics
+// regardless of initialization order.
+var attrFlowSketch AttrID
 
 func init() {
 	extCur.Store(&extTable{byName: map[string]AttrID{}})
+	attrFlowSketch, _ = RegisterAttr(FlowSketchAttrName, SemSketch, "blob")
 }
+
+// SketchAttrID returns the AttrID of the flow_sketch summary attribute.
+func SketchAttrID() AttrID { return attrFlowSketch }
 
 // RegisterAttr registers a runtime extension attribute (a middlebox-specific
 // counter, a per-flow statistic) and returns its process-local AttrID.
@@ -192,6 +220,7 @@ func RegisterAttr(name string, sem AttrSemantics, unit string) (AttrID, error) {
 		return id, nil
 	}
 	if len(cur.defs) >= maxExtAttrs {
+		extRejected.Add(1)
 		return AttrInvalid, fmt.Errorf("core: extension attribute registry full (%d attrs), cannot register %q", maxExtAttrs, name)
 	}
 	id := AttrExtBase + AttrID(len(cur.defs))
@@ -285,6 +314,16 @@ func AttrUnit(id AttrID) string {
 // IsSchemaAttr reports whether id is a compile-time schema attribute —
 // the set wire v2 may encode as a bare 1-byte ID.
 func IsSchemaAttr(id AttrID) bool { return id >= 1 && id <= SchemaMax }
+
+// ExtAttrCount returns how many extension attributes are registered, and
+// ExtRejected how many registrations the maxExtAttrs cap has refused.
+// Both feed /healthz so an operator can see a tenant mix approaching (or
+// blowing through) the registry cap instead of silently losing names.
+func ExtAttrCount() int { return len(extCur.Load().defs) }
+
+// ExtRejected returns the number of extension registrations refused at
+// the registry cap since process start.
+func ExtRejected() uint64 { return extRejected.Load() }
 
 // SchemaAttrs returns a copy of the schema attribute definitions.
 func SchemaAttrs() []AttrDef {

@@ -164,6 +164,67 @@ func TestAttrRegistryConcurrent(t *testing.T) {
 	}
 }
 
+// TestRegisterAttrCap drives the extension registry to maxExtAttrs and
+// verifies cap behavior: new names are refused with an error, the
+// rejection counter (the perfsight_schema_ext_rejected_total feed) ticks,
+// AttrIDFor degrades to AttrInvalid without panicking, and names already
+// in the table keep resolving. The full table is swapped in and restored
+// white-box so the process-global registry is not poisoned for other
+// tests.
+func TestRegisterAttrCap(t *testing.T) {
+	full := &extTable{
+		byName: make(map[string]AttrID, maxExtAttrs),
+		defs:   make([]AttrDef, maxExtAttrs),
+	}
+	for i := range full.defs {
+		id := AttrExtBase + AttrID(i)
+		name := "cap_fill_" + strconv.Itoa(i)
+		full.defs[i] = AttrDef{ID: id, Name: name, Semantics: SemGauge}
+		full.byName[name] = id
+	}
+	extMu.Lock()
+	saved := extCur.Load()
+	extCur.Store(full)
+	extMu.Unlock()
+	defer func() {
+		extMu.Lock()
+		extCur.Store(saved)
+		extMu.Unlock()
+	}()
+
+	if got := ExtAttrCount(); got != maxExtAttrs {
+		t.Fatalf("ExtAttrCount = %d; want %d", got, maxExtAttrs)
+	}
+	before := ExtRejected()
+	id, err := RegisterAttr("cap_overflow_attr", SemCounter, "bytes")
+	if err == nil {
+		t.Fatal("RegisterAttr succeeded past the cap")
+	}
+	if id != AttrInvalid {
+		t.Fatalf("rejected registration returned ID %d; want AttrInvalid", id)
+	}
+	if got := ExtRejected(); got != before+1 {
+		t.Fatalf("ExtRejected = %d after one rejection; want %d", got, before+1)
+	}
+	if got := AttrIDFor("cap_overflow_other"); got != AttrInvalid {
+		t.Fatalf("AttrIDFor past the cap = %d; want AttrInvalid", got)
+	}
+	if got := ExtRejected(); got != before+2 {
+		t.Fatalf("ExtRejected = %d after two rejections; want %d", got, before+2)
+	}
+
+	// Names already in the table — extension or schema — are unaffected.
+	if got, ok := LookupAttr("cap_fill_0"); !ok || got != AttrExtBase {
+		t.Fatalf("LookupAttr(cap_fill_0) = %d,%v; want %d,true", got, ok, AttrExtBase)
+	}
+	if again, err := RegisterAttr("cap_fill_7", SemCounter, ""); err != nil || again != AttrExtBase+7 {
+		t.Fatalf("re-registering an existing name at the cap: %d, %v", again, err)
+	}
+	if sid, err := RegisterAttr("rx_bytes", SemGauge, ""); err != nil || sid != AttrRxBytes {
+		t.Fatalf("schema name at the cap: %d, %v", sid, err)
+	}
+}
+
 // snapshotShapedRecord mirrors a dataplane element snapshot: schema attrs
 // in ascending ID order, the shape Record.Get's dense probe is built for.
 func snapshotShapedRecord() Record {

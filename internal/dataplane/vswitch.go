@@ -3,6 +3,7 @@ package dataplane
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"perfsight/internal/core"
 	"perfsight/internal/stats"
@@ -39,6 +40,11 @@ type VSwitch struct {
 	Base
 	mu    sync.RWMutex
 	rules map[FlowID]*Rule
+
+	// flows, when non-nil, summarizes per-flow traffic in constant memory
+	// (count-min + top-k) instead of relying on per-rule enumeration.
+	// Loaded without the rule-table lock: it is set before traffic starts.
+	flows atomic.Pointer[FlowSketch]
 }
 
 // NewVSwitch builds an empty switch.
@@ -76,10 +82,25 @@ func (v *VSwitch) Lookup(flow FlowID) *Rule {
 	return v.rules[flow]
 }
 
+// EnableFlowSketch switches the element to sketch-based flow statistics:
+// Count feeds every batch into a constant-memory count-min + top-k
+// summary. Call before traffic starts.
+func (v *VSwitch) EnableFlowSketch(cfg SketchConfig) *FlowSketch {
+	fs := NewFlowSketch(cfg)
+	v.flows.Store(fs)
+	return fs
+}
+
+// FlowStats returns the sketch, or nil when running in legacy exact mode.
+func (v *VSwitch) FlowStats() *FlowSketch { return v.flows.Load() }
+
 // Count records a batch processed under rule r.
 func (v *VSwitch) Count(r *Rule, b Batch) {
 	r.Packets.Add(uint64(b.Packets))
 	r.Bytes.Add(uint64(b.Bytes))
+	if fs := v.flows.Load(); fs != nil {
+		fs.Update(r.Flow, uint64(b.Packets), uint64(b.Bytes))
+	}
 	v.CountRx(b)
 	v.CountTx(b)
 }

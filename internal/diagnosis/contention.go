@@ -61,6 +61,11 @@ type ContentionReport struct {
 	Evidence Evidence `json:"evidence"`
 	// TotalLoss is the summed packet loss across the stack.
 	TotalLoss float64 `json:"total_loss"`
+	// HotFlows is the vswitch's heavy-hitter ranking from its sketch
+	// summary — which flows carried the traffic during the window —
+	// present only when the element reports sketch statistics (the
+	// legacy enumeration keeps reports byte-identical to older builds).
+	HotFlows *FlowReport `json:"hot_flows,omitempty"`
 }
 
 // String renders a one-line operator summary.
@@ -79,6 +84,9 @@ func (r *ContentionReport) String() string {
 // minLossPackets filters measurement noise: fewer total dropped packets
 // than this in a window is reported as no problem.
 const minLossPackets = 5
+
+// hotFlowsTopK bounds the heavy-hitter evidence attached to reports.
+const hotFlowsTopK = 10
 
 // FindContentionAndBottleneck implements Algorithm 1: fetch the packet
 // loss of every element in the tenant's virtualization stack over window
@@ -113,6 +121,15 @@ func AnalyzeStackIntervals(ivs map[core.ElementID]controller.Interval) *Contenti
 	for id, iv := range ivs {
 		kind := iv.Cur.Kind()
 		switch kind {
+		case core.KindVSwitch:
+			// Sketch-mode switches annotate the report with their heavy
+			// hitters: constant-size evidence of who drove the traffic,
+			// no matter how many flows the table holds.
+			if rep.HotFlows == nil {
+				if fr, ok := TopFlows(iv.Cur, hotFlowsTopK); ok && fr.Source == "sketch" {
+					rep.HotFlows = fr
+				}
+			}
 		case core.KindUnknown:
 			// Host gauge element: evidence, not a drop point.
 			rep.Evidence.CPUUtil = iv.Cur.GetOr(core.AttrCPUUtil, rep.Evidence.CPUUtil)

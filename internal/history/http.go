@@ -27,6 +27,12 @@ import (
 //	    run Algorithm 1 (and Algorithm 2 when the tenant has chains)
 //	    from stored history over the window ending at `at`, without
 //	    issuing any agent query.
+//	/flows?tenant=&element=&at=&k=
+//	    the element's per-flow traffic ranking, heaviest first: the
+//	    flow_sketch summary (heavy hitters + ε·N error bound) when the
+//	    element reports sketch statistics, legacy rule_* enumeration
+//	    otherwise. Without element, every recorded element that has flow
+//	    statistics.
 //
 // Timestamps (`at`, `from`, `to`) accept integer record-clock
 // nanoseconds or RFC 3339; `at` may be omitted for "newest". `window`
@@ -46,6 +52,7 @@ func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/history", s.handleHistory)
 	mux.HandleFunc("/events", s.handleEvents)
 	mux.HandleFunc("/diagnose", s.handleDiagnose)
+	mux.HandleFunc("/flows", s.handleFlows)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -184,6 +191,37 @@ func (s *Server) followEvents(w http.ResponseWriter, r *http.Request, since int6
 			fl.Flush()
 		}
 	}
+}
+
+// handleFlows serves per-flow rankings reconstructed from stored records.
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	tid := s.tenant(r)
+	asOf, err := parseTS(q.Get("at"), 0)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "at: %v", err)
+		return
+	}
+	k, _ := strconv.Atoi(q.Get("k"))
+	ids := s.Store.Elements(tid)
+	if elem := q.Get("element"); elem != "" {
+		ids = []core.ElementID{core.ElementID(elem)}
+	}
+	var reports []*diagnosis.FlowReport
+	for _, id := range ids {
+		rec, ok := s.Store.At(tid, id, asOf)
+		if !ok {
+			continue
+		}
+		if fr, ok := diagnosis.TopFlows(rec, k); ok {
+			reports = append(reports, fr)
+		}
+	}
+	if len(reports) == 0 {
+		httpErr(w, http.StatusNotFound, "tenant %q has no elements with flow statistics", tid)
+		return
+	}
+	writeJSON(w, map[string]any{"tenant": tid, "flows": reports})
 }
 
 // diagnoseResponse is the /diagnose payload.

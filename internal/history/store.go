@@ -154,9 +154,20 @@ type elemKey struct {
 	Element core.ElementID
 }
 
+// blobSample is the newest payload stored for one attr of an element.
+// Payload-bearing attrs (sketch summaries) keep only the latest blob —
+// the numeric epoch still records as a full series, but summary content
+// is a point-in-time artifact, and retaining one per element keeps the
+// store's payload memory constant regardless of sweep cadence.
+type blobSample struct {
+	ts   int64
+	blob []byte
+}
+
 // elemSeries groups the attr series of one element.
 type elemSeries struct {
 	attrs  map[core.AttrID]*series
+	blobs  map[core.AttrID]blobSample
 	lastTS int64
 }
 
@@ -243,6 +254,16 @@ func (s *Store) Append(tid core.TenantID, rec core.Record) {
 			s.series.Add(1)
 		}
 		s.appendPoint(sr, Point{TS: rec.Timestamp, V: a.Value})
+		if len(a.Payload) > 0 {
+			if es.blobs == nil {
+				es.blobs = make(map[core.AttrID]blobSample, 1)
+			}
+			if prev := es.blobs[a.ID]; rec.Timestamp >= prev.ts {
+				// Blobs are immutable after decode, so storing the
+				// reference (not a copy) is safe.
+				es.blobs[a.ID] = blobSample{ts: rec.Timestamp, blob: a.Payload}
+			}
+		}
 	}
 	sh.mu.Unlock()
 }
@@ -438,7 +459,13 @@ func (s *Store) At(tid core.TenantID, eid core.ElementID, asOf int64) (core.Reco
 		if !ok {
 			continue
 		}
-		rec.Attrs = append(rec.Attrs, core.Attr{ID: id, Value: p.V})
+		a := core.Attr{ID: id, Value: p.V}
+		// Attach the stored summary blob when it had been produced by
+		// asOf; queries into deeper history get the epoch series alone.
+		if bs, hasBlob := es.blobs[id]; hasBlob && bs.ts <= asOf {
+			a.Payload = bs.blob
+		}
+		rec.Attrs = append(rec.Attrs, a)
 		if p.TS > rec.Timestamp {
 			rec.Timestamp = p.TS
 		}

@@ -43,11 +43,15 @@ type Config struct {
 	Redial        time.Duration
 	FallbackRetry time.Duration
 
-	// Codec and Delta mirror the pull client's negotiation knobs:
-	// wire.CodecV2 (or empty) offers the binary codec, wire.CodecJSON
-	// pins JSON; Delta requests delta-encoded stream frames.
-	Codec string
-	Delta bool
+	// Codec, Delta and Sketch mirror the pull client's negotiation
+	// knobs: wire.CodecV2 (or empty) offers the binary codec,
+	// wire.CodecJSON pins JSON; Delta requests delta-encoded stream
+	// frames; Sketch requests constant-size flow_sketch summaries in
+	// place of the per-rule attr enumeration from agents that offer
+	// them.
+	Codec  string
+	Delta  bool
+	Sketch bool
 
 	// Query selects what each agent streams. Zero value streams all
 	// elements.

@@ -167,7 +167,7 @@ func (s *Stream) connectAndStream(ctx context.Context) (fallback bool, err error
 	// old agent answers with an error frame and no grants.
 	conn.SetDeadline(time.Now().Add(s.cfg.DialTimeout))
 	var frameBuf []byte
-	hello := &wire.Message{Type: wire.TypeHello, ID: 1, Hello: &wire.Hello{Stream: true}}
+	hello := &wire.Message{Type: wire.TypeHello, ID: 1, Hello: &wire.Hello{Stream: true, Sketch: s.cfg.Sketch}}
 	if s.cfg.Codec != wire.CodecJSON {
 		hello.Hello.Codecs = []string{wire.CodecV2}
 		hello.Hello.Delta = s.cfg.Delta

@@ -107,6 +107,37 @@ func FuzzV2Decode(f *testing.F) {
 		}
 	}
 	f.Add(badStream)
+	// Payload (tag 3) seeds: a flow_sketch attr carrying a real sketch
+	// blob, its truncated mutation (length uvarint promises more bytes
+	// than the frame holds), an oversized length claim, a payload whose
+	// blob is a zero-width sketch header (opaque to wire, hostile to the
+	// sketch decoder downstream), and a stale-epoch delta frame that a
+	// stateless decoder must reject rather than merge.
+	sketchBlob := []byte{'F', 'K', 1, 16, 2, 1, 4, 7, 0, 0, 0, 0}
+	sketchFrame, _ := NewV2Codec(false).Encode(&Message{Type: TypeResponse, ID: 10, Machine: "m0",
+		Records: []core.Record{{Timestamp: 2, Element: "m0/vswitch",
+			Attrs: []core.Attr{{ID: core.AttrRxPackets, Value: 5},
+				{ID: core.SketchAttrID(), Value: 7, Payload: sketchBlob}}}}})
+	f.Add(append([]byte{}, sketchFrame...))
+	f.Add(sketchFrame[:len(sketchFrame)-4]) // truncated mid-payload
+	oversized := append([]byte{}, sketchFrame...)
+	if i := bytes.Index(oversized, []byte{3, byte(len(sketchBlob))}); i >= 0 {
+		oversized[i+1] = 0xFF // length uvarint now runs past the frame
+	}
+	f.Add(oversized)
+	zeroWidth := []byte{'F', 'K', 1, 0, 2, 1, 4, 7, 0, 0, 0, 0}
+	zwFrame, _ := NewV2Codec(false).Encode(&Message{Type: TypeResponse, ID: 11, Machine: "m0",
+		Records: []core.Record{{Timestamp: 3, Element: "m0/vswitch",
+			Attrs: []core.Attr{{ID: core.SketchAttrID(), Value: 7, Payload: zeroWidth}}}}})
+	f.Add(append([]byte{}, zwFrame...))
+	deltaEnc := NewV2Codec(true)
+	deltaEnc.Encode(&Message{Type: TypeResponse, ID: 12, Machine: "m0",
+		Records: []core.Record{{Timestamp: 4, Element: "m0/vswitch",
+			Attrs: []core.Attr{{ID: core.SketchAttrID(), Value: 9, Payload: sketchBlob}}}}})
+	epochRegress, _ := deltaEnc.Encode(&Message{Type: TypeResponse, ID: 13, Machine: "m0",
+		Records: []core.Record{{Timestamp: 5, Element: "m0/vswitch",
+			Attrs: []core.Attr{{ID: core.SketchAttrID(), Value: 3, Payload: sketchBlob}}}}})
+	f.Add(append([]byte{}, epochRegress...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewV2Codec(false)

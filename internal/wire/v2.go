@@ -31,7 +31,11 @@ import (
 //	          process-local and never travel numerically.
 //
 //	value  = uvarint u: even → integral float, unzigzag(u>>1);
-//	         u == 1 → raw float64 bits, 8 bytes little-endian.
+//	         u == 1 → raw float64 bits, 8 bytes little-endian;
+//	         u == 3 → payload attr: uvarint len + blob bytes, then the
+//	         numeric value (recursively, tags above). Sketch summaries
+//	         travel this way, with the summary epoch as the numeric value
+//	         so the delta mode resends the blob only when it changed.
 //	         (counters are integral floats, so most values are varints)
 //
 //	istr   = uvarint v: v == 0 → uvarint len + bytes, appended to the
@@ -224,6 +228,17 @@ func appendValue(b []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
 }
 
+// appendAttrValue writes one attribute's value, wrapping it in the
+// length-prefixed payload form (tag 3) when the attr carries a blob.
+func appendAttrValue(b []byte, a *core.Attr) []byte {
+	if len(a.Payload) > 0 {
+		b = binary.AppendUvarint(b, 3)
+		b = binary.AppendUvarint(b, uint64(len(a.Payload)))
+		b = append(b, a.Payload...)
+	}
+	return appendValue(b, a.Value)
+}
+
 func sameAttrIDs(a, b []core.Attr) bool {
 	if len(a) != len(b) {
 		return false
@@ -276,8 +291,8 @@ func (c *V2Codec) appendRecord(b []byte, rec *core.Record, mtype MsgType, prevTS
 			for i := range rec.Attrs {
 				if v := rec.Attrs[i].Value; v != st.attrs[i].Value {
 					b = binary.AppendUvarint(b, uint64(i))
-					b = appendValue(b, v)
-					st.attrs[i].Value = v
+					b = appendAttrValue(b, &rec.Attrs[i])
+					st.attrs[i] = rec.Attrs[i]
 				}
 			}
 			st.ts = rec.Timestamp
@@ -288,9 +303,9 @@ func (c *V2Codec) appendRecord(b []byte, rec *core.Record, mtype MsgType, prevTS
 	b = binary.AppendVarint(b, rec.Timestamp-prevTS)
 	b = c.appendIStr(b, string(rec.Element))
 	b = binary.AppendUvarint(b, uint64(len(rec.Attrs)))
-	for _, a := range rec.Attrs {
-		b = c.appendAttrKey(b, a.ID)
-		b = appendValue(b, a.Value)
+	for i := range rec.Attrs {
+		b = c.appendAttrKey(b, rec.Attrs[i].ID)
+		b = appendAttrValue(b, &rec.Attrs[i])
 	}
 	if c.delta && v2DeltaType(mtype) {
 		if c.encSent == nil {
@@ -429,24 +444,47 @@ func (d *v2dec) bstr() (string, error) {
 	return s, nil
 }
 
-func (d *v2dec) value() (float64, error) {
+// value reads one attribute value. A payload attr (tag 3) returns the
+// blob copied out of the frame: decoded records outlive the frame buffer
+// (which is pooled), so the blob must own its bytes.
+func (d *v2dec) value() (float64, []byte, error) {
 	u, err := d.uvarint()
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if u&1 == 0 {
 		zz := u >> 1
-		return float64(int64(zz>>1) ^ -int64(zz&1)), nil
+		return float64(int64(zz>>1) ^ -int64(zz&1)), nil, nil
 	}
-	if u != 1 {
-		return 0, fmt.Errorf("wire: v2: bad value tag %d", u)
+	switch u {
+	case 1:
+		if d.remaining() < 8 {
+			return 0, nil, fmt.Errorf("wire: v2: truncated float value")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+		d.off += 8
+		return v, nil, nil
+	case 3:
+		n, err := d.uvarint()
+		if err != nil {
+			return 0, nil, err
+		}
+		if n == 0 || n > uint64(d.remaining()) {
+			return 0, nil, fmt.Errorf("wire: v2: payload of %d bytes invalid for frame", n)
+		}
+		blob := make([]byte, n)
+		copy(blob, d.b[d.off:d.off+int(n)])
+		d.off += int(n)
+		v, p, err := d.value()
+		if err != nil {
+			return 0, nil, err
+		}
+		if p != nil {
+			return 0, nil, fmt.Errorf("wire: v2: nested payload value")
+		}
+		return v, blob, nil
 	}
-	if d.remaining() < 8 {
-		return 0, fmt.Errorf("wire: v2: truncated float value")
-	}
-	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
-	d.off += 8
-	return v, nil
+	return 0, nil, fmt.Errorf("wire: v2: bad value tag %d", u)
 }
 
 // Decode implements Codec. A payload that is not a v2 frame (a JSON peer
@@ -620,11 +658,12 @@ func (c *V2Codec) decodeRecords(d *v2dec, m *Message) error {
 				if err != nil {
 					return err
 				}
-				v, err := d.value()
+				v, blob, err := d.value()
 				if err != nil {
 					return err
 				}
 				a.Value = v
+				a.Payload = blob
 				c.scratchAttrs = append(c.scratchAttrs, a)
 			}
 			if c.delta && v2DeltaType(m.Type) {
@@ -659,11 +698,14 @@ func (c *V2Codec) decodeRecords(d *v2dec, m *Message) error {
 				if idx >= uint64(len(st.attrs)) {
 					return fmt.Errorf("wire: v2: delta attr index %d outside %d attrs of %q", idx, len(st.attrs), elem)
 				}
-				v, err := d.value()
+				v, blob, err := d.value()
 				if err != nil {
 					return err
 				}
 				st.attrs[idx].Value = v
+				if blob != nil {
+					st.attrs[idx].Payload = blob
+				}
 			}
 			st.ts = ts
 			c.scratchAttrs = append(c.scratchAttrs, st.attrs...)

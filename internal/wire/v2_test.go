@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"os"
@@ -179,6 +180,71 @@ func TestV2DeltaRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.Records, quiet.Records) {
 		t.Fatalf("attr-set change: %+v", got.Records)
+	}
+}
+
+// TestV2SketchPayloadRoundTrip: a payload-carrying attr (tag 3, the
+// flow_sketch blob) survives full-record coding byte-for-byte, and on a
+// delta session the blob is resent only when its epoch (the attr value)
+// changes — a quiescent sketch costs a few bytes per frame, not the blob.
+func TestV2SketchPayloadRoundTrip(t *testing.T) {
+	blob := []byte{'F', 'K', 1, 16, 2, 1, 4, 7, 0, 0, 0, 0}
+	msg := func(epoch float64, blob []byte) *Message {
+		return &Message{Type: TypeResponse, ID: 1, Machine: "m0",
+			Records: []core.Record{{Timestamp: int64(epoch), Element: "m0/vswitch", Attrs: []core.Attr{
+				{ID: core.AttrRxPackets, Value: 100 * epoch},
+				{ID: core.SketchAttrID(), Value: epoch, Payload: blob},
+			}}}}
+	}
+
+	// Stateless session: exact round trip including the payload bytes.
+	got, err := NewV2Codec(false).Decode(mustEncode(t, NewV2Codec(false), msg(1, blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, msg(1, blob).Records) {
+		t.Fatalf("payload round trip:\n got %+v\nwant %+v", got.Records, msg(1, blob).Records)
+	}
+
+	// Delta session: first frame carries the blob; an epoch-stable frame
+	// must not resend it, an epoch change must.
+	enc, dec := NewV2Codec(true), NewV2Codec(true)
+	if _, err := dec.Decode(mustEncode(t, enc, msg(1, blob))); err != nil {
+		t.Fatal(err)
+	}
+	stable := msg(2, blob)
+	stable.Records[0].Attrs[1].Value = 1 // same epoch, counter moved
+	stableFrame := mustEncode(t, enc, stable)
+	stableLen := len(stableFrame)
+	got, err = dec.Decode(stableFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, stable.Records) {
+		t.Fatalf("stable-epoch delta merge:\n got %+v\nwant %+v", got.Records, stable.Records)
+	}
+	if p := got.Records[0].Attrs[1].Payload; string(p) != string(blob) {
+		t.Fatalf("merge lost the cached payload: %v", p)
+	}
+
+	grown := append(append([]byte{}, blob...), 0xAA, 0xBB, 0xCC, 0xDD)
+	grown[7] = 9 // new epoch inside the blob too
+	changed := msg(3, grown)
+	changed.Records[0].Attrs[1].Value = 9
+	changedFrame := mustEncode(t, enc, changed)
+	changedLen := len(changedFrame)
+	got, err = dec.Decode(changedFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := got.Records[0].Attrs[1].Payload; string(p) != string(grown) {
+		t.Fatalf("epoch change did not refresh the payload: %v", p)
+	}
+	if !bytes.Contains(changedFrame, grown) {
+		t.Fatalf("changed-epoch frame (%dB) does not resend the blob", changedLen)
+	}
+	if bytes.Contains(stableFrame, blob) {
+		t.Fatalf("stable-epoch frame (%dB) resends the %dB blob; delta should elide it", stableLen, len(blob))
 	}
 }
 

@@ -83,6 +83,12 @@ type Hello struct {
 	// frames. Old agents never set it in an ack, so a controller falls
 	// back to pull sweeps transparently.
 	Stream bool `json:"stream,omitempty"`
+	// Sketch requests (offer) or grants (ack) sketch-based flow
+	// statistics: the agent ships one constant-size `flow_sketch` payload
+	// attr per vswitch instead of enumerating per-rule counters. A peer
+	// that never offers it (an old controller) gets the legacy per-flow
+	// enumeration, so mixed versions interoperate.
+	Sketch bool `json:"sketch,omitempty"`
 }
 
 // StreamInfo parameterizes push streaming; it rides TypeStreamStart
