@@ -7,13 +7,14 @@
 #   make bench-anomaly  anomaly-pipeline benchmarks + sweep-eval alloc budget gate
 #   make bench-ingest   push-ingest throughput floor + drain alloc budget gate
 #   make bench-sketch   flow-sketch hot-path alloc gate + 1M-flow memory lab
+#   make bench-trace    trace-spine span recording alloc gate + benchmarks
 #   make all            everything
 
 GO ?= go
 
-.PHONY: all check vet build test bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch
+.PHONY: all check vet build test bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch bench-trace
 
-all: check bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch
+all: check bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch bench-trace
 
 check: vet build test
 
@@ -85,3 +86,12 @@ bench-sketch:
 	$(GO) test ./internal/agent/ -run 'TestParseRuleLineAllocBudget' -count 1 -v
 	$(GO) test ./internal/dataplane/ -run '^$$' -bench 'BenchmarkSketch' -benchtime 1s -benchmem
 	$(GO) test ./internal/agent/ -run '^$$' -bench 'BenchmarkOVSRuleParse' -benchtime 1s -benchmem
+
+# Trace spine: the alloc test fails the build when recording one full
+# query trace (pooled begin, stage spans, summary publish, store keep)
+# allocates past internal/telemetry/testdata/span_alloc_budget.txt; the
+# benchmarks print the steady-state and contended costs against the
+# pre-refactor map-per-trace baseline (EXPERIMENTS.md trace table).
+bench-trace:
+	$(GO) test ./internal/telemetry/ -run 'TestSpanAllocBudget' -count 1 -v
+	$(GO) test ./internal/telemetry/ -run '^$$' -bench 'BenchmarkTrace|BenchmarkSpanStore' -benchtime 1s -benchmem

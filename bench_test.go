@@ -458,10 +458,11 @@ func benchWireV2Delta(b *testing.B, tick func(i int) int64) {
 // benchSweepTCP measures an end-to-end controller Sample over a real TCP
 // agent under the given codec configuration, reporting received bytes
 // per sweep from the controller's wire counters.
-func benchSweepTCP(b *testing.B, codec string, delta bool) {
+func benchSweepTCP(b *testing.B, codec string, delta, spans bool) {
 	b.Helper()
 	a := benchAgent(b)
 	a.AllowDelta = true
+	a.AllowSpans = spans
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
@@ -470,9 +471,16 @@ func benchSweepTCP(b *testing.B, codec string, delta bool) {
 	go a.Serve(ln)
 
 	reg := telemetry.NewRegistry()
-	client := controller.NewTCPClient(ln.Addr().String()).EnableTelemetry(reg, nil)
+	var tracer *telemetry.Tracer
+	if spans {
+		tracer = telemetry.NewTracer(reg, "controller", 64)
+		st := telemetry.NewSpanStore(reg, 256, 64, 64)
+		tracer.AttachSpanStore(st, 1, 0)
+	}
+	client := controller.NewTCPClient(ln.Addr().String()).EnableTelemetry(reg, tracer)
 	client.Codec = codec
 	client.Delta = delta
+	client.Spans = spans
 	defer client.Close()
 
 	const tid = core.TenantID("bench")
@@ -508,14 +516,20 @@ func benchSweepTCP(b *testing.B, codec string, delta bool) {
 
 // BenchmarkSweepTCPJSON is the end-to-end sweep baseline on the v1 JSON
 // codec.
-func BenchmarkSweepTCPJSON(b *testing.B) { benchSweepTCP(b, wire.CodecJSON, false) }
+func BenchmarkSweepTCPJSON(b *testing.B) { benchSweepTCP(b, wire.CodecJSON, false, false) }
 
 // BenchmarkSweepTCPV2 is the same sweep after v2 negotiation.
-func BenchmarkSweepTCPV2(b *testing.B) { benchSweepTCP(b, wire.CodecV2, false) }
+func BenchmarkSweepTCPV2(b *testing.B) { benchSweepTCP(b, wire.CodecV2, false, false) }
 
 // BenchmarkSweepTCPV2Delta adds delta-encoded responses (the agent's
 // clock is frozen between sweeps here, so most counters are quiet).
-func BenchmarkSweepTCPV2Delta(b *testing.B) { benchSweepTCP(b, wire.CodecV2, true) }
+func BenchmarkSweepTCPV2Delta(b *testing.B) { benchSweepTCP(b, wire.CodecV2, true, false) }
+
+// BenchmarkSweepTCPV2Spans is the full trace spine on the sweep path:
+// the agent decorates every response with its per-channel span block and
+// the controller builds, skew-corrects, and retains a trace per sweep.
+// The ISSUE budget is "within noise" of BenchmarkSweepTCPV2.
+func BenchmarkSweepTCPV2Spans(b *testing.B) { benchSweepTCP(b, wire.CodecV2, false, true) }
 
 // BenchmarkUninstrumentedQuery is the baseline full-inventory Fetch with
 // telemetry off (the seed behaviour).

@@ -43,6 +43,7 @@ func main() {
 	codec := flag.String("codec", wire.CodecV2, "wire codecs offered to controllers: v2 (binary, with JSON fallback per connection) or json (JSON only)")
 	delta := flag.Bool("delta", true, "permit delta-encoded responses on v2 connections that request them (changed attrs only)")
 	push := flag.Bool("push", true, "grant push streaming to controllers that request it (delta frames at adaptive cadence; controllers without it keep pulling)")
+	spansFlag := flag.Bool("spans", true, "grant trace spans to v2 controllers that request them (per-channel gather spans piggybacked on responses and push frames)")
 	cadenceMin := flag.Duration("cadence-min", agent.DefaultCadenceMin, "fastest push cadence this agent will stream at, whatever the controller asks for")
 	cadenceMax := flag.Duration("cadence-max", agent.DefaultCadenceMax, "slowest push cadence the stream decays to while counters are quiescent")
 	pprofFlag := flag.Bool("pprof", false, "expose Go profiling endpoints (/debug/pprof/*) on the -telemetry address")
@@ -108,6 +109,7 @@ func main() {
 	a.Codec = *codec
 	a.AllowDelta = *delta
 	a.AllowStream = *push
+	a.AllowSpans = *spansFlag
 	a.CadenceMin = *cadenceMin
 	a.CadenceMax = *cadenceMax
 

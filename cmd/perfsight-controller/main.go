@@ -47,6 +47,10 @@ func main() {
 	codec := flag.String("codec", wire.CodecV2, "wire codec to offer agents: v2 (binary, falls back to JSON per agent) or json (skip negotiation)")
 	delta := flag.Bool("delta", false, "request delta-encoded sweep responses on v2 connections (changed attrs only)")
 	sketch := flag.Bool("sketch", true, "request sketch flow summaries from agents that offer them (constant-size flow_sketch blob instead of per-rule attr enumeration); agents without the capability fall back to legacy")
+	spans := flag.Bool("spans", true, "request agent-side trace spans on v2 connections (per-channel gather spans piggybacked on sweep responses and push frames); span-blind agents degrade silently")
+	traceKeep := flag.Int("trace-keep", 256, "traces retained with full span forests in the span store (sampled/error/slow, plus incident-pinned)")
+	traceSample := flag.Int("trace-sample", 1, "head sampling: retain every Nth trace's spans (1 = all); error and slow traces are kept regardless")
+	traceSlow := flag.Duration("trace-slow", 0, "tail-keep traces slower than this end to end, independent of sampling (0 = off)")
 	monitor := flag.Duration("monitor", 0, "flight recorder: sweep all elements at this cadence into the history store and keep serving (0 = off)")
 	push := flag.Bool("push", true, "with -monitor: stream delta frames from push-capable agents on arrival, demoting the sweep loop to a fallback for pull-only or stream-down agents")
 	cadenceMin := flag.Duration("cadence-min", 100*time.Millisecond, "fastest push cadence to request from streaming agents (they may enforce a slower floor)")
@@ -90,10 +94,15 @@ func main() {
 
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
+	var spanStore *telemetry.SpanStore
 	if *telemetryAddr != "" {
 		reg = telemetry.NewRegistry()
 		tracer = ctl.EnableTelemetry(reg)
 		diagnosis.EnableTelemetry(reg)
+		if *spans {
+			spanStore = telemetry.NewSpanStore(reg, *traceKeep, 64, 64)
+			tracer.AttachSpanStore(spanStore, *traceSample, *traceSlow)
+		}
 	}
 
 	agentAddrs := make(map[core.MachineID]string)
@@ -108,6 +117,7 @@ func main() {
 		client.Codec = *codec
 		client.Delta = *delta
 		client.Sketch = *sketch
+		client.Spans = *spans
 		if reg != nil {
 			client.EnableTelemetry(reg, tracer)
 		}
@@ -169,6 +179,11 @@ func main() {
 				},
 			})
 			pipe.Net = netOf
+			// Incidents reference the traces whose records triggered them
+			// and pin those traces in the span store so the evidence
+			// outlives the transient retention window.
+			pipe.Spans = spanStore
+			pipe.TraceOf = ctl.LastTraceID
 			mon.AfterSweep = pipe.AfterSweep
 		}
 		if reg != nil {
@@ -194,12 +209,14 @@ func main() {
 			Codec:      *codec,
 			Delta:      *delta,
 			Sketch:     *sketch,
-			Sink: func(_ core.MachineID, recs []core.Record) {
+			Spans:      *spans,
+			Tracer:     tracer,
+			Sink: func(_ core.MachineID, recs []core.Record, traceID uint64) {
 				for _, r := range recs {
 					store.Append(tid, r)
 				}
 				if pipe != nil {
-					pipe.Observe(tid, recs)
+					pipe.ObserveTraced(tid, recs, traceID)
 				}
 			},
 		})
@@ -269,6 +286,10 @@ func main() {
 		if store != nil {
 			hs := &history.Server{Store: store, Journal: journal, Net: netOf, DefaultTenant: tid}
 			hs.Register(mux)
+		}
+		if spanStore != nil {
+			ts := &telemetry.TraceServer{Tracer: tracer, Store: spanStore}
+			ts.Register(mux)
 		}
 		if pipe != nil {
 			as := &anomaly.Server{Pipeline: pipe, Journal: journal}

@@ -32,6 +32,14 @@
 // ε·N bound for everything else), or from legacy rule_* enumeration:
 //
 //	perfsight flows -endpoint http://localhost:9101 -element m0/vswitch -k 10
+//
+// The trace subcommand lists the controller's recent queries with their
+// structured status (error + failing stage) and renders one retained
+// trace as an ASCII waterfall — controller stages plus the agent's
+// skew-corrected per-channel gather spans:
+//
+//	perfsight trace -endpoint http://localhost:9101
+//	perfsight trace -id 42
 package main
 
 import (
@@ -77,6 +85,9 @@ func main() {
 			return
 		case "flows":
 			runFlows(os.Args[2:])
+			return
+		case "trace":
+			runTrace(os.Args[2:])
 			return
 		}
 	}

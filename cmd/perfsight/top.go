@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
@@ -21,6 +22,7 @@ func runTop(args []string) {
 	interval := fs.Duration("interval", 2*time.Second, "poll interval")
 	once := fs.Bool("once", false, "scrape once and exit (no screen clearing)")
 	buckets := fs.Bool("buckets", false, "include histogram bucket rows")
+	traces := fs.Bool("traces", true, "append the recent-query table (/traces on the same host) when the endpoint serves it")
 	fs.Parse(args)
 
 	var prev map[string]float64
@@ -58,11 +60,34 @@ func runTop(args []string) {
 			}
 			fmt.Printf("%-64s %16s %12s\n", s.Key, formatValue(s.Value), rate)
 		}
+		if *traces {
+			printRecentQueries(strings.TrimSuffix(*endpoint, "/metrics"))
+		}
 		if *once {
 			return
 		}
 		prev, prevAt = cur, now
 		time.Sleep(*interval)
+	}
+}
+
+// printRecentQueries appends the trace spine's recent-query view: one
+// row per traced query with its structured status (ok, or the error and
+// the stage it failed in). Endpoints without a /traces surface (agents,
+// controllers running without -spans) are skipped silently.
+func printRecentQueries(base string) {
+	var resp telemetry.TraceList
+	if err := getJSON(base, "/traces", url.Values{"n": {"10"}}, &resp); err != nil {
+		return
+	}
+	if len(resp.Recent) == 0 {
+		return
+	}
+	fmt.Printf("\nRECENT QUERIES (newest first; perfsight trace -id N for the waterfall)\n")
+	fmt.Printf("%-8s %-24s %12s %6s  %s\n", "TRACE", "TARGET", "TOTAL", "SPANS", "STATUS")
+	for _, sum := range resp.Recent {
+		fmt.Printf("%-8d %-24s %12s %6d  %s\n",
+			sum.ID, sum.Target, sum.Total, sum.Spans, queryStatus(sum.TraceSummary))
 	}
 }
 

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/url"
+	"time"
+
+	"perfsight/internal/telemetry"
+)
+
+// runTrace talks to the trace spine of a flight-recorder controller:
+// the recent-query listing (structured status per query) or one retained
+// trace's skew-corrected waterfall, rendered client-side from the span
+// forest so the output honors the local terminal width.
+//
+//	perfsight trace -endpoint http://localhost:9101
+//	perfsight trace -id 42
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	endpoint := fs.String("endpoint", "http://localhost:9101", "flight-recorder controller base URL")
+	id := fs.Uint64("id", 0, "render one retained trace's waterfall (0 = list)")
+	limit := fs.Int("limit", 20, "newest traces to list (0 = all)")
+	width := fs.Int("width", 48, "waterfall bar width, columns")
+	fs.Parse(args)
+
+	if *id > 0 {
+		showTrace(*endpoint, *id, *width)
+		return
+	}
+	listTraces(*endpoint, *limit)
+}
+
+// queryStatus renders a summary's structured status: ok, or the error
+// with the stage it failed in.
+func queryStatus(sum telemetry.TraceSummary) string {
+	if sum.Err == "" {
+		return "ok"
+	}
+	return fmt.Sprintf("ERROR in %s: %s", sum.FailStage, sum.Err)
+}
+
+func listTraces(endpoint string, limit int) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("n", fmt.Sprint(limit))
+	}
+	var resp telemetry.TraceList
+	if err := getJSON(endpoint, "/traces", q, &resp); err != nil {
+		fatalf("perfsight trace: %v", err)
+	}
+	fmt.Printf("%d recent quer(y/ies), %d retained with spans\n\n", len(resp.Recent), len(resp.Kept))
+	fmt.Printf("%-8s %-24s %12s %6s  %s\n", "TRACE", "TARGET", "TOTAL", "SPANS", "STATUS")
+	for _, sum := range resp.Recent {
+		fmt.Printf("%-8d %-24s %12s %6d  %s\n",
+			sum.ID, sum.Target, sum.Total, sum.Spans, queryStatus(sum.TraceSummary))
+	}
+	if len(resp.Kept) > 0 {
+		fmt.Printf("\nretained span forests (perfsight trace -id N):\n")
+		fmt.Printf("%-8s %-24s %12s %6s  %-8s %s\n", "TRACE", "TARGET", "TOTAL", "SPANS", "KEEP", "START")
+		for _, tr := range resp.Kept {
+			fmt.Printf("%-8d %-24s %12s %6d  %-8s %s\n",
+				tr.ID, tr.Target, tr.Total, tr.SpanCount, tr.Keep,
+				tr.Start.UTC().Format(time.RFC3339))
+		}
+	}
+}
+
+func showTrace(endpoint string, id uint64, width int) {
+	var tr telemetry.StoredTrace
+	if err := getJSON(endpoint, fmt.Sprintf("/traces/%d", id), nil, &tr); err != nil {
+		fatalf("perfsight trace: %v", err)
+	}
+	fmt.Print(telemetry.RenderWaterfall(&tr, width))
+}

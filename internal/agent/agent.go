@@ -66,6 +66,12 @@ type Agent struct {
 	// (LegacyFlowFetcher). Set before Serve.
 	AllowSketch bool
 
+	// AllowSpans advertises span-decorated responses: v2 connections that
+	// negotiate the capability get a per-channel timing decomposition of
+	// every gather piggybacked on response and stream_data frames. Peers
+	// that never ask keep the plain agent_ns split. Set before Serve.
+	AllowSpans bool
+
 	// CadenceMin/CadenceMax bound the adaptive push cadence. CadenceMin
 	// is a floor the controller cannot undercut; CadenceMax is the
 	// quiescent heartbeat period. Zero values use DefaultCadenceMin/Max.
@@ -134,15 +140,17 @@ type LegacyFlowFetcher interface {
 // returned alongside it. In-process callers are sketch-native: adapters
 // report flow statistics in their configured mode.
 func (a *Agent) Fetch(ids []core.ElementID, attrs []string, all bool) ([]core.Record, error) {
-	return a.fetchAppend(nil, ids, attrs, all, false)
+	return a.fetchAppend(nil, ids, attrs, all, false, nil)
 }
 
 // fetchAppend is Fetch appending into recs — the serve loop passes a
 // per-connection scratch slice so steady-state queries reuse its backing
 // array instead of growing a fresh one per frame. legacyFlows demotes
 // LegacyFlowFetcher adapters to per-rule enumeration for connections
-// whose peer never negotiated the sketch capability.
-func (a *Agent) fetchAppend(recs []core.Record, ids []core.ElementID, attrs []string, all, legacyFlows bool) ([]core.Record, error) {
+// whose peer never negotiated the sketch capability. A non-nil sb
+// collects one child span per adapter fetch, named by collection
+// channel, for connections whose peer negotiated spans.
+func (a *Agent) fetchAppend(recs []core.Record, ids []core.ElementID, attrs []string, all, legacyFlows bool, sb *spanBuf) ([]core.Record, error) {
 	start := time.Now()
 	tel := a.tel.Load()
 	defer func() {
@@ -180,10 +188,20 @@ func (a *Agent) fetchAppend(recs []core.Record, ids []core.ElementID, attrs []st
 		}
 		var rec core.Record
 		var err error
-		if tel != nil {
+		if tel != nil || sb != nil {
 			g := time.Now()
 			rec, err = fetch(ts)
-			tel.observeGather(ad.Kind(), time.Since(g))
+			d := time.Since(g)
+			if tel != nil {
+				tel.observeGather(ad.Kind(), d)
+			}
+			if sb != nil {
+				status := ""
+				if err != nil {
+					status = "error"
+				}
+				sb.child(channelName(ad, legacyFlows), g.UnixNano(), d.Nanoseconds(), status)
+			}
 		} else {
 			rec, err = fetch(ts)
 		}
@@ -253,8 +271,10 @@ func (a *Agent) handle(conn net.Conn) {
 	defer wire.PutBuf(buf)
 	var recScratch []core.Record
 	// Until a hello negotiates the sketch capability, the peer is assumed
-	// old and gets the legacy flow enumeration.
+	// old and gets the legacy flow enumeration. sb stays nil — no span
+	// decoration — until a hello grants the spans capability.
 	legacyFlows := true
+	var sb *spanBuf
 	for {
 		if a.ReadTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(a.ReadTimeout)); err != nil {
@@ -294,6 +314,9 @@ func (a *Agent) handle(conn net.Conn) {
 		if msg.Type == wire.TypeHello {
 			resp, next = a.hello(msg)
 			legacyFlows = resp.Hello == nil || !resp.Hello.Sketch
+			if resp.Hello != nil && resp.Hello.Spans {
+				sb = &spanBuf{}
+			}
 		} else if msg.Type == wire.TypeStreamStart {
 			if errStr := a.streamStartErr(msg); errStr != "" {
 				resp = &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: errStr}
@@ -301,12 +324,12 @@ func (a *Agent) handle(conn net.Conn) {
 				// The connection converts to push mode; serveStream owns
 				// it (and buf) until the stream ends, then the connection
 				// closes — streams never fall back to request/response.
-				a.serveStream(conn, sess, msg, buf, legacyFlows)
+				a.serveStream(conn, sess, msg, buf, legacyFlows, sb)
 				return
 			}
 		} else {
 			recScratch = recScratch[:0]
-			resp = a.dispatch(msg, &recScratch, legacyFlows)
+			resp = a.dispatch(msg, &recScratch, legacyFlows, sb)
 		}
 		if a.ReadTimeout > 0 {
 			if err := conn.SetWriteDeadline(time.Now().Add(a.ReadTimeout)); err != nil {
@@ -341,7 +364,10 @@ func (a *Agent) hello(msg *wire.Message) (*wire.Message, wire.Codec) {
 	if tel := a.tel.Load(); tel != nil {
 		tel.countRequest(msg.Type)
 	}
-	ack := &wire.Message{Type: wire.TypeHelloAck, ID: msg.ID, Machine: a.machine, Hello: &wire.Hello{}}
+	// The ack's agent_ts (the agent clock at answer time) seeds the
+	// controller's skew estimate even on sessions that never carry spans.
+	ack := &wire.Message{Type: wire.TypeHelloAck, ID: msg.ID, Machine: a.machine,
+		AgentTS: time.Now().UnixNano(), Hello: &wire.Hello{}}
 	if msg.Hello != nil {
 		// Stream and sketch capabilities are codec-independent: a JSON
 		// session can push or consume sketch blobs too, it just forgoes
@@ -356,12 +382,20 @@ func (a *Agent) hello(msg *wire.Message) (*wire.Message, wire.Codec) {
 		return ack, nil
 	}
 	delta := msg.Hello.Delta && a.AllowDelta
+	// Spans ride only the v2 codec: the section is binary, and granting
+	// it on a JSON session would change every response's JSON shape.
+	spans := msg.Hello.Spans && a.AllowSpans
 	ack.Hello.Codecs = []string{wire.CodecV2}
 	ack.Hello.Delta = delta
+	ack.Hello.Spans = spans
 	if tel := a.tel.Load(); tel != nil {
 		tel.codecV2.Inc()
 	}
-	return ack, wire.NewV2Codec(delta)
+	c := wire.NewV2Codec(delta)
+	if spans {
+		c.EnableSpans()
+	}
+	return ack, c
 }
 
 func containsCodec(codecs []string, want string) bool {
@@ -376,19 +410,33 @@ func containsCodec(codecs []string, want string) bool {
 // dispatch answers one request. The response echoes the request's
 // trace_id and carries the agent-side handling time so the controller's
 // query-lifecycle tracer can split transport from gather work. scratch
-// is the connection's reusable record slice (already truncated).
-func (a *Agent) dispatch(msg *wire.Message, scratch *[]core.Record, legacyFlows bool) *wire.Message {
+// is the connection's reusable record slice (already truncated). On a
+// spans session (sb non-nil), query responses additionally carry a root
+// "agent:dispatch" span with one child per collection channel, plus the
+// agent clock at answer time for skew correction.
+func (a *Agent) dispatch(msg *wire.Message, scratch *[]core.Record, legacyFlows bool, sb *spanBuf) *wire.Message {
 	start := time.Now()
-	resp := a.dispatchInner(msg, scratch, legacyFlows)
+	if sb != nil && msg.Type == wire.TypeQuery {
+		sb.begin()
+	} else {
+		sb = nil
+	}
+	resp := a.dispatchInner(msg, scratch, legacyFlows, sb)
 	resp.TraceID = msg.TraceID
-	resp.AgentNS = time.Since(start).Nanoseconds()
+	elapsed := time.Since(start)
+	resp.AgentNS = elapsed.Nanoseconds()
+	if sb != nil && resp.Type == wire.TypeResponse {
+		sb.root("agent:dispatch", start.UnixNano(), elapsed.Nanoseconds())
+		resp.AgentTS = start.UnixNano() + elapsed.Nanoseconds()
+		resp.AgentSpans = sb.spans
+	}
 	if tel := a.tel.Load(); tel != nil {
 		tel.countRequest(msg.Type)
 	}
 	return resp
 }
 
-func (a *Agent) dispatchInner(msg *wire.Message, scratch *[]core.Record, legacyFlows bool) *wire.Message {
+func (a *Agent) dispatchInner(msg *wire.Message, scratch *[]core.Record, legacyFlows bool, sb *spanBuf) *wire.Message {
 	switch msg.Type {
 	case wire.TypePing:
 		return &wire.Message{Type: wire.TypePong, ID: msg.ID, Machine: a.machine}
@@ -405,7 +453,7 @@ func (a *Agent) dispatchInner(msg *wire.Message, scratch *[]core.Record, legacyF
 		if msg.Query == nil {
 			return &wire.Message{Type: wire.TypeError, ID: msg.ID, Error: "query message without query body"}
 		}
-		recs, err := a.fetchAppend(*scratch, msg.Query.Elements, msg.Query.Attrs, msg.Query.All, legacyFlows)
+		recs, err := a.fetchAppend(*scratch, msg.Query.Elements, msg.Query.Attrs, msg.Query.All, legacyFlows, sb)
 		*scratch = recs
 		resp := &wire.Message{Type: wire.TypeResponse, ID: msg.ID, Machine: a.machine, Records: recs}
 		if err != nil {

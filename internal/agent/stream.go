@@ -65,7 +65,7 @@ func (a *Agent) streamStartErr(msg *wire.Message) string {
 // V2Codec's encode and decode halves keep disjoint state (intern tables,
 // delta maps, scratch), so one decoding reader and one encoding writer
 // never touch the same fields.
-func (a *Agent) serveStream(conn net.Conn, sess wire.Codec, start *wire.Message, buf *[]byte, legacyFlows bool) {
+func (a *Agent) serveStream(conn net.Conn, sess wire.Codec, start *wire.Message, buf *[]byte, legacyFlows bool, sb *spanBuf) {
 	tel := a.tel.Load()
 	if tel != nil {
 		tel.countRequest(wire.TypeStreamStart)
@@ -121,15 +121,29 @@ func (a *Agent) serveStream(conn net.Conn, sess wire.Codec, start *wire.Message,
 			return
 		case <-timer.C:
 		}
-		recs, _ = a.fetchAppend(recs[:0], q.Elements, q.Attrs, q.All, legacyFlows)
+		gatherStart := time.Now()
+		if sb != nil {
+			sb.begin()
+		}
+		recs, _ = a.fetchAppend(recs[:0], q.Elements, q.Attrs, q.All, legacyFlows, sb)
 		changed := !sameValues(prev, recs)
 		prev, prevFlat = copyRecords(prev, prevFlat, recs)
 
 		seq++
-		out, err := sess.Encode(&wire.Message{
+		msg := &wire.Message{
 			Type: wire.TypeStreamData, ID: start.ID, Machine: a.machine,
 			Stream: &wire.StreamInfo{Seq: seq}, Records: recs,
-		})
+		}
+		if sb != nil {
+			// Spans session: decorate the pushed batch the way a query
+			// response is decorated, with the push gather as the root.
+			elapsed := time.Since(gatherStart)
+			sb.root("agent:push", gatherStart.UnixNano(), elapsed.Nanoseconds())
+			msg.AgentNS = elapsed.Nanoseconds()
+			msg.AgentTS = gatherStart.UnixNano() + elapsed.Nanoseconds()
+			msg.AgentSpans = sb.spans
+		}
+		out, err := sess.Encode(msg)
 		if err == nil {
 			if a.ReadTimeout > 0 {
 				conn.SetWriteDeadline(time.Now().Add(a.ReadTimeout))

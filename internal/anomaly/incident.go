@@ -18,6 +18,11 @@ const (
 // EventCount keeps counting past it.
 const maxIncidentEventSeqs = 64
 
+// maxIncidentTraceIDs caps the per-incident trace references — enough to
+// sample an episode's evolution without letting a long-running incident
+// pin unbounded span-store slots.
+const maxIncidentTraceIDs = 16
+
 // Incident is one correlated anomaly episode: every diagnosis event
 // whose verdict names the same root cause within a sliding window is
 // folded into a single incident with a timeline, instead of paging the
@@ -44,6 +49,11 @@ type Incident struct {
 	// (capped at maxIncidentEventSeqs); EventCount is uncapped.
 	EventSeqs  []int64 `json:"event_seqs"`
 	EventCount int     `json:"event_count"`
+	// TraceIDs are the distributed traces referenced by member events
+	// (deduplicated, capped at maxIncidentTraceIDs) — the queries or
+	// push frames whose records triggered them, retrievable from the
+	// span store as skew-corrected waterfalls.
+	TraceIDs []uint64 `json:"trace_ids,omitempty"`
 	// Summary is the latest member event's verdict line.
 	Summary string `json:"summary"`
 	// DetectionNS is the opening event's detection latency: record-clock
@@ -57,6 +67,7 @@ func (in *Incident) clone() Incident {
 	out.Tenants = append([]core.TenantID(nil), in.Tenants...)
 	out.Elements = append([]core.ElementID(nil), in.Elements...)
 	out.EventSeqs = append([]int64(nil), in.EventSeqs...)
+	out.TraceIDs = append([]uint64(nil), in.TraceIDs...)
 	return out
 }
 
@@ -108,7 +119,7 @@ func NewCorrelator(cfg CorrelatorConfig) *Correlator {
 // window lapsed — Tick resolves those, but a late burst after a long
 // quiet gap must not reopen history). It returns the incident ID and
 // whether this event opened it.
-func (c *Correlator) Observe(key string, tid core.TenantID, elems []core.ElementID, ts int64, seq int64, summary string, detectionNS int64) (id int64, opened bool) {
+func (c *Correlator) Observe(key string, tid core.TenantID, elems []core.ElementID, ts int64, seq int64, summary string, detectionNS int64, traceID uint64) (id int64, opened bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	in := c.open[key]
@@ -135,6 +146,9 @@ func (c *Correlator) Observe(key string, tid core.TenantID, elems []core.Element
 	in.EventCount++
 	if len(in.EventSeqs) < maxIncidentEventSeqs {
 		in.EventSeqs = append(in.EventSeqs, seq)
+	}
+	if traceID != 0 && len(in.TraceIDs) < maxIncidentTraceIDs && !containsTrace(in.TraceIDs, traceID) {
+		in.TraceIDs = append(in.TraceIDs, traceID)
 	}
 	if !containsTenant(in.Tenants, tid) {
 		in.Tenants = append(in.Tenants, tid)
@@ -222,6 +236,15 @@ func (c *Correlator) OpenCount() int {
 }
 
 func containsTenant(s []core.TenantID, t core.TenantID) bool {
+	for _, v := range s {
+		if v == t {
+			return true
+		}
+	}
+	return false
+}
+
+func containsTrace(s []uint64, t uint64) bool {
 	for _, v := range s {
 		if v == t {
 			return true

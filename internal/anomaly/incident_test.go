@@ -11,16 +11,16 @@ const sec = int64(time.Second)
 
 func TestCorrelatorFoldsSameRootCause(t *testing.T) {
 	c := NewCorrelator(CorrelatorConfig{Window: 30 * time.Second, ResolveAfter: 10 * time.Second})
-	id1, opened := c.Observe("resource:memory-bandwidth", "t1", []core.ElementID{"m0/vm0/tun"}, 1*sec, 11, "first", 2*sec)
+	id1, opened := c.Observe("resource:memory-bandwidth", "t1", []core.ElementID{"m0/vm0/tun"}, 1*sec, 11, "first", 2*sec, 101)
 	if !opened || id1 == 0 {
 		t.Fatalf("first event: id=%d opened=%v", id1, opened)
 	}
-	id2, opened := c.Observe("resource:memory-bandwidth", "t1", []core.ElementID{"m0/vm1/tun"}, 5*sec, 12, "second", 0)
+	id2, opened := c.Observe("resource:memory-bandwidth", "t1", []core.ElementID{"m0/vm1/tun"}, 5*sec, 12, "second", 0, 101)
 	if opened || id2 != id1 {
 		t.Fatalf("second event opened a new incident: id=%d opened=%v", id2, opened)
 	}
 	// A different root cause is its own incident.
-	id3, opened := c.Observe("m0/vm-px/app", "t2", nil, 6*sec, 13, "chain", 0)
+	id3, opened := c.Observe("m0/vm-px/app", "t2", nil, 6*sec, 13, "chain", 0, 0)
 	if !opened || id3 == id1 {
 		t.Fatalf("different root cause folded: id=%d opened=%v", id3, opened)
 	}
@@ -50,11 +50,15 @@ func TestCorrelatorFoldsSameRootCause(t *testing.T) {
 	if in.DetectionNS != 2*sec {
 		t.Fatalf("DetectionNS = %d, want the opening event's", in.DetectionNS)
 	}
+	// Both events referenced trace 101; the incident keeps it once.
+	if len(in.TraceIDs) != 1 || in.TraceIDs[0] != 101 {
+		t.Fatalf("trace ids = %v, want [101]", in.TraceIDs)
+	}
 }
 
 func TestCorrelatorResolvesAfterQuiet(t *testing.T) {
 	c := NewCorrelator(CorrelatorConfig{Window: 30 * time.Second, ResolveAfter: 10 * time.Second})
-	id, _ := c.Observe("k", "t1", nil, 1*sec, 1, "s", 0)
+	id, _ := c.Observe("k", "t1", nil, 1*sec, 1, "s", 0, 0)
 	if n := c.Tick(5 * sec); n != 0 {
 		t.Fatalf("Tick inside quiet period resolved %d", n)
 	}
@@ -69,7 +73,7 @@ func TestCorrelatorResolvesAfterQuiet(t *testing.T) {
 		t.Fatalf("OpenCount = %d after resolve", c.OpenCount())
 	}
 	// A recurrence after resolution is a NEW incident.
-	id2, opened := c.Observe("k", "t1", nil, 20*sec, 2, "s", 0)
+	id2, opened := c.Observe("k", "t1", nil, 20*sec, 2, "s", 0, 0)
 	if !opened || id2 == id {
 		t.Fatalf("recurrence reopened history: id=%d opened=%v", id2, opened)
 	}
@@ -77,11 +81,11 @@ func TestCorrelatorResolvesAfterQuiet(t *testing.T) {
 
 func TestCorrelatorLapsedWindowOpensFresh(t *testing.T) {
 	c := NewCorrelator(CorrelatorConfig{Window: 10 * time.Second, ResolveAfter: 5 * time.Second})
-	id1, _ := c.Observe("k", "t1", nil, 1*sec, 1, "s", 0)
+	id1, _ := c.Observe("k", "t1", nil, 1*sec, 1, "s", 0, 0)
 	// No Tick ran (e.g. sweeps stalled), but the next same-key event is
 	// far outside the window: the stale incident resolves and a fresh one
 	// opens rather than stretching one incident across the gap.
-	id2, opened := c.Observe("k", "t1", nil, 60*sec, 2, "s", 0)
+	id2, opened := c.Observe("k", "t1", nil, 60*sec, 2, "s", 0, 0)
 	if !opened || id2 == id1 {
 		t.Fatalf("late burst joined the lapsed incident: id=%d opened=%v", id2, opened)
 	}
@@ -94,10 +98,10 @@ func TestCorrelatorLapsedWindowOpensFresh(t *testing.T) {
 func TestCorrelatorListAndEviction(t *testing.T) {
 	c := NewCorrelator(CorrelatorConfig{Window: 10 * time.Second, ResolveAfter: time.Second, MaxResolved: 2})
 	for i := int64(0); i < 4; i++ {
-		c.Observe("k", "t1", nil, i*20*sec, i+1, "s", 0)
+		c.Observe("k", "t1", nil, i*20*sec, i+1, "s", 0, 0)
 		c.Tick(i*20*sec + 2*sec)
 	}
-	c.Observe("open-one", "t1", nil, 100*sec, 9, "s", 0)
+	c.Observe("open-one", "t1", nil, 100*sec, 9, "s", 0, 0)
 
 	all := c.List("", 0)
 	if len(all) != 3 { // 1 open + 2 retained resolved (2 evicted)
@@ -123,7 +127,7 @@ func TestCorrelatorListAndEviction(t *testing.T) {
 
 func TestCorrelatorSnapshotsAreCopies(t *testing.T) {
 	c := NewCorrelator(CorrelatorConfig{})
-	id, _ := c.Observe("k", "t1", []core.ElementID{"e1"}, 1*sec, 1, "s", 0)
+	id, _ := c.Observe("k", "t1", []core.ElementID{"e1"}, 1*sec, 1, "s", 0, 0)
 	in, _ := c.Get(id)
 	in.Elements[0] = "mutated"
 	in.Summary = "mutated"

@@ -9,6 +9,7 @@ import (
 
 	"perfsight/internal/core"
 	"perfsight/internal/history"
+	"perfsight/internal/telemetry"
 )
 
 // seriesClass says which detector a series gets, decided once from the
@@ -99,6 +100,17 @@ type Pipeline struct {
 	// include Algorithm 2 pruning; nil skips chain diagnosis.
 	Net func(core.TenantID) *core.VirtualNet
 
+	// TraceOf resolves the distributed trace id of the most recent sweep
+	// query that touched an element (Controller.LastTraceID); nil leaves
+	// pull-path events untraced. Push-path events carry their frame's
+	// trace id through ObserveTraced instead.
+	TraceOf func(core.ElementID) uint64
+
+	// Spans, when set, pins every incident-referenced trace in the span
+	// store so its waterfall outlives head sampling for the
+	// investigation.
+	Spans *telemetry.SpanStore
+
 	cfg Config
 
 	mu        sync.Mutex
@@ -166,7 +178,8 @@ type evalCtx struct {
 
 	worst         violation
 	evals, resets uint64
-	now           int64 // newest record timestamp seen this pass
+	now           int64  // newest record timestamp seen this pass
+	traceID       uint64 // push path: the frame's trace; 0 = resolve via TraceOf
 }
 
 // beginEval resolves the tenant's evaluation context. Callers hold
@@ -282,7 +295,13 @@ func (p *Pipeline) finishEval(tid core.TenantID, ec *evalCtx) {
 		}
 	}
 	if trigger {
-		p.fire(tid, ec.slo, ec.worst)
+		traceID := ec.traceID
+		if traceID == 0 && p.TraceOf != nil {
+			// Pull path: the trace of the sweep query that gathered the
+			// violating element's records.
+			traceID = p.TraceOf(ec.worst.elem)
+		}
+		p.fire(tid, ec.slo, ec.worst, traceID)
 	}
 	if ec.now > 0 {
 		if n := p.Incidents.Tick(ec.now); n > 0 {
@@ -315,11 +334,19 @@ func (p *Pipeline) AfterSweep(tid core.TenantID, recs map[core.ElementID]core.Re
 // (per-series detector state is shared under p.mu, so a machine moving
 // between push and fallback-sweep keeps its baselines).
 func (p *Pipeline) Observe(tid core.TenantID, recs []core.Record) {
+	p.ObserveTraced(tid, recs, 0)
+}
+
+// ObserveTraced is Observe carrying the distributed trace id of the
+// push frame that delivered recs, so a trigger's event and incident
+// reference the exact frame whose records fired them.
+func (p *Pipeline) ObserveTraced(tid core.TenantID, recs []core.Record, traceID uint64) {
 	if len(recs) == 0 {
 		return
 	}
 	p.mu.Lock()
 	ec := p.beginEval(tid)
+	ec.traceID = traceID
 	for _, rec := range recs {
 		p.evalRecord(tid, rec.Element, rec, &ec)
 	}
@@ -347,8 +374,11 @@ func (p *Pipeline) stateFor(tid core.TenantID, eid core.ElementID, attr core.Att
 }
 
 // fire runs the automatic diagnosis for one trigger, journals the
-// evidence, and folds the event into an incident.
-func (p *Pipeline) fire(tid core.TenantID, slo SLO, worst violation) {
+// evidence, and folds the event into an incident. traceID, when
+// non-zero, links the event (and its incident) to the distributed trace
+// of the query or push frame that carried the triggering records, and
+// pins that trace in the span store.
+func (p *Pipeline) fire(tid core.TenantID, slo SLO, worst violation, traceID uint64) {
 	window := time.Duration(slo.Window)
 	ev := history.Event{
 		TS:       worst.ts,
@@ -360,6 +390,7 @@ func (p *Pipeline) fire(tid core.TenantID, slo SLO, worst violation) {
 		Baseline: worst.baseline,
 		DropRate: worst.dropRate,
 		WindowNS: int64(window),
+		TraceID:  traceID,
 	}
 	if rep, err := p.Store.DiagnoseStack(tid, window, worst.ts); err == nil {
 		ev.Stack = rep
@@ -386,10 +417,13 @@ func (p *Pipeline) fire(tid core.TenantID, slo SLO, worst violation) {
 	if worst.lastGood > 0 && worst.ts > worst.lastGood {
 		latency = worst.ts - worst.lastGood
 	}
-	id, opened := p.Incidents.Observe(key, tid, elems, worst.ts, 0, ev.Summary, latency)
+	id, opened := p.Incidents.Observe(key, tid, elems, worst.ts, 0, ev.Summary, latency, traceID)
 	ev.IncidentID = id
 	seq := p.Journal.Append(ev)
 	p.Incidents.attachSeq(id, seq)
+	if p.Spans != nil && traceID != 0 {
+		p.Spans.Pin(traceID)
+	}
 
 	if m := p.tel.Load(); m != nil {
 		m.triggers.Inc()

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfsight/internal/agent"
@@ -87,11 +88,20 @@ type TCPClient struct {
 	// before the first request.
 	Sketch bool
 
+	// Spans requests span-decorated responses on v2 connections: the
+	// agent piggybacks a per-channel timing decomposition of every gather
+	// on its response frames, which the client remaps into its
+	// query-lifecycle trace with skew-corrected timestamps. Agents that
+	// predate the capability ignore the bit and keep the plain agent_ns
+	// split. Set before the first request.
+	Spans bool
+
 	mu         sync.Mutex
 	link       *agentLink // nil when disconnected
 	negotiated string     // codec of the last negotiation, for operators
 	frameBuf   []byte
 	nextID     uint64
+	lastTrace  atomic.Uint64 // trace id of the most recent round trip
 
 	tracer     *telemetry.Tracer
 	wireErrors *telemetry.Counter
@@ -155,6 +165,14 @@ func (c *TCPClient) EnableTelemetry(reg *telemetry.Registry, tracer *telemetry.T
 type agentLink struct {
 	conn net.Conn
 	sess wire.Codec
+
+	// spans reports whether the session negotiated span-decorated
+	// responses; skew is the connection-scoped clock-offset estimate for
+	// this agent, fed by every round trip's timestamp pair and reset by
+	// redialing (a fresh link gets a fresh estimator, so an agent restart
+	// with a stepped clock never inherits a stale offset).
+	spans bool
+	skew  *telemetry.SkewEstimator
 }
 
 // dropConn closes and forgets the cached link (connection + codec as a
@@ -167,21 +185,25 @@ func (c *TCPClient) dropConn() {
 }
 
 // negotiate runs the codec hello on a freshly dialed connection and
-// returns the session codec to use for its lifetime. The hello itself is
-// always JSON — that is what makes the exchange safe against agents that
-// predate v2: they answer with a JSON error frame, and the client simply
-// keeps the JSON codec on the same connection.
-func (c *TCPClient) negotiate(conn net.Conn) (wire.Codec, error) {
+// returns the link (connection + session codec + per-connection skew
+// estimator) to use for its lifetime. The hello itself is always JSON —
+// that is what makes the exchange safe against agents that predate v2:
+// they answer with a JSON error frame, and the client simply keeps the
+// JSON codec on the same connection. The ack's agent_ts seeds the skew
+// estimate before the first query.
+func (c *TCPClient) negotiate(conn net.Conn) (*agentLink, error) {
 	c.nextID++
 	hello := &wire.Message{
-		Type:  wire.TypeHello,
-		ID:    c.nextID,
-		Hello: &wire.Hello{Codecs: []string{wire.CodecV2}, Delta: c.Delta, Sketch: c.Sketch},
+		Type: wire.TypeHello,
+		ID:   c.nextID,
+		Hello: &wire.Hello{Codecs: []string{wire.CodecV2},
+			Delta: c.Delta, Sketch: c.Sketch, Spans: c.Spans},
 	}
 	payload, err := wire.Encode(hello)
 	if err != nil {
 		return nil, err
 	}
+	sendNS := time.Now().UnixNano()
 	if err := wire.WriteFrame(conn, payload); err != nil {
 		return nil, err
 	}
@@ -189,6 +211,7 @@ func (c *TCPClient) negotiate(conn net.Conn) (wire.Codec, error) {
 		c.bytesTx.Add(uint64(len(payload)) + 4)
 	}
 	raw, err := wire.ReadFrameBuf(conn, &c.frameBuf)
+	recvNS := time.Now().UnixNano()
 	if err != nil {
 		return nil, err
 	}
@@ -202,12 +225,22 @@ func (c *TCPClient) negotiate(conn net.Conn) (wire.Codec, error) {
 	if resp.ID != hello.ID {
 		return nil, fmt.Errorf("controller: agent %s: hello response id %d for request %d", c.Addr, resp.ID, hello.ID)
 	}
+	link := &agentLink{conn: conn, skew: &telemetry.SkewEstimator{}}
+	if resp.AgentTS != 0 {
+		link.skew.Observe(sendNS, recvNS, resp.AgentTS, 0)
+	}
 	if resp.Type == wire.TypeHelloAck && resp.Hello != nil && containsCodec(resp.Hello.Codecs, wire.CodecV2) {
 		if c.negV2 != nil {
 			c.negV2.Inc()
 		}
 		c.negotiated = wire.CodecV2
-		return wire.NewV2Codec(c.Delta && resp.Hello.Delta), nil
+		sess := wire.NewV2Codec(c.Delta && resp.Hello.Delta)
+		if c.Spans && resp.Hello.Spans {
+			sess.EnableSpans()
+			link.spans = true
+		}
+		link.sess = sess
+		return link, nil
 	}
 	// Anything else — an old agent's error frame, or an ack that grants
 	// nothing — means the peer speaks JSON only.
@@ -215,7 +248,8 @@ func (c *TCPClient) negotiate(conn net.Conn) (wire.Codec, error) {
 		c.negJSON.Inc()
 	}
 	c.negotiated = wire.CodecJSON
-	return wire.JSONCodec{}, nil
+	link.sess = wire.JSONCodec{}
+	return link, nil
 }
 
 func containsCodec(codecs []string, want string) bool {
@@ -239,79 +273,104 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 
 	// Encoding happens inside try(), after negotiation: the payload codec
 	// is connection-scoped (intern tables, delta state), and a redial may
-	// renegotiate it.
+	// renegotiate it. failStage names the stage of the most recent
+	// failure so the trace's structured status points at connect vs
+	// encode vs transport vs decode. Stage timings are recorded with
+	// explicit time.Now() pairs, not qt.Time closures — the closure
+	// allocates, and this path must stay allocation-free per sweep query.
+	failStage := telemetry.StageConnect
 	try := func() (*wire.Message, error) {
 		if c.link == nil {
+			connStart := time.Now()
 			conn, err := net.DialTimeout("tcp", c.Addr, c.Timeout)
 			if err != nil {
+				failStage = telemetry.StageConnect
 				return nil, fmt.Errorf("controller: dial agent %s: %w", c.Addr, err)
 			}
 			if c.Timeout > 0 {
 				if err := conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
 					conn.Close()
+					failStage = telemetry.StageConnect
 					return nil, fmt.Errorf("controller: set deadline for agent %s: %w", c.Addr, err)
 				}
 			}
-			sess := wire.Codec(wire.JSONCodec{})
 			if c.Codec != wire.CodecJSON {
-				sess, err = c.negotiate(conn)
+				link, err := c.negotiate(conn)
 				if err != nil {
 					conn.Close()
+					failStage = telemetry.StageConnect
 					return nil, fmt.Errorf("controller: negotiate with agent %s: %w", c.Addr, err)
 				}
+				c.link = link
 			} else {
 				c.negotiated = wire.CodecJSON
+				c.link = &agentLink{conn: conn, sess: wire.JSONCodec{}, skew: &telemetry.SkewEstimator{}}
 			}
-			c.link = &agentLink{conn: conn, sess: sess}
+			qt.Record(telemetry.StageConnect, time.Since(connStart))
 		}
 		link := c.link
 		if c.Timeout > 0 {
 			if err := link.conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+				failStage = telemetry.StageTransport
 				return nil, fmt.Errorf("controller: set deadline for agent %s: %w", c.Addr, err)
 			}
 		}
-		stopEncode := qt.Time(telemetry.StageEncode)
+		encStart := time.Now()
 		payload, err := link.sess.Encode(req)
-		stopEncode()
+		qt.Record(telemetry.StageEncode, time.Since(encStart))
 		if err != nil {
+			failStage = telemetry.StageEncode
 			return nil, err
 		}
 		wireStart := time.Now()
 		if err := wire.WriteFrame(link.conn, payload); err != nil {
+			failStage = telemetry.StageTransport
 			return nil, err
 		}
 		if c.bytesTx != nil {
 			c.bytesTx.Add(uint64(len(payload)) + 4)
 		}
 		raw, err := wire.ReadFrameBuf(link.conn, &c.frameBuf)
+		recvT := time.Now()
 		if err != nil {
+			failStage = telemetry.StageTransport
 			return nil, err
 		}
 		if c.bytesRx != nil {
 			c.bytesRx.Add(uint64(len(raw)) + 4)
 		}
-		transport := time.Since(wireStart)
-		stopDecode := qt.Time(telemetry.StageDecode)
+		transport := recvT.Sub(wireStart)
+		decStart := time.Now()
 		resp, err := link.sess.Decode(raw)
-		stopDecode()
+		qt.Record(telemetry.StageDecode, time.Since(decStart))
 		if err != nil {
+			failStage = telemetry.StageDecode
 			return nil, err
+		}
+		// Every response carrying the agent's clock feeds the link's skew
+		// estimate: offset = agent_ts − round-trip midpoint − handling/2.
+		if resp.AgentTS != 0 {
+			link.skew.Observe(wireStart.UnixNano(), recvT.UnixNano(), resp.AgentTS, resp.AgentNS)
 		}
 		// The synchronous round trip includes the agent's own handling
 		// time; subtract what the agent reports so the transport stage
 		// is wire time, not gather time.
+		var gatherID uint64
 		if resp.AgentNS > 0 {
 			agentTime := time.Duration(resp.AgentNS)
 			if agentTime > transport {
 				agentTime = transport
 			}
-			qt.Record(telemetry.StageGather, agentTime)
+			gatherID = qt.RecordSpan(telemetry.StageGather, agentTime)
 			transport -= agentTime
 			if c.agentDur != nil {
 				c.agentDur.Observe(float64(resp.AgentNS))
 			}
 		}
 		qt.Record(telemetry.StageTransport, transport)
+		if len(resp.AgentSpans) > 0 {
+			ingestAgentSpans(qt, gatherID, resp.AgentSpans, wireStart.UnixNano(), recvT.UnixNano(), link.skew)
+		}
 		return resp, nil
 	}
 
@@ -335,7 +394,7 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 			if c.wireErrors != nil {
 				c.wireErrors.Inc()
 			}
-			qt.Fail()
+			qt.Fail(failStage, err)
 			return nil, err
 		}
 	}
@@ -344,10 +403,43 @@ func (c *TCPClient) roundTrip(req *wire.Message) (*wire.Message, error) {
 		if c.wireErrors != nil {
 			c.wireErrors.Inc()
 		}
-		qt.Fail()
-		return nil, fmt.Errorf("controller: agent %s: response id %d for request %d", c.Addr, resp.ID, req.ID)
+		err := fmt.Errorf("controller: agent %s: response id %d for request %d", c.Addr, resp.ID, req.ID)
+		qt.Fail(telemetry.StageDecode, err)
+		return nil, err
 	}
+	c.lastTrace.Store(qt.ID())
 	return resp, nil
+}
+
+// LastTraceID reports the trace id of the client's most recent round
+// trip — what an anomaly fired from this agent's records should
+// reference.
+func (c *TCPClient) LastTraceID() uint64 { return c.lastTrace.Load() }
+
+// ingestAgentSpans remaps one response's frame-local agent spans into
+// the query trace: span IDs are reassigned by the tracer, parents are
+// translated through the id table (parent 0 — the agent's root — is
+// re-anchored under the controller's gather span), and timestamps are
+// shifted by the link's clock-offset estimate then clamped into the
+// round-trip window so a nonsense agent clock can never produce a span
+// outside the query that carried it.
+func ingestAgentSpans(qt *telemetry.QueryTrace, gatherID uint64, spans []wire.Span, sendNS, recvNS int64, skew *telemetry.SkewEstimator) {
+	offset, _ := skew.Offset()
+	var ids [telemetry.MaxSpansPerTrace + 1]uint64
+	for i := range spans {
+		sp := &spans[i]
+		// offset is agent-clock minus controller-clock; subtracting moves
+		// the agent timestamp onto the controller's timeline.
+		start, dur := telemetry.ClampSpanWindow(sp.StartNS-offset, sp.DurNS, sendNS, recvNS)
+		parent := gatherID
+		if sp.Parent != 0 && sp.Parent < uint64(len(ids)) && ids[sp.Parent] != 0 {
+			parent = ids[sp.Parent]
+		}
+		id := qt.AddSpan("agent", sp.Name, start, dur, parent, sp.Status)
+		if sp.ID < uint64(len(ids)) {
+			ids[sp.ID] = id
+		}
+	}
 }
 
 // Query implements AgentClient.

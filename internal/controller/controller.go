@@ -79,6 +79,21 @@ func (c *Controller) Agent(m core.MachineID) (AgentClient, bool) {
 	return a, ok
 }
 
+// LastTraceID reports the trace id of the most recent query round trip
+// to the machine hosting eid (0 when the machine is unknown or its
+// client untraced) — the anomaly pipeline's TraceOf hook, linking a
+// sweep-detected incident to the trace of the sweep that detected it.
+func (c *Controller) LastTraceID(eid core.ElementID) uint64 {
+	a, ok := c.Agent(eid.Machine())
+	if !ok {
+		return 0
+	}
+	if t, ok := a.(interface{ LastTraceID() uint64 }); ok {
+		return t.LastTraceID()
+	}
+	return 0
+}
+
 // locate finds the element's machine within the tenant's virtual network —
 // the vNet[tenantID].elem[elementID] lookup of §4.3.
 func (c *Controller) locate(tid core.TenantID, eid core.ElementID) (core.MachineID, error) {

@@ -37,6 +37,12 @@ type Event struct {
 	// folded into (0 when no correlator is attached).
 	IncidentID int64 `json:"incident_id,omitempty"`
 
+	// TraceID references the distributed trace of the sweep query or
+	// push frame that carried the triggering records (0 when tracing is
+	// off or the trace is unknown). The span store pins referenced
+	// traces so their waterfalls stay retrievable alongside the event.
+	TraceID uint64 `json:"trace_id,omitempty"`
+
 	Stack *diagnosis.ContentionReport `json:"stack,omitempty"`
 	Chain *diagnosis.RootCauseReport  `json:"chain,omitempty"`
 

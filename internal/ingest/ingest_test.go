@@ -10,6 +10,7 @@ import (
 
 	"perfsight/internal/agent"
 	"perfsight/internal/core"
+	"perfsight/internal/telemetry"
 	"perfsight/internal/wire"
 )
 
@@ -46,16 +47,30 @@ func (e *pushElem) set(rx, drops float64) {
 type collector struct {
 	mu      sync.Mutex
 	batches [][]core.Record
+	traces  []uint64
 	block   chan struct{} // non-nil: Sink blocks on it (backpressure tests)
 }
 
-func (c *collector) sink(_ core.MachineID, recs []core.Record) {
+func (c *collector) sink(_ core.MachineID, recs []core.Record, traceID uint64) {
 	if c.block != nil {
 		<-c.block
 	}
 	c.mu.Lock()
 	c.batches = append(c.batches, recs)
+	c.traces = append(c.traces, traceID)
 	c.mu.Unlock()
+}
+
+// lastTrace returns the most recent non-zero trace ID the sink saw.
+func (c *collector) lastTrace() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.traces) - 1; i >= 0; i-- {
+		if c.traces[i] != 0 {
+			return c.traces[i]
+		}
+	}
+	return 0
 }
 
 func (c *collector) count() int {
@@ -287,5 +302,72 @@ func TestPushAdaptiveCadence(t *testing.T) {
 	// floor. 4× is a generous margin for CI jitter.
 	if busyFrames < 4*quietFrames || busyFrames < 8 {
 		t.Fatalf("cadence did not adapt: quiet window %d frames, busy window %d", quietFrames, busyFrames)
+	}
+}
+
+// A spans-capable agent's push frames become completed traces: the sink
+// sees the frame's trace ID and the span store holds a waterfall with
+// the controller-side stages plus the agent's skew-corrected per-channel
+// gather spans.
+func TestPushSpansTraced(t *testing.T) {
+	elem := &pushElem{id: "m0/pnic", kind: core.KindPNIC, autoStep: 7}
+	col := &collector{}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(reg, "ingest", 64)
+	st := telemetry.NewSpanStore(reg, 64, 16, 8)
+	tr.AttachSpanStore(st, 1, 0)
+	before := time.Now().UnixNano()
+	pushSetup(t, elem, func(a *agent.Agent) { a.AllowSpans = true },
+		Config{Sink: col.sink, Spans: true, Tracer: tr})
+
+	waitFor(t, 5*time.Second, "traced batch", func() bool { return col.lastTrace() != 0 })
+	tid := col.lastTrace()
+	trace, ok := st.Get(tid)
+	if !ok {
+		t.Fatalf("span store lost trace %d", tid)
+	}
+	var sawGather, sawPush, sawChannel bool
+	for _, sp := range trace.Spans {
+		switch {
+		case sp.Component == "ingest" && sp.Name == string(telemetry.StageGather):
+			sawGather = true
+		case sp.Component == "agent" && sp.Name == "agent:push":
+			sawPush = true
+		case sp.Component == "agent" && sp.Name == "snapshot:encode":
+			sawChannel = true
+		}
+		if sp.Component == "agent" {
+			// Skew-corrected and clamped: agent spans land on the
+			// controller timeline, inside the test's wall-clock window.
+			now := time.Now().UnixNano()
+			if sp.Start < before-int64(time.Minute) || sp.End() > now {
+				t.Fatalf("agent span %q outside controller window: start=%d end=%d now=%d",
+					sp.Name, sp.Start, sp.End(), now)
+			}
+		}
+	}
+	if !sawGather || !sawPush || !sawChannel {
+		t.Fatalf("waterfall missing spans (gather=%v push=%v channel=%v): %+v",
+			sawGather, sawPush, sawChannel, trace.Spans)
+	}
+}
+
+// A span-blind agent behind a spans-requesting ingest keeps streaming
+// plain frames: no trace IDs, no spans, no errors — the capability
+// degrades silently per connection.
+func TestPushSpanBlindAgent(t *testing.T) {
+	elem := &pushElem{id: "m0/pnic", kind: core.KindPNIC, autoStep: 7}
+	col := &collector{}
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer(reg, "ingest", 64)
+	m, _ := pushSetup(t, elem, nil, // agent default: AllowSpans = false
+		Config{Sink: col.sink, Spans: true, Tracer: tr})
+
+	waitFor(t, 5*time.Second, "3 pushed batches", func() bool { return col.count() >= 3 })
+	if !m.Streaming("m0") {
+		t.Fatal("span-blind agent broke the stream")
+	}
+	if tid := col.lastTrace(); tid != 0 {
+		t.Fatalf("span-blind agent produced trace %d", tid)
 	}
 }

@@ -111,11 +111,11 @@ func TestPushDetectionLatencyBeatsSweep(t *testing.T) {
 		DialTimeout: 2 * time.Second,
 		Redial:      10 * time.Millisecond,
 		Delta:       true,
-		Sink: func(_ core.MachineID, recs []core.Record) {
+		Sink: func(_ core.MachineID, recs []core.Record, traceID uint64) {
 			for _, r := range recs {
 				push.store.Append(labTenant, r)
 			}
-			push.pipe.Observe(labTenant, recs)
+			push.pipe.ObserveTraced(labTenant, recs, traceID)
 		},
 	})
 	// The agent's own cadence window must admit the fixed 50ms cadence.

@@ -7,14 +7,18 @@ import (
 	"time"
 
 	"perfsight/internal/core"
+	"perfsight/internal/telemetry"
 	"perfsight/internal/wire"
 )
 
 // Sink receives each drained batch. The controller wires it to
 // history.Store.Append plus the anomaly pipeline's per-arrival hook; it
 // is called from one goroutine per agent stream, so it must be safe for
-// concurrent use across machines (Store.Append is).
-type Sink func(machine core.MachineID, recs []core.Record)
+// concurrent use across machines (Store.Append is). traceID is the
+// distributed trace of the push frame that carried the records (0 when
+// tracing is off or the frame carried no spans) — an anomaly fired from
+// these records should reference it.
+type Sink func(machine core.MachineID, recs []core.Record, traceID uint64)
 
 // Config shapes the ingest side of push streaming.
 type Config struct {
@@ -52,6 +56,18 @@ type Config struct {
 	Codec  string
 	Delta  bool
 	Sketch bool
+
+	// Spans requests compact agent-side span blocks on stream_data
+	// frames (granted only alongside the v2 codec; a span-blind agent
+	// simply streams without them). Tracer must also be set for the
+	// spans to land anywhere.
+	Spans bool
+
+	// Tracer, when set with Spans, turns every spans-bearing stream_data
+	// frame into a completed trace: the frame's decode cost plus the
+	// agent's skew-corrected per-channel gather spans. Nil disables
+	// per-frame tracing.
+	Tracer *telemetry.Tracer
 
 	// Query selects what each agent streams. Zero value streams all
 	// elements.

@@ -16,10 +16,12 @@ import (
 )
 
 // Batch is one pushed stream_data frame's payload: the records of a
-// single agent gather, in arrival order.
+// single agent gather, in arrival order. TraceID references the frame's
+// completed trace when the agent piggybacked spans (0 otherwise).
 type Batch struct {
 	Machine core.MachineID
 	Seq     uint64
+	TraceID uint64
 	Records []core.Record
 }
 

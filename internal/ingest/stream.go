@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"perfsight/internal/core"
+	"perfsight/internal/telemetry"
 	"perfsight/internal/wire"
 )
 
@@ -28,6 +29,13 @@ const (
 type streamConn struct {
 	conn net.Conn
 	sess wire.Codec
+
+	// spans is the negotiated span capability; skew is the connection's
+	// clock-offset estimate, seeded from the hello round trip (a redial
+	// always starts a fresh estimator — the agent may have restarted or
+	// stepped its clock).
+	spans bool
+	skew  *telemetry.SkewEstimator
 
 	// writeMu serializes control-frame writes (throttle from the reader,
 	// release from the drain) and their codec Encode calls. The reader's
@@ -171,15 +179,18 @@ func (s *Stream) connectAndStream(ctx context.Context) (fallback bool, err error
 	if s.cfg.Codec != wire.CodecJSON {
 		hello.Hello.Codecs = []string{wire.CodecV2}
 		hello.Hello.Delta = s.cfg.Delta
+		hello.Hello.Spans = s.cfg.Spans
 	}
 	payload, err := wire.Encode(hello)
 	if err != nil {
 		return false, err
 	}
+	sendNS := time.Now().UnixNano()
 	if err := wire.WriteFrame(conn, payload); err != nil {
 		return false, err
 	}
 	raw, err := wire.ReadFrameBuf(conn, &frameBuf)
+	recvNS := time.Now().UnixNano()
 	if err != nil {
 		return false, err
 	}
@@ -190,13 +201,24 @@ func (s *Stream) connectAndStream(ctx context.Context) (fallback bool, err error
 	if ack.Type != wire.TypeHelloAck || ack.Hello == nil || !ack.Hello.Stream {
 		return true, nil // old agent, or push disabled on its side
 	}
-	sc := &streamConn{conn: conn, sess: wire.JSONCodec{}, nextID: 1}
+	sc := &streamConn{conn: conn, sess: wire.JSONCodec{}, nextID: 1, skew: &telemetry.SkewEstimator{}}
+	if ack.AgentTS != 0 {
+		// The hello round trip is the stream's only request/response
+		// exchange, so it seeds the clock-offset estimate that places
+		// every later push frame's spans on the controller timeline.
+		sc.skew.Observe(sendNS, recvNS, ack.AgentTS, 0)
+	}
 	s.mu.Lock()
 	s.codec = wire.CodecJSON
 	s.mu.Unlock()
 	for _, c := range ack.Hello.Codecs {
 		if c == wire.CodecV2 {
-			sc.sess = wire.NewV2Codec(s.cfg.Delta && ack.Hello.Delta)
+			v2 := wire.NewV2Codec(s.cfg.Delta && ack.Hello.Delta)
+			if s.cfg.Spans && ack.Hello.Spans {
+				v2.EnableSpans()
+				sc.spans = true
+			}
+			sc.sess = v2
 			s.mu.Lock()
 			s.codec = wire.CodecV2
 			s.mu.Unlock()
@@ -258,15 +280,21 @@ func (s *Stream) receive(ctx context.Context, sc *streamConn) error {
 		if err != nil {
 			return err
 		}
+		decStart := time.Now()
 		msg, err := sc.sess.Decode(raw)
 		if err != nil {
 			return err
 		}
+		decodeD := time.Since(decStart)
 		switch msg.Type {
 		case wire.TypeStreamData:
 			var seq uint64
 			if msg.Stream != nil {
 				seq = msg.Stream.Seq
+			}
+			var traceID uint64
+			if s.cfg.Tracer != nil && len(msg.AgentSpans) > 0 {
+				traceID = s.ingestSpans(sc, msg, decStart.UnixNano(), decodeD)
 			}
 			s.mu.Lock()
 			s.frames++
@@ -285,7 +313,7 @@ func (s *Stream) receive(ctx context.Context, sc *streamConn) error {
 			}
 			// Decode materializes fresh record storage per frame, so the
 			// batch owns its memory; nothing aliases the codec scratch.
-			if s.q.Push(Batch{Machine: s.machine, Seq: seq, Records: msg.Records}) {
+			if s.q.Push(Batch{Machine: s.machine, Seq: seq, TraceID: traceID, Records: msg.Records}) {
 				if s.tel != nil {
 					s.tel.drops.Inc()
 				}
@@ -301,6 +329,48 @@ func (s *Stream) receive(ctx context.Context, sc *streamConn) error {
 		}
 	}
 	return ctx.Err()
+}
+
+// pushClampSlackNS widens the clamp window for push-frame spans. A pull
+// query's round trip brackets the agent's work exactly; a push frame only
+// bounds it from above (the gather finished before the frame arrived), so
+// the lower bound is reconstructed as arrival minus the reported gather
+// time minus this slack for transport latency and residual skew error.
+const pushClampSlackNS = int64(time.Second)
+
+// ingestSpans turns one spans-bearing stream_data frame into a completed
+// trace: an agent_gather stage sized by the agent's reported elapsed
+// time, the frame's decode cost, and the agent's frame-local spans
+// remapped into the trace — IDs reassigned, parents translated (the
+// agent's root re-anchors under the gather stage), timestamps shifted by
+// the connection's clock-offset estimate and clamped so a nonsense agent
+// clock cannot place a span after the frame that carried it. recvNS is
+// the frame's arrival time on the controller clock. Returns the trace ID
+// for the batch to carry to the sink.
+func (s *Stream) ingestSpans(sc *streamConn, msg *wire.Message, recvNS int64, decodeD time.Duration) uint64 {
+	qt := s.cfg.Tracer.Begin(string(s.machine))
+	gatherID := qt.RecordSpan(telemetry.StageGather, time.Duration(msg.AgentNS))
+	qt.Record(telemetry.StageDecode, decodeD)
+	lo := recvNS - msg.AgentNS - pushClampSlackNS
+	offset, _ := sc.skew.Offset()
+	var ids [telemetry.MaxSpansPerTrace + 1]uint64
+	for i := range msg.AgentSpans {
+		sp := &msg.AgentSpans[i]
+		// offset is agent-clock minus controller-clock; subtracting moves
+		// the agent timestamp onto the controller's timeline.
+		start, dur := telemetry.ClampSpanWindow(sp.StartNS-offset, sp.DurNS, lo, recvNS)
+		parent := gatherID
+		if sp.Parent != 0 && sp.Parent < uint64(len(ids)) && ids[sp.Parent] != 0 {
+			parent = ids[sp.Parent]
+		}
+		id := qt.AddSpan("agent", sp.Name, start, dur, parent, sp.Status)
+		if sp.ID < uint64(len(ids)) {
+			ids[sp.ID] = id
+		}
+	}
+	id := qt.ID()
+	qt.End()
+	return id
 }
 
 // throttle asks the agent to raise its cadence floor to d (0 releases).
@@ -342,7 +412,7 @@ func (s *Stream) drain(ctx context.Context) {
 		if !ok {
 			return
 		}
-		s.cfg.Sink(b.Machine, b.Records)
+		s.cfg.Sink(b.Machine, b.Records, b.TraceID)
 		if s.q.Len() <= s.q.low() {
 			s.mu.Lock()
 			sc := s.cur

@@ -1,0 +1,55 @@
+package telemetry
+
+// Span is one timed operation inside a trace. Spans form a forest per
+// trace: Parent is another span's ID, or 0 for a top-level span. Start
+// is unix nanoseconds on the *controller's* timeline — remote spans are
+// skew-corrected before they are added (see SkewEstimator) so a
+// waterfall across processes lines up on one clock.
+//
+// The model is deliberately small and value-shaped (no pointers, no
+// maps) so a trace's spans live in a fixed array inside QueryTrace and
+// recording stays allocation-free on the hot path.
+type Span struct {
+	TraceID   uint64 `json:"trace_id"`
+	ID        uint64 `json:"id"`
+	Parent    uint64 `json:"parent,omitempty"`
+	Component string `json:"component"`
+	Name      string `json:"name"`
+	Start     int64  `json:"start_ns"`
+	Duration  int64  `json:"duration_ns"`
+	Status    string `json:"status,omitempty"` // "" = ok
+}
+
+// End returns the span's end time in unix nanoseconds.
+func (s Span) End() int64 { return s.Start + s.Duration }
+
+// MaxSpansPerTrace bounds the spans one trace retains. Overflow is
+// dropped and counted (TraceSummary.Dropped) rather than grown: the
+// cap is what keeps recording 0 allocs/op, and a query that produces
+// more than 32 spans is itself the anomaly worth noticing.
+const MaxSpansPerTrace = 32
+
+// ClampSpanWindow fits a remote span into the observed round-trip
+// window [loNS, hiNS]. Skew correction is an estimate; a peer with a
+// broken clock (or a nonsense agent_ts) could otherwise place its spans
+// hours away from the query that carried them. The round trip is ground
+// truth: the agent's work happened between our send and our receive, so
+// the span is clamped inside it.
+func ClampSpanWindow(startNS, durNS, loNS, hiNS int64) (int64, int64) {
+	if hiNS < loNS {
+		hiNS = loNS
+	}
+	if durNS < 0 {
+		durNS = 0
+	}
+	if window := hiNS - loNS; durNS > window {
+		durNS = window
+	}
+	if startNS < loNS {
+		startNS = loNS
+	}
+	if startNS+durNS > hiNS {
+		startNS = hiNS - durNS
+	}
+	return startNS, durNS
+}

@@ -1,0 +1,316 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// completeTrace drives one Begin…End cycle with a representative span
+// mix: four controller stages plus remote agent spans parented under
+// the gather span, the way the TCP client ingests them.
+func completeTrace(tr *Tracer, fail bool) uint64 {
+	qt := tr.Begin("m0")
+	id := qt.ID()
+	qt.Record(StageEncode, 10*time.Microsecond)
+	gather := qt.RecordSpan(StageGather, 80*time.Microsecond)
+	base := time.Now().Add(-80 * time.Microsecond).UnixNano()
+	root := qt.AddSpan("agent", "agent:dispatch", base, 75000, gather, "")
+	qt.AddSpan("agent", "ovs:DUMP-SKETCH", base+1000, 40000, root, "")
+	qt.AddSpan("agent", "procfs:netdev", base+45000, 20000, root, "")
+	qt.Record(StageTransport, 100*time.Microsecond)
+	qt.Record(StageDecode, 5*time.Microsecond)
+	if fail {
+		qt.Fail(StageDecode, errors.New("torn frame"))
+	}
+	qt.End()
+	return id
+}
+
+func TestSkewEstimatorSeededJitter(t *testing.T) {
+	// The agent's clock runs 5 ms ahead; transport jitter is ±200 µs per
+	// direction. The midpoint estimate must converge well inside the
+	// jitter bound.
+	const trueOffset = 5 * time.Millisecond
+	rng := rand.New(rand.NewSource(42))
+	var e SkewEstimator
+	ctlNow := int64(1e15)
+	for i := 0; i < 200; i++ {
+		ctlNow += int64(time.Millisecond)
+		fwd := int64(50*time.Microsecond) + rng.Int63n(int64(200*time.Microsecond))
+		back := int64(50*time.Microsecond) + rng.Int63n(int64(200*time.Microsecond))
+		handling := int64(100*time.Microsecond) + rng.Int63n(int64(100*time.Microsecond))
+		send := ctlNow
+		agentDone := send + fwd + handling + trueOffset.Nanoseconds()
+		recv := send + fwd + handling + back
+		e.Observe(send, recv, agentDone, handling)
+	}
+	off, ok := e.Offset()
+	if !ok {
+		t.Fatal("no estimate after 200 samples")
+	}
+	if err := off - trueOffset.Nanoseconds(); err > int64(150*time.Microsecond) || err < -int64(150*time.Microsecond) {
+		t.Fatalf("offset error %v exceeds bound (est %v, true %v)",
+			time.Duration(err), time.Duration(off), trueOffset)
+	}
+}
+
+func TestSkewEstimatorResetAndGuards(t *testing.T) {
+	var e SkewEstimator
+	e.Observe(1000, 2000, 0, 100)    // no agent_ts: ignored
+	e.Observe(2000, 1000, 5000, 100) // reversed round trip: ignored
+	if _, ok := e.Offset(); ok {
+		t.Fatal("garbage pairs produced an estimate")
+	}
+	e.Observe(1000, 2000, 1500+7000, 1000)
+	if off, ok := e.Offset(); !ok || off != 7000-500 {
+		// mid=1500, handling clamps to rtt (1000) → sample = 8500-1500-500.
+		t.Fatalf("offset = %d, %v", off, ok)
+	}
+	if e.Samples() != 1 {
+		t.Fatalf("samples = %d, want 1", e.Samples())
+	}
+	// Counter-reset / redial path: a fresh estimate starts from scratch.
+	e.Reset()
+	if off, ok := e.Offset(); ok || off != 0 {
+		t.Fatal("reset kept the estimate")
+	}
+	var nilE *SkewEstimator
+	nilE.Observe(1, 2, 3, 0)
+	if _, ok := nilE.Offset(); ok {
+		t.Fatal("nil estimator not inert")
+	}
+}
+
+func TestClampSpanWindow(t *testing.T) {
+	cases := []struct {
+		start, dur, lo, hi int64
+		wantStart, wantDur int64
+	}{
+		{150, 20, 100, 200, 150, 20},      // already inside
+		{50, 20, 100, 200, 100, 20},       // starts before window
+		{190, 50, 100, 200, 150, 50},      // runs past the end
+		{-1e15, 1e12, 100, 200, 100, 100}, // nonsense timestamp: clamped to window
+		{150, -5, 100, 200, 150, 0},       // negative duration
+		{150, 20, 200, 100, 200, 0},       // inverted window collapses
+	}
+	for i, c := range cases {
+		gs, gd := ClampSpanWindow(c.start, c.dur, c.lo, c.hi)
+		if gs != c.wantStart || gd != c.wantDur {
+			t.Errorf("case %d: got (%d,%d), want (%d,%d)", i, gs, gd, c.wantStart, c.wantDur)
+		}
+	}
+}
+
+func TestSpanStoreSamplingAndTailKeep(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, "controller", 64)
+	st := NewSpanStore(reg, 32, 16, 8)
+	tr.AttachSpanStore(st, 4, 0) // head-sample every 4th trace
+
+	var kept, transient []uint64
+	for i := 0; i < 8; i++ {
+		id := completeTrace(tr, false)
+		if id%4 == 0 {
+			kept = append(kept, id)
+		} else {
+			transient = append(transient, id)
+		}
+	}
+	for _, id := range kept {
+		got, ok := st.Get(id)
+		if !ok || got.Keep != KeepSample {
+			t.Fatalf("sampled trace %d: ok=%v keep=%q", id, ok, got.Keep)
+		}
+		if len(got.Spans) != 7 {
+			t.Fatalf("trace %d kept %d spans, want 7", id, len(got.Spans))
+		}
+	}
+	// Unsampled traces sit in the transient window, pinnable but not listed.
+	listed := st.List(0)
+	for _, e := range listed {
+		for _, id := range transient {
+			if e.ID == id {
+				t.Fatalf("transient trace %d listed as retained", id)
+			}
+		}
+	}
+	pinID := transient[len(transient)-1]
+	if !st.Pin(pinID) {
+		t.Fatalf("pin of transient trace %d failed", pinID)
+	}
+	got, ok := st.Get(pinID)
+	if !ok || got.Keep != KeepIncident {
+		t.Fatalf("pinned trace: ok=%v keep=%q", ok, got.Keep)
+	}
+	if st.Pin(99999) {
+		t.Fatal("pin of unknown trace succeeded")
+	}
+
+	// Tail-keep: a failed trace is retained even when head sampling
+	// would have let it go.
+	tr.AttachSpanStore(st, 1000000, 0)
+	failID := completeTrace(tr, true)
+	got, ok = st.Get(failID)
+	if !ok || got.Keep != KeepError || got.Err != "torn frame" || got.FailStage != StageDecode {
+		t.Fatalf("error trace not tail-kept: ok=%v %+v", ok, got)
+	}
+	// Tail-keep: slow threshold.
+	tr.AttachSpanStore(st, 1000000, time.Nanosecond)
+	slowID := completeTrace(tr, false)
+	if got, ok = st.Get(slowID); !ok || got.Keep != KeepSlow {
+		t.Fatalf("slow trace not tail-kept: ok=%v keep=%q", ok, got.Keep)
+	}
+}
+
+// TestSpanStoreConcurrency is the -race proof for concurrent
+// append/query/evict: writers complete traces (which both appends to
+// the store and overwrites ring slots, i.e. evicts), while readers Get,
+// List and Pin racing IDs.
+func TestSpanStoreConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, "controller", 64)
+	st := NewSpanStore(reg, 16, 8, 8) // small rings: constant eviction
+	tr.AttachSpanStore(st, 2, 0)
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				completeTrace(tr, i%17 == 0)
+			}
+		}()
+	}
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for id := uint64(1); id < 64; id++ {
+					if tr, ok := st.Get(id); ok && tr.ID != id {
+						t.Error("Get returned wrong trace")
+						return
+					}
+					if id%7 == uint64(r) {
+						st.Pin(id)
+					}
+				}
+				st.List(10)
+			}
+		}(r)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+func TestWaterfallRender(t *testing.T) {
+	tr := StoredTrace{
+		ID: 42, Target: "m0:9000", Component: "controller",
+		Start: time.Now(), Total: 200 * time.Microsecond,
+		Spans: []Span{
+			{TraceID: 42, ID: 1, Component: "controller", Name: "encode", Start: 1000, Duration: 10000},
+			{TraceID: 42, ID: 2, Component: "controller", Name: "agent_gather", Start: 12000, Duration: 150000},
+			{TraceID: 42, ID: 3, Parent: 2, Component: "agent", Name: "agent:dispatch", Start: 15000, Duration: 140000},
+			{TraceID: 42, ID: 4, Parent: 3, Component: "agent", Name: "ovs:DUMP-SKETCH", Start: 16000, Duration: 90000, Status: "error"},
+		},
+		SpanCount: 4,
+	}
+	out := RenderWaterfall(&tr, 40)
+	for _, want := range []string{"trace 42", "controller/encode", "agent/agent:dispatch", "agent/ovs:DUMP-SKETCH", "■"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	// The agent child renders indented beneath the gather span.
+	gatherLine := strings.Index(out, "controller/agent_gather")
+	childLine := strings.Index(out, "  agent/agent:dispatch")
+	if gatherLine == -1 || childLine == -1 || childLine < gatherLine {
+		t.Fatalf("child span not nested under parent:\n%s", out)
+	}
+	if !strings.Contains(out, "!") {
+		t.Fatalf("errored span not marked:\n%s", out)
+	}
+}
+
+func TestTraceHTTP(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, "controller", 16)
+	st := NewSpanStore(reg, 16, 8, 4)
+	tr.AttachSpanStore(st, 1, 0)
+	id := completeTrace(tr, false)
+
+	mux := http.NewServeMux()
+	(&TraceServer{Tracer: tr, Store: st}).Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list TraceList
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Recent) != 1 || list.Recent[0].ID != id || len(list.Recent[0].Stages) == 0 {
+		t.Fatalf("bad /traces recent: %+v", list.Recent)
+	}
+	if len(list.Kept) != 1 || list.Kept[0].ID != id {
+		t.Fatalf("bad /traces kept: %+v", list.Kept)
+	}
+
+	resp, err = http.Get(srv.URL + "/traces/" + jsonUint(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full StoredTrace
+	if err := json.NewDecoder(resp.Body).Decode(&full); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if full.ID != id || len(full.Spans) != 7 {
+		t.Fatalf("bad /traces/{id}: id=%d spans=%d", full.ID, len(full.Spans))
+	}
+
+	resp, _ = http.Get(srv.URL + "/traces/99999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing trace returned %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, _ = http.Get(srv.URL + "/traces/" + jsonUint(id) + "?render=1")
+	buf := new(strings.Builder)
+	b := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(b)
+		buf.Write(b[:n])
+		if err != nil {
+			break
+		}
+	}
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "controller/encode") {
+		t.Fatalf("rendered waterfall missing spans:\n%s", buf.String())
+	}
+}
+
+func jsonUint(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

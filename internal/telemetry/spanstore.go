@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Retention reasons recorded on stored traces.
+const (
+	KeepSample   = "sample"   // head sampling picked it
+	KeepError    = "error"    // trace failed
+	KeepSlow     = "slow"     // total latency crossed the slow threshold
+	KeepIncident = "incident" // an incident pinned it as evidence
+)
+
+// StoredTrace is one retained trace: its summary fields plus the span
+// forest. List returns entries without Spans (SpanCount tells how many
+// a Get would return); Get returns a deep copy the caller owns.
+type StoredTrace struct {
+	ID        uint64        `json:"id"`
+	Target    string        `json:"target"`
+	Component string        `json:"component"`
+	Start     time.Time     `json:"start"`
+	Total     time.Duration `json:"total_ns"`
+	Err       string        `json:"err,omitempty"`
+	FailStage Stage         `json:"fail_stage,omitempty"`
+	Keep      string        `json:"keep,omitempty"` // retention reason ("" = transient)
+	Dropped   int           `json:"dropped_spans,omitempty"`
+	SpanCount int           `json:"span_count"`
+	Spans     []Span        `json:"spans,omitempty"`
+}
+
+const spanStoreShards = 8
+
+// spanShard holds two overwrite rings: kept (sampled / error / slow
+// traces, the durable working set) and recent (everything else, a short
+// grace window so an incident firing moments after a trace completes can
+// still pin it). Ring slots recycle their span-slice capacity, so a
+// steady-state put is allocation-free once the rings are warm.
+type spanShard struct {
+	mu      sync.Mutex
+	kept    []StoredTrace
+	keptN   int
+	recent  []StoredTrace
+	recentN int
+}
+
+// SpanStore retains completed traces' spans, sharded by trace ID so
+// concurrent End()s from many links do not serialize on one lock.
+// Bounded everywhere: per-shard rings overwrite oldest, and the pinned
+// set (incident evidence) is a capped FIFO.
+type SpanStore struct {
+	shards [spanStoreShards]spanShard
+
+	pinMu    sync.Mutex
+	pinned   map[uint64]*StoredTrace
+	pinOrder []uint64
+	pinCap   int
+
+	stored  *Counter
+	pins    *Counter
+	pinMiss *Counter
+}
+
+// NewSpanStore builds a store retaining about keep traces plus a
+// transient window of about recent traces awaiting a possible pin.
+// pinCap bounds incident-pinned traces (<=0 means 64). reg may be nil.
+func NewSpanStore(reg *Registry, keep, recent, pinCap int) *SpanStore {
+	if keep <= 0 {
+		keep = 256
+	}
+	if recent <= 0 {
+		recent = 64
+	}
+	if pinCap <= 0 {
+		pinCap = 64
+	}
+	st := &SpanStore{pinned: make(map[uint64]*StoredTrace), pinCap: pinCap}
+	perKept := (keep + spanStoreShards - 1) / spanStoreShards
+	perRecent := (recent + spanStoreShards - 1) / spanStoreShards
+	for i := range st.shards {
+		st.shards[i].kept = make([]StoredTrace, perKept)
+		st.shards[i].recent = make([]StoredTrace, perRecent)
+	}
+	if reg != nil {
+		st.stored = reg.Counter("perfsight_trace_store_kept_total", "traces retained by the span store (sample/error/slow)")
+		st.pins = reg.Counter("perfsight_trace_store_pins_total", "traces pinned as incident evidence")
+		st.pinMiss = reg.Counter("perfsight_trace_store_pin_misses_total", "incident pins that arrived after the trace was evicted")
+	}
+	return st
+}
+
+func (st *SpanStore) shard(id uint64) *spanShard {
+	return &st.shards[id%spanStoreShards]
+}
+
+// put stores a completed trace. keep is the retention reason ("" means
+// transient). spans is copied into a recycled ring slot; the caller may
+// reuse its backing array immediately. sum travels by value so the
+// caller's summary never escapes to the heap (End's 0-alloc budget).
+func (st *SpanStore) put(sum TraceSummary, component string, spans []Span, keep string) {
+	if st == nil {
+		return
+	}
+	sh := st.shard(sum.ID)
+	sh.mu.Lock()
+	var slot *StoredTrace
+	if keep != "" {
+		slot = &sh.kept[sh.keptN]
+		sh.keptN = (sh.keptN + 1) % len(sh.kept)
+	} else {
+		slot = &sh.recent[sh.recentN]
+		sh.recentN = (sh.recentN + 1) % len(sh.recent)
+	}
+	slot.ID = sum.ID
+	slot.Target = sum.Target
+	slot.Component = component
+	slot.Start = sum.Start
+	slot.Total = sum.Total
+	slot.Err = sum.Err
+	slot.FailStage = sum.FailStage
+	slot.Keep = keep
+	slot.Dropped = sum.Dropped
+	slot.SpanCount = len(spans)
+	slot.Spans = append(slot.Spans[:0], spans...)
+	sh.mu.Unlock()
+	if keep != "" && st.stored != nil {
+		st.stored.Inc()
+	}
+}
+
+// lookupLocked scans one ring for id. Caller holds the shard lock.
+func lookupRing(ring []StoredTrace, id uint64) *StoredTrace {
+	for i := range ring {
+		if ring[i].ID == id && id != 0 {
+			return &ring[i]
+		}
+	}
+	return nil
+}
+
+func cloneTrace(t *StoredTrace) StoredTrace {
+	out := *t
+	out.Spans = append([]Span(nil), t.Spans...)
+	return out
+}
+
+// Get returns a deep copy of the trace, searching pinned entries first,
+// then the kept and transient rings.
+func (st *SpanStore) Get(id uint64) (StoredTrace, bool) {
+	if st == nil || id == 0 {
+		return StoredTrace{}, false
+	}
+	st.pinMu.Lock()
+	if p := st.pinned[id]; p != nil {
+		out := cloneTrace(p)
+		st.pinMu.Unlock()
+		return out, true
+	}
+	st.pinMu.Unlock()
+	sh := st.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t := lookupRing(sh.kept, id); t != nil {
+		return cloneTrace(t), true
+	}
+	if t := lookupRing(sh.recent, id); t != nil {
+		return cloneTrace(t), true
+	}
+	return StoredTrace{}, false
+}
+
+// Pin promotes a trace to incident evidence: it is copied out of the
+// rings into the pinned set, where ring overwrites can no longer evict
+// it. Bounded FIFO — when pinCap is exceeded the oldest pin is dropped.
+// Returns false when the trace is already gone (counted as a pin miss).
+func (st *SpanStore) Pin(id uint64) bool {
+	if st == nil || id == 0 {
+		return false
+	}
+	st.pinMu.Lock()
+	if _, ok := st.pinned[id]; ok {
+		st.pinMu.Unlock()
+		return true
+	}
+	st.pinMu.Unlock()
+
+	sh := st.shard(id)
+	sh.mu.Lock()
+	t := lookupRing(sh.kept, id)
+	if t == nil {
+		t = lookupRing(sh.recent, id)
+	}
+	var cp StoredTrace
+	if t != nil {
+		cp = cloneTrace(t)
+	}
+	sh.mu.Unlock()
+	if t == nil {
+		if st.pinMiss != nil {
+			st.pinMiss.Inc()
+		}
+		return false
+	}
+	cp.Keep = KeepIncident
+	st.pinMu.Lock()
+	if _, ok := st.pinned[id]; !ok {
+		st.pinned[id] = &cp
+		st.pinOrder = append(st.pinOrder, id)
+		for len(st.pinOrder) > st.pinCap {
+			delete(st.pinned, st.pinOrder[0])
+			st.pinOrder = st.pinOrder[1:]
+		}
+	}
+	st.pinMu.Unlock()
+	if st.pins != nil {
+		st.pins.Inc()
+	}
+	return true
+}
+
+// List returns retained traces (kept rings + pinned set, not the
+// transient window), newest first, without their spans, at most max
+// entries (<=0 means all).
+func (st *SpanStore) List(max int) []StoredTrace {
+	if st == nil {
+		return nil
+	}
+	var out []StoredTrace
+	seen := make(map[uint64]bool)
+	st.pinMu.Lock()
+	for _, id := range st.pinOrder {
+		if p := st.pinned[id]; p != nil {
+			cp := *p
+			cp.Spans = nil
+			out = append(out, cp)
+			seen[id] = true
+		}
+	}
+	st.pinMu.Unlock()
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for j := range sh.kept {
+			if t := &sh.kept[j]; t.ID != 0 && !seen[t.ID] {
+				cp := *t
+				cp.Spans = nil
+				out = append(out, cp)
+				seen[t.ID] = true
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}

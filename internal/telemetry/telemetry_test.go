@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -126,7 +127,7 @@ func TestTracerStagesAndRing(t *testing.T) {
 		qt.Record(StageGather, 50*time.Microsecond)
 		qt.Record(StageDecode, 5*time.Microsecond)
 		if i == 5 {
-			qt.Fail()
+			qt.Fail(StageTransport, errors.New("conn reset"))
 		}
 		qt.End()
 	}
@@ -134,14 +135,18 @@ func TestTracerStagesAndRing(t *testing.T) {
 	if len(recent) != 4 {
 		t.Fatalf("ring kept %d, want 4", len(recent))
 	}
-	if !recent[len(recent)-1].Err {
-		t.Fatal("failed trace not marked in ring")
+	last := recent[len(recent)-1]
+	if !last.Failed() || last.Err != "conn reset" || last.FailStage != StageTransport {
+		t.Fatalf("failed trace lost structured status: %+v", last)
 	}
 	if recent[0].ID >= recent[1].ID {
 		t.Fatal("ring not oldest-first")
 	}
-	if recent[0].Stages[StageTransport] != 100*time.Microsecond {
-		t.Fatalf("stage timing lost: %v", recent[0].Stages)
+	if recent[0].StageDuration(StageTransport) != 100*time.Microsecond {
+		t.Fatalf("stage timing lost: %v", recent[0].StageList())
+	}
+	if recent[0].Spans != 4 {
+		t.Fatalf("stage spans not recorded: %d", recent[0].Spans)
 	}
 
 	var buf bytes.Buffer
@@ -161,7 +166,7 @@ func TestNilTracerIsInert(t *testing.T) {
 	qt.Record(StageEncode, time.Millisecond)
 	done := qt.Time(StageDecode)
 	done()
-	qt.Fail()
+	qt.Fail(StageEncode, nil)
 	qt.End()
 	if qt.ID() != 0 || tr.NextID() != 0 || tr.Recent() != nil {
 		t.Fatal("nil tracer leaked state")

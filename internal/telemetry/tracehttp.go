@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TraceServer exposes the trace spine over HTTP:
+//
+//	GET /traces          recent query summaries + retained traces
+//	GET /traces/{id}     one trace's full span forest (JSON)
+//	GET /traces/{id}?render=1   the ASCII waterfall (text/plain)
+//
+// Register it on the same mux as the /metrics and /healthz surfaces.
+type TraceServer struct {
+	Tracer *Tracer
+	Store  *SpanStore
+}
+
+// TraceList is the /traces response shape.
+type TraceList struct {
+	// Recent is the tracer's summary ring, newest first: every recent
+	// query, spans retained or not, with structured status.
+	Recent []TraceSummaryJSON `json:"recent"`
+	// Kept lists traces whose spans are retained (head-sampled, error,
+	// slow, or incident-pinned), newest first, without span bodies.
+	Kept []StoredTrace `json:"kept"`
+}
+
+// TraceSummaryJSON is TraceSummary with the stage array rendered as a
+// JSON list (the fixed backing array is an implementation detail).
+type TraceSummaryJSON struct {
+	TraceSummary
+	Stages []StageDur `json:"stages"`
+}
+
+// Register installs the handlers on mux.
+func (s *TraceServer) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/traces", s.handleList)
+	mux.HandleFunc("/traces/", s.handleGet)
+}
+
+func (s *TraceServer) handleList(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil {
+			n = parsed
+		}
+	}
+	var out TraceList
+	recent := s.Tracer.Recent()
+	for i := len(recent) - 1; i >= 0; i-- { // newest first
+		sum := recent[i]
+		out.Recent = append(out.Recent, TraceSummaryJSON{
+			TraceSummary: sum,
+			Stages:       append([]StageDur(nil), sum.StageList()...),
+		})
+		if n > 0 && len(out.Recent) >= n {
+			break
+		}
+	}
+	out.Kept = s.Store.List(n)
+	if out.Recent == nil {
+		out.Recent = []TraceSummaryJSON{}
+	}
+	if out.Kept == nil {
+		out.Kept = []StoredTrace{}
+	}
+	traceWriteJSON(w, out)
+}
+
+func (s *TraceServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/traces/")
+	id, err := strconv.ParseUint(idStr, 10, 64)
+	if err != nil {
+		traceHTTPErr(w, http.StatusBadRequest, "bad trace id")
+		return
+	}
+	tr, ok := s.Store.Get(id)
+	if !ok {
+		traceHTTPErr(w, http.StatusNotFound, "trace not retained")
+		return
+	}
+	if r.URL.Query().Get("render") != "" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(RenderWaterfall(&tr, 0)))
+		return
+	}
+	traceWriteJSON(w, tr)
+}
+
+func traceWriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func traceHTTPErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderWaterfall renders a stored trace as an ASCII waterfall: one row
+// per span, indented by parent depth, with a bar positioned on the
+// trace's timeline. Remote spans were skew-corrected at ingest, so
+// agent-side rows line up against the controller-side rows that carried
+// them. width is the bar width in columns (<=0 means 48). Shared by the
+// `perfsight trace` subcommand and tests.
+func RenderWaterfall(tr *StoredTrace, width int) string {
+	if width <= 0 {
+		width = 48
+	}
+	var b strings.Builder
+	status := "ok"
+	if tr.Err != "" {
+		status = "ERROR in " + string(tr.FailStage) + ": " + tr.Err
+	}
+	fmt.Fprintf(&b, "trace %d  %s → %s  total %s  %s\n",
+		tr.ID, tr.Component, tr.Target, tr.Total, status)
+	if len(tr.Spans) == 0 {
+		b.WriteString("  (no spans retained)\n")
+		return b.String()
+	}
+
+	// Timeline bounds across every span.
+	t0, t1 := tr.Spans[0].Start, tr.Spans[0].End()
+	for _, s := range tr.Spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End() > t1 {
+			t1 = s.End()
+		}
+	}
+	window := t1 - t0
+	if window <= 0 {
+		window = 1
+	}
+
+	// Order rows parent-first: children render beneath their parent in
+	// start order. Spans whose parent is unknown are top level.
+	byID := make(map[uint64]int, len(tr.Spans))
+	for i, s := range tr.Spans {
+		byID[s.ID] = i
+	}
+	kids := make(map[uint64][]int, len(tr.Spans))
+	var roots []int
+	for i, s := range tr.Spans {
+		if _, ok := byID[s.Parent]; s.Parent != 0 && ok {
+			kids[s.Parent] = append(kids[s.Parent], i)
+		} else {
+			roots = append(roots, i)
+		}
+	}
+	byStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return tr.Spans[idx[a]].Start < tr.Spans[idx[b]].Start })
+	}
+	byStart(roots)
+	for _, c := range kids {
+		byStart(c)
+	}
+
+	labelWidth := 0
+	for _, s := range tr.Spans {
+		if n := len(s.Component) + 1 + len(s.Name); n > labelWidth {
+			labelWidth = n
+		}
+	}
+	labelWidth += 4 // depth indent allowance
+
+	var render func(i, depth int)
+	render = func(i, depth int) {
+		s := &tr.Spans[i]
+		label := strings.Repeat("  ", depth) + s.Component + "/" + s.Name
+		lo := int(int64(width) * (s.Start - t0) / window)
+		hi := int(int64(width) * (s.End() - t0) / window)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("■", hi-lo) + strings.Repeat(" ", width-hi)
+		mark := " "
+		if s.Status != "" {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, "  %-*s %10s %s|%s|\n", labelWidth, label,
+			time.Duration(s.Duration), mark, bar)
+		for _, c := range kids[s.ID] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+	if tr.Dropped > 0 {
+		fmt.Fprintf(&b, "  … %d span(s) dropped (per-trace cap %d)\n", tr.Dropped, MaxSpansPerTrace)
+	}
+	return b.String()
+}

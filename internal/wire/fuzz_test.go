@@ -138,26 +138,75 @@ func FuzzV2Decode(f *testing.F) {
 		Records: []core.Record{{Timestamp: 5, Element: "m0/vswitch",
 			Attrs: []core.Attr{{ID: core.SketchAttrID(), Value: 3, Payload: sketchBlob}}}}})
 	f.Add(append([]byte{}, epochRegress...))
+	// Span-section seeds: a span-decorated response, its truncated
+	// mutation (section cut mid-span), the same frame as seen by a peer
+	// that never granted spans (the span block then parses as element
+	// metas and must error or mis-decode safely, never panic), and a
+	// frame whose agent timestamps are skew-nonsense — decode must accept
+	// it; sanity lives in the skew estimator and ClampSpanWindow.
+	spanEnc := NewV2Codec(false)
+	spanEnc.EnableSpans()
+	spanFrame, _ := spanEnc.Encode(&Message{Type: TypeResponse, ID: 14, Machine: "m0",
+		AgentNS: 75000, AgentTS: 1e15,
+		AgentSpans: []Span{
+			{ID: 1, Name: "agent:dispatch", StartNS: 1e15 - 75000, DurNS: 75000},
+			{ID: 2, Parent: 1, Name: "ovs:DUMP-SKETCH", StartNS: 1e15 - 70000, DurNS: 40000},
+			{ID: 3, Parent: 1, Name: "procfs:netdev", StartNS: 1e15 - 30000, DurNS: 20000, Status: "error"},
+		},
+		Records: []core.Record{{Timestamp: 6, Element: "m0/pnic",
+			Attrs: []core.Attr{{ID: core.AttrRxBytes, Value: 11}}}}})
+	f.Add(append([]byte{}, spanFrame...))
+	f.Add(spanFrame[:len(spanFrame)-8]) // truncated span block
+	nonsenseEnc := NewV2Codec(false)
+	nonsenseEnc.EnableSpans()
+	nonsense, _ := nonsenseEnc.Encode(&Message{Type: TypeResponse, ID: 15, Machine: "m0",
+		AgentTS: -1 << 60,
+		AgentSpans: []Span{
+			{ID: 1, Name: "agent:dispatch", StartNS: 1 << 60, DurNS: -5},
+		}})
+	f.Add(append([]byte{}, nonsense...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dec := NewV2Codec(false)
 		msg, err := dec.Decode(data)
+		if err == nil {
+			// Whatever a fresh session accepts must re-encode and re-decode
+			// to the same message on another fresh session pair.
+			e2 := NewV2Codec(false)
+			payload, err := e2.Encode(msg)
+			if err != nil {
+				t.Fatalf("accepted message failed to re-encode: %v", err)
+			}
+			back, err := NewV2Codec(false).Decode(payload)
+			if err != nil {
+				t.Fatalf("re-encoded frame failed to parse: %v", err)
+			}
+			if back.Type != msg.Type || back.ID != msg.ID || back.Machine != msg.Machine {
+				t.Fatalf("identity lost: %+v vs %+v", msg, back)
+			}
+		}
+		// Same bytes through a spans session: the span block must decode
+		// or error cleanly, and accepted frames must round-trip spans.
+		spansDec := NewV2Codec(false)
+		spansDec.EnableSpans()
+		smsg, err := spansDec.Decode(data)
 		if err != nil {
 			return
 		}
-		// Whatever a fresh session accepts must re-encode and re-decode to
-		// the same message on another fresh session pair.
-		e2 := NewV2Codec(false)
-		payload, err := e2.Encode(msg)
+		se := NewV2Codec(false)
+		se.EnableSpans()
+		payload, err := se.Encode(smsg)
 		if err != nil {
-			t.Fatalf("accepted message failed to re-encode: %v", err)
+			t.Fatalf("accepted span message failed to re-encode: %v", err)
 		}
-		back, err := NewV2Codec(false).Decode(payload)
+		sd := NewV2Codec(false)
+		sd.EnableSpans()
+		back, err := sd.Decode(payload)
 		if err != nil {
-			t.Fatalf("re-encoded frame failed to parse: %v", err)
+			t.Fatalf("re-encoded span frame failed to parse: %v", err)
 		}
-		if back.Type != msg.Type || back.ID != msg.ID || back.Machine != msg.Machine {
-			t.Fatalf("identity lost: %+v vs %+v", msg, back)
+		if back.AgentTS != smsg.AgentTS || len(back.AgentSpans) != len(smsg.AgentSpans) {
+			t.Fatalf("span identity lost: %+v vs %+v", smsg, back)
 		}
 	})
 }

@@ -15,8 +15,17 @@ import (
 //	     | istr machine | bstr error
 //	     | u8 hasQuery [ u8 all | uvarint n, n·istr elements
 //	                   | uvarint n, n·istr attrs ]
+//	     | span section (spans sessions, response/stream_data only):
+//	       svarint agent_ts | uvarint n, n·span
 //	     | uvarint n, n·( istr id, uvarint kind )          element metas
 //	     | uvarint n, n·record                             records
+//
+//	span   = uvarint id | uvarint parent | istr name
+//	       | svarint start_ns | svarint dur_ns | bstr status
+//	       (ids frame-local; start_ns on the sender's clock — the
+//	       receiver skew-corrects. Present only when the hello granted
+//	       the spans capability, so span-blind sessions stay
+//	       byte-identical to earlier codec versions.)
 //
 //	record = u8 flags(1=full, 0=delta)
 //	       | svarint ts (difference vs previous record; first absolute)
@@ -80,6 +89,15 @@ func v2DeltaType(t MsgType) bool {
 	return t == TypeResponse || t == TypeStreamData
 }
 
+// v2SpanType reports whether frames of this type carry the span section
+// on a spans-enabled session: exactly the frames that carry gathered
+// records (pull responses and pushed stream batches). Double-gated —
+// frame type AND negotiated capability — so a session that never
+// granted spans emits frames byte-identical to earlier codec versions.
+func v2SpanType(t MsgType) bool {
+	return t == TypeResponse || t == TypeStreamData
+}
+
 // v2CodeType is the reverse of v2TypeCode, built once so the two can
 // never drift.
 var v2CodeType = func() map[byte]MsgType {
@@ -112,6 +130,7 @@ type v2RecMeta struct {
 // every frame of the connection, in order — and not goroutine-safe.
 type V2Codec struct {
 	delta bool
+	spans bool
 
 	// Encode side: reusable output buffer, sent-string intern table, and
 	// (delta sessions) the last-sent attrs per element.
@@ -125,6 +144,7 @@ type V2Codec struct {
 	decSeen      map[core.ElementID]*v2DeltaState
 	scratchAttrs []core.Attr
 	scratchRecs  []v2RecMeta
+	scratchSpans []Span
 }
 
 // NewV2Codec returns a fresh per-connection codec. delta enables the
@@ -139,6 +159,15 @@ func (c *V2Codec) Name() string { return CodecV2 }
 
 // Delta reports whether the session delta-encodes response records.
 func (c *V2Codec) Delta() bool { return c.delta }
+
+// EnableSpans switches the session to span-decorated frames. Call on
+// both endpoints exactly when the hello exchange granted the spans
+// capability — the section has no per-frame presence flag of its own
+// beyond the frame type, so the two sides must agree.
+func (c *V2Codec) EnableSpans() { c.spans = true }
+
+// Spans reports whether the session carries span sections.
+func (c *V2Codec) Spans() bool { return c.spans }
 
 // Encode implements Codec. The returned slice aliases the codec's
 // internal buffer and is overwritten by the next Encode call.
@@ -184,6 +213,20 @@ func (c *V2Codec) Encode(m *Message) ([]byte, error) {
 			b = binary.AppendVarint(b, m.Stream.ThrottleNS)
 		} else {
 			b = append(b, 0)
+		}
+	}
+	if c.spans && v2SpanType(m.Type) {
+		b = binary.AppendVarint(b, m.AgentTS)
+		b = binary.AppendUvarint(b, uint64(len(m.AgentSpans)))
+		for i := range m.AgentSpans {
+			sp := &m.AgentSpans[i]
+			b = binary.AppendUvarint(b, sp.ID)
+			b = binary.AppendUvarint(b, sp.Parent)
+			b = c.appendIStr(b, sp.Name)
+			b = binary.AppendVarint(b, sp.StartNS)
+			b = binary.AppendVarint(b, sp.DurNS)
+			b = binary.AppendUvarint(b, uint64(len(sp.Status)))
+			b = append(b, sp.Status...)
 		}
 	}
 	b = binary.AppendUvarint(b, uint64(len(m.Elements)))
@@ -590,6 +633,47 @@ func (c *V2Codec) Decode(payload []byte) (*Message, error) {
 			m.Stream = si
 		default:
 			return nil, fmt.Errorf("wire: v2: bad stream presence flag %d", hasStream)
+		}
+	}
+	if c.spans && v2SpanType(mt) {
+		if m.AgentTS, err = d.varint(); err != nil {
+			return nil, err
+		}
+		// Span names are interned refs (often 2 bytes), so 6 is the
+		// realistic floor per span: id, parent, name, start, dur, status.
+		nsp, err := d.count(6)
+		if err != nil {
+			return nil, err
+		}
+		if nsp > 0 {
+			// Unlike records, decoded spans alias the codec's scratch
+			// slice: consumers fold them into a trace during the same
+			// frame handling and never retain them, so AgentSpans is
+			// only valid until the next Decode on this codec.
+			c.scratchSpans = c.scratchSpans[:0]
+			for i := 0; i < nsp; i++ {
+				var sp Span
+				if sp.ID, err = d.uvarint(); err != nil {
+					return nil, err
+				}
+				if sp.Parent, err = d.uvarint(); err != nil {
+					return nil, err
+				}
+				if sp.Name, err = d.istr(); err != nil {
+					return nil, err
+				}
+				if sp.StartNS, err = d.varint(); err != nil {
+					return nil, err
+				}
+				if sp.DurNS, err = d.varint(); err != nil {
+					return nil, err
+				}
+				if sp.Status, err = d.bstr(); err != nil {
+					return nil, err
+				}
+				c.scratchSpans = append(c.scratchSpans, sp)
+			}
+			m.AgentSpans = c.scratchSpans
 		}
 	}
 	n, err := d.count(2)

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"perfsight/internal/core"
+)
+
+func spanSession() (*V2Codec, *V2Codec) {
+	enc := NewV2Codec(false)
+	enc.EnableSpans()
+	dec := NewV2Codec(false)
+	dec.EnableSpans()
+	return enc, dec
+}
+
+func TestV2SpanRoundTrip(t *testing.T) {
+	enc, dec := spanSession()
+	in := &Message{Type: TypeResponse, ID: 9, TraceID: 42, Machine: "m0",
+		AgentNS: 75000, AgentTS: 1_000_000_075_000,
+		AgentSpans: []Span{
+			{ID: 1, Name: "agent:dispatch", StartNS: 1_000_000_000_000, DurNS: 75000},
+			{ID: 2, Parent: 1, Name: "ovs:DUMP-SKETCH", StartNS: 1_000_000_001_000, DurNS: 40000},
+			{ID: 3, Parent: 1, Name: "procfs:netdev", StartNS: 1_000_000_045_000, DurNS: 20000, Status: "timeout"},
+		},
+		Records: []core.Record{{Timestamp: 5, Element: "m0/pnic",
+			Attrs: []core.Attr{{ID: core.AttrRxBytes, Value: 11}}}}}
+	payload, err := enc.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := dec.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AgentTS != in.AgentTS {
+		t.Fatalf("agent_ts = %d, want %d", out.AgentTS, in.AgentTS)
+	}
+	if !reflect.DeepEqual(out.AgentSpans, in.AgentSpans) {
+		t.Fatalf("spans lost:\n in %+v\nout %+v", in.AgentSpans, out.AgentSpans)
+	}
+
+	// Span names are interned: the second frame with the same names must
+	// be smaller than the first.
+	second, err := enc.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(second) >= len(payload) {
+		t.Fatalf("span names not interned: frame 2 is %d bytes vs %d", len(second), len(payload))
+	}
+	out2, err := dec.Decode(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out2.AgentSpans, in.AgentSpans) {
+		t.Fatalf("interned spans lost: %+v", out2.AgentSpans)
+	}
+}
+
+// TestV2SpanSectionGating proves the double gate: non-span frame types on
+// a spans session, and span frame types on a span-blind session, are
+// byte-identical to a plain v2 session — the capability changes nothing
+// until both the type and the grant line up.
+func TestV2SpanSectionGating(t *testing.T) {
+	withSpans := &Message{Type: TypeResponse, ID: 3, Machine: "m0",
+		AgentTS:    123,
+		AgentSpans: []Span{{ID: 1, Name: "agent:dispatch", StartNS: 10, DurNS: 5}}}
+	query := &Message{Type: TypeQuery, ID: 2, Query: &Query{All: true}}
+
+	spansEnc := NewV2Codec(false)
+	spansEnc.EnableSpans()
+	plainEnc := NewV2Codec(false)
+
+	// Query frames never carry the section, granted or not.
+	a, err := spansEnc.Encode(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plainEnc.Encode(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("query frame differs on spans session:\n%x\n%x", a, b)
+	}
+
+	// A span-blind session drops the section entirely — a response with
+	// populated AgentSpans still encodes byte-identically to one without.
+	blind, err := plainEnc.Encode(withSpans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare, err := NewV2Codec(false).Encode(&Message{Type: TypeResponse, ID: 3, Machine: "m0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blind, bare) {
+		t.Fatalf("span-blind encoder leaked span bytes:\n%x\n%x", blind, bare)
+	}
+	out, err := NewV2Codec(false).Decode(blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AgentTS != 0 || out.AgentSpans != nil {
+		t.Fatalf("span-blind decode produced spans: %+v", out)
+	}
+}
+
+// TestV2SpanSessionMismatch drives a span-decorated frame into a peer
+// that never granted the capability (and the reverse). The hello exchange
+// prevents this in practice; the codec's job is to fail cleanly so the
+// connection owner drops and renegotiates instead of panicking or
+// silently mis-merging.
+func TestV2SpanSessionMismatch(t *testing.T) {
+	spansEnc := NewV2Codec(false)
+	spansEnc.EnableSpans()
+	frame, err := spansEnc.Encode(&Message{Type: TypeResponse, ID: 4, Machine: "m0",
+		AgentTS: 999,
+		AgentSpans: []Span{
+			{ID: 1, Name: "agent:dispatch", StartNS: 100, DurNS: 50},
+			{ID: 2, Parent: 1, Name: "ovs:DUMP", StartNS: 110, DurNS: 20},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewV2Codec(false).Decode(frame); err == nil {
+		t.Fatal("span-blind peer accepted a span-decorated frame")
+	}
+
+	plain, err := NewV2Codec(false).Encode(&Message{Type: TypeResponse, ID: 5, Machine: "m0",
+		Records: []core.Record{{Timestamp: 1, Element: "m0/pnic",
+			Attrs: []core.Attr{{ID: core.AttrRxBytes, Value: 7}}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spansDec := NewV2Codec(false)
+	spansDec.EnableSpans()
+	if _, err := spansDec.Decode(plain); err == nil {
+		t.Fatal("spans peer accepted a plain frame as span-decorated")
+	}
+}
+
+// TestV2SpanTruncation clips a span-decorated frame at every byte
+// boundary: each prefix must error, never panic.
+func TestV2SpanTruncation(t *testing.T) {
+	enc, _ := spanSession()
+	frame, err := enc.Encode(&Message{Type: TypeResponse, ID: 6, Machine: "m0",
+		AgentTS: 777,
+		AgentSpans: []Span{
+			{ID: 1, Name: "agent:dispatch", StartNS: 100, DurNS: 50, Status: "error"},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(frame); i++ {
+		dec := NewV2Codec(false)
+		dec.EnableSpans()
+		if _, err := dec.Decode(frame[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", i, len(frame))
+		}
+	}
+}

@@ -89,6 +89,27 @@ type Hello struct {
 	// that never offers it (an old controller) gets the legacy per-flow
 	// enumeration, so mixed versions interoperate.
 	Sketch bool `json:"sketch,omitempty"`
+	// Spans requests (offer) or grants (ack) span-context piggybacking:
+	// the agent decorates v2 response and stream_data frames with a
+	// compact span section (its clock reading plus per-channel gather
+	// spans) that the controller skew-corrects onto its own timeline.
+	// Granted only alongside codec v2 — the JSON encoding is unaffected,
+	// and a peer that never offers it keeps the plain agent_ns split.
+	Spans bool `json:"spans,omitempty"`
+}
+
+// Span is one agent-side span piggybacked on a v2 response or
+// stream_data frame. IDs and parents are frame-local (assigned from 1
+// per frame); the controller remaps them into its trace and re-anchors
+// Parent 0 spans under its own gather span. StartNS is on the *agent's*
+// clock — the receiver skew-corrects it (see telemetry.SkewEstimator).
+type Span struct {
+	ID      uint64
+	Parent  uint64
+	Name    string
+	StartNS int64
+	DurNS   int64
+	Status  string // "" = ok
 }
 
 // StreamInfo parameterizes push streaming; it rides TypeStreamStart
@@ -176,6 +197,18 @@ type Message struct {
 	// nanoseconds, set on responses so the controller can split its
 	// observed round trip into transport vs. agent-gather time.
 	AgentNS int64 `json:"agent_ns,omitempty"`
+	// AgentTS is the agent's clock (unix nanoseconds) when it finished
+	// handling — the t3 of the midpoint clock-skew estimate. It rides
+	// JSON hello_ack frames (seeding skew for push streams) and the v2
+	// span section; it is never JSON-encoded on data frames, because
+	// agents only set it once the spans capability is granted (v2-only).
+	AgentTS int64 `json:"agent_ts,omitempty"`
+	// AgentSpans carries the agent's piggybacked spans. v2-only — the
+	// json:"-" tag guarantees the JSON codec is byte-identical with and
+	// without the spans capability. On decode the slice aliases the
+	// codec's scratch buffer and is only valid until the next Decode:
+	// consumers must fold spans into a trace before reading more frames.
+	AgentSpans []Span `json:"-"`
 }
 
 // Encode marshals a message into a frame payload (without the length
