@@ -8,13 +8,14 @@
 #   make bench-ingest   push-ingest throughput floor + drain alloc budget gate
 #   make bench-sketch   flow-sketch hot-path alloc gate + 1M-flow memory lab
 #   make bench-trace    trace-spine span recording alloc gate + benchmarks
+#   make bench-sim      tick-engine alloc gate + serial/parallel tick benchmarks
 #   make all            everything
 
 GO ?= go
 
-.PHONY: all check vet build test bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch bench-trace
+.PHONY: all check vet build test bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch bench-trace bench-sim
 
-all: check bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch bench-trace
+all: check bench bench-wire bench-history bench-core bench-anomaly bench-ingest bench-sketch bench-trace bench-sim
 
 check: vet build test
 
@@ -95,3 +96,13 @@ bench-sketch:
 bench-trace:
 	$(GO) test ./internal/telemetry/ -run 'TestSpanAllocBudget' -count 1 -v
 	$(GO) test ./internal/telemetry/ -run '^$$' -bench 'BenchmarkTrace|BenchmarkSpanStore' -benchtime 1s -benchmem
+
+# Tick engine: the alloc test fails the build when a steady-state serial
+# engine tick allocates past internal/sim/testdata/tick_alloc_budget.txt;
+# the race-enabled run re-proves the sharded two-phase engine's worker
+# handoff and chaos scheduling under the detector; the benchmarks print
+# serial-vs-parallel per-tick cost (EXPERIMENTS.md parallel table).
+bench-sim:
+	$(GO) test ./internal/sim/ -run 'TestTickAllocBudget' -count 1 -v
+	$(GO) test -race ./internal/sim/ ./internal/experiments/ -run 'TestParallelEngine|TestChaos|TestParallelDeterminismGolden|TestRunScaleSmall' -count 1
+	$(GO) test ./internal/sim/ -run '^$$' -bench 'BenchmarkEngineTick|BenchmarkParallelEngineTick' -benchtime 1s -benchmem

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,11 +23,19 @@ type experiment struct {
 }
 
 func main() {
-	runFlag := flag.String("run", "all", "comma-separated experiments to run (fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1,table2,fig15,fig16,ablations,fanout,history,anomaly) or 'all'")
+	runFlag := flag.String("run", "all", "comma-separated experiments to run (fig3,fig8,fig9,fig10,fig11,fig12,fig13,table1,table2,fig15,fig16,ablations,fanout,history,anomaly,scale,chaos,mboxkinds) or 'all'")
 	runs := flag.Int("runs", 10, "repetitions for the overhead experiments (the paper uses 100)")
 	outDir := flag.String("out", "", "directory to write per-experiment .txt reports and .csv data series")
 	telemetryAddr := flag.String("telemetry", "", "serve diagnosis self-metrics (/metrics, /healthz) while experiments run (empty = disabled)")
+	parallel := flag.Bool("parallel", false, "run the scale experiment's fleet on the sharded parallel engine comparison (implied by the scale experiment; this flag sizes -domains workers to NumCPU)")
+	domains := flag.Int("domains", 8, "scheduling domains for the scale experiment's parallel engine")
+	chaosSpec := flag.String("chaos", "", "chaos fault schedule for the chaos experiment, e.g. 'crash:agent=m0@5.5s,heal=9.5s; skew:agent=m0,offset=250ms@500ms' (empty = built-in schedule)")
 	flag.Parse()
+
+	if _, err := experiments.ParseChaosSpec(*chaosSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -chaos spec: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *telemetryAddr != "" {
 		reg := telemetry.NewRegistry()
@@ -117,6 +126,28 @@ func main() {
 		{"anomaly", func() (fmt.Stringer, bool, error) {
 			r, err := experiments.RunAnomalyLab()
 			return r, r != nil && r.Correct(), err
+		}},
+		{"scale", func() (fmt.Stringer, bool, error) {
+			workers := 1
+			if *parallel {
+				workers = runtime.NumCPU()
+				if workers > 8 {
+					workers = 8
+				}
+			}
+			r, err := experiments.RunScale(experiments.ScaleConfig{
+				Domains: *domains,
+				Workers: workers,
+			})
+			return r, r != nil && r.Deterministic(), err
+		}},
+		{"chaos", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunChaosLab(*chaosSpec)
+			return r, r != nil && r.AllCorrect(), err
+		}},
+		{"mboxkinds", func() (fmt.Stringer, bool, error) {
+			r, err := experiments.RunMboxKinds()
+			return r, r != nil && r.AllCorrect(), err
 		}},
 	}
 

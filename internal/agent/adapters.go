@@ -14,6 +14,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perfsight/internal/core"
@@ -47,6 +48,25 @@ func (l Latency) apply() {
 	for time.Since(start) < d {
 	}
 }
+
+// LatencyVar is a runtime-settable latency shared by reference across
+// adapters: the chaos layer's handle for degrading a channel mid-run (a
+// disk gone slow under the QEMU log tail) without rebuilding the agent.
+// A nil *LatencyVar applies nothing.
+type LatencyVar struct{ ns atomic.Int64 }
+
+// Set updates the latency; safe concurrently with Fetch.
+func (v *LatencyVar) Set(d time.Duration) { v.ns.Store(int64(d)) }
+
+// Get returns the current latency.
+func (v *LatencyVar) Get() Latency {
+	if v == nil {
+		return 0
+	}
+	return Latency(v.ns.Load())
+}
+
+func (v *LatencyVar) apply() { v.Get().apply() }
 
 // DirectAdapter reads an element through the generic element-agent API —
 // used for elements instrumented with PerfSight's own counters (guest
@@ -177,6 +197,9 @@ type QEMULogAdapter struct {
 	E       core.Element
 	Path    string
 	Latency Latency
+	// Extra is an optional runtime-settable delay on top of Latency — the
+	// log tail's exposure to disk health (chaos slow-disk injection).
+	Extra *LatencyVar
 
 	mu sync.Mutex
 }
@@ -191,6 +214,7 @@ func (a *QEMULogAdapter) Kind() core.ElementKind { return a.E.Kind() }
 // the agent tails and parses it.
 func (a *QEMULogAdapter) Fetch(ts int64) (core.Record, error) {
 	a.Latency.apply()
+	a.Extra.apply()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 

@@ -367,7 +367,7 @@ func (a *Agent) hello(msg *wire.Message) (*wire.Message, wire.Codec) {
 	// The ack's agent_ts (the agent clock at answer time) seeds the
 	// controller's skew estimate even on sessions that never carry spans.
 	ack := &wire.Message{Type: wire.TypeHelloAck, ID: msg.ID, Machine: a.machine,
-		AgentTS: time.Now().UnixNano(), Hello: &wire.Hello{}}
+		AgentTS: a.clock(), Hello: &wire.Hello{}}
 	if msg.Hello != nil {
 		// Stream and sketch capabilities are codec-independent: a JSON
 		// session can push or consume sketch blobs too, it just forgoes
@@ -416,6 +416,11 @@ func containsCodec(codecs []string, want string) bool {
 // agent clock at answer time for skew correction.
 func (a *Agent) dispatch(msg *wire.Message, scratch *[]core.Record, legacyFlows bool, sb *spanBuf) *wire.Message {
 	start := time.Now()
+	// AgentTS carries the agent's own clock (not the host wall clock) so
+	// the controller's skew estimate measures the clock the agent stamps
+	// records with — identical in production, but it lets a lab inject
+	// clock skew and watch the estimator recover it.
+	ats := a.clock()
 	if sb != nil && msg.Type == wire.TypeQuery {
 		sb.begin()
 	} else {
@@ -427,7 +432,7 @@ func (a *Agent) dispatch(msg *wire.Message, scratch *[]core.Record, legacyFlows 
 	resp.AgentNS = elapsed.Nanoseconds()
 	if sb != nil && resp.Type == wire.TypeResponse {
 		sb.root("agent:dispatch", start.UnixNano(), elapsed.Nanoseconds())
-		resp.AgentTS = start.UnixNano() + elapsed.Nanoseconds()
+		resp.AgentTS = ats + elapsed.Nanoseconds()
 		resp.AgentSpans = sb.spans
 	}
 	if tel := a.tel.Load(); tel != nil {

@@ -46,6 +46,9 @@ type BuildOptions struct {
 	UseMboxSockets bool
 	// Latencies emulates per-channel costs (zero = full speed).
 	Latencies Latencies
+	// QEMULogExtra, when non-nil, adds a runtime-settable delay to every
+	// QEMU log-tail fetch (the chaos layer's slow-disk injection point).
+	QEMULogExtra *LatencyVar
 	// Clock supplies record timestamps (nil = wall clock).
 	Clock func() int64
 	// FlowStats selects how vswitch adapters report per-flow traffic. The
@@ -154,6 +157,7 @@ func Build(m *machine.Machine, opts BuildOptions) (*Agent, error) {
 			E:       vs.Qemu,
 			Path:    filepath.Join(logDir, fmt.Sprintf("qemu-%s.log", id)),
 			Latency: lat.QEMULog,
+			Extra:   opts.QEMULogExtra,
 		})
 
 		// Guest kernel elements: vNIC via the guest's device file, backlog

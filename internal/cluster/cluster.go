@@ -45,8 +45,24 @@ type route struct {
 }
 
 // Cluster is a complete simulated deployment.
+//
+// Ticks follow a canonical two-phase schedule in both serial and parallel
+// mode (see DESIGN.md §"Parallel lab & chaos"): pre tickers (chaos,
+// actuators) → host phase → machine phase → serialized commit (wire
+// routing, fabric fair share, deferred connection feedback, receive-window
+// refresh, post tickers). Machines exchange wire traffic with the cluster
+// exclusively through the OfferWire/CollectWire structs, never by mutating
+// another machine, which is what makes the phases safe to shard across
+// tick domains (Parallelize) while staying byte-identical to serial runs.
 type Cluster struct {
 	Engine *sim.Engine
+
+	// FabricBps caps aggregate machine-to-machine wire bandwidth (the core
+	// fabric). At commit, per-flow demands receive a max–min fair share of
+	// the fabric's per-tick byte budget and the excess is dropped at
+	// "fabric/core" — the cluster-level fair-share solver that runs in the
+	// commit phase. Zero means an unconstrained fabric.
+	FabricBps float64
 
 	// RmemPerConn clamps the receive window a VM-destined connection
 	// advertises, modelling per-socket tcp_rmem rather than the VM's
@@ -69,6 +85,17 @@ type Cluster struct {
 	pending      map[core.MachineID][]dataplane.Batch
 	registries   map[core.MachineID]*stats.Registry
 	topo         *core.Topology
+
+	// Two-phase tick state. conns/windows are everything the commit phase
+	// must settle serially; pre/post run outside the parallel phases in
+	// both modes.
+	par       *sim.ParallelEngine
+	pre       []sim.Ticker
+	post      []sim.Ticker
+	conns     []*stream.Conn
+	windows   []*vmWindow
+	frozen    bool      // placement frozen by Parallelize
+	tickStart time.Time // telemetry: wall-clock start of the current tick
 
 	// Optional self-telemetry (EnableTelemetry): wall-clock cost of each
 	// simulated tick, and where newly attached drop tracers register.
@@ -93,16 +120,104 @@ func New(dt time.Duration) *Cluster {
 }
 
 // Now returns current virtual time.
-func (c *Cluster) Now() time.Duration { return c.Engine.Now() }
+func (c *Cluster) Now() time.Duration {
+	if c.par != nil {
+		return c.par.Now()
+	}
+	return c.Engine.Now()
+}
 
 // NowNS returns current virtual time in nanoseconds (record timestamps).
-func (c *Cluster) NowNS() int64 { return int64(c.Engine.Now()) }
+func (c *Cluster) NowNS() int64 { return int64(c.Now()) }
 
-// Run advances virtual time by d.
-func (c *Cluster) Run(d time.Duration) { c.Engine.Run(d) }
+// Run advances virtual time by d (whole ticks, rounded up — see
+// sim.Engine.Run).
+func (c *Cluster) Run(d time.Duration) {
+	if c.par != nil {
+		c.par.Run(d)
+		return
+	}
+	c.Engine.Run(d)
+}
+
+// Parallelize shards the cluster across `domains` tick domains advanced by
+// a pool of `workers` goroutines. Hosts run in parallel phase 0, machines
+// in parallel phase 1, and the cross-domain merge stays in the serialized
+// commit, so trajectories are byte-identical to the serial engine for the
+// same scenario seed at any worker count. Each domain gets its own RNG
+// stream derived from seed.
+//
+// Call after the topology is built and before Run: machine/host placement
+// is frozen (VM placement, routes and connections stay dynamic — they only
+// touch commit-phase structures). Call Close when done to stop the worker
+// pool.
+func (c *Cluster) Parallelize(domains, workers int, seed uint64) *sim.ParallelEngine {
+	if c.par != nil {
+		panic("cluster: Parallelize called twice")
+	}
+	if c.Engine.Now() != 0 {
+		panic("cluster: Parallelize must be called before Run")
+	}
+	par := sim.NewParallelEngine(c.Engine.Dt(), domains, 2, workers, seed)
+	for j, p := range sim.Partition(len(c.hostOrder), par.Domains()) {
+		from, to := p[0], p[1]
+		par.Domain(j).AddFunc(0, func(now, dt time.Duration) { c.hostRange(from, to, now, dt) })
+	}
+	for j, p := range sim.Partition(len(c.machineOrder), par.Domains()) {
+		from, to := p[0], p[1]
+		par.Domain(j).AddFunc(1, func(now, dt time.Duration) { c.machineRange(from, to, now, dt) })
+	}
+	par.AddPreFunc(func(now, dt time.Duration) {
+		if c.tickDur != nil {
+			c.tickStart = time.Now()
+		}
+		for _, t := range c.pre {
+			t.Tick(now, dt)
+		}
+	})
+	par.AddCommitFunc(func(now, dt time.Duration) {
+		c.commit(now, dt)
+		if c.tickDur != nil {
+			c.tickDur.Observe(float64(time.Since(c.tickStart).Nanoseconds()))
+			c.ticks.Inc()
+		}
+	})
+	c.par = par
+	c.frozen = true
+	return par
+}
+
+// Parallel reports whether the cluster runs on the sharded engine.
+func (c *Cluster) Parallel() bool { return c.par != nil }
+
+// Close stops the parallel worker pool, if any. Safe to call on serial
+// clusters and idempotent.
+func (c *Cluster) Close() {
+	if c.par != nil {
+		c.par.Close()
+	}
+}
+
+// AddPreTick registers a ticker that runs serialized before the tick's
+// parallel phases in both modes — the place for chaos injectors and
+// scenario actuators that mutate machines.
+func (c *Cluster) AddPreTick(t sim.Ticker) { c.pre = append(c.pre, t) }
+
+// AddPreTickFunc registers a pre-phase function ticker.
+func (c *Cluster) AddPreTickFunc(f func(now, dt time.Duration)) { c.AddPreTick(sim.TickerFunc(f)) }
+
+// AddPostTick registers a ticker that runs serialized at the end of the
+// commit phase in both modes (after routing, feedback and window refresh).
+func (c *Cluster) AddPostTick(t sim.Ticker) { c.post = append(c.post, t) }
+
+// AddPostTickFunc registers a commit-tail function ticker.
+func (c *Cluster) AddPostTickFunc(f func(now, dt time.Duration)) { c.AddPostTick(sim.TickerFunc(f)) }
 
 // AddMachine creates a physical machine.
 func (c *Cluster) AddMachine(cfg machine.Config) *machine.Machine {
+	if c.frozen {
+		panic("cluster: AddMachine after Parallelize (placement is frozen)")
+	}
 	if _, dup := c.machines[cfg.ID]; dup {
 		panic(fmt.Sprintf("cluster: duplicate machine %s", cfg.ID))
 	}
@@ -124,6 +239,9 @@ func (c *Cluster) Machines() []core.MachineID {
 // AddHost creates an external host with the given access-link rate
 // (0 = unlimited).
 func (c *Cluster) AddHost(name string, linkBps float64) *Host {
+	if c.frozen {
+		panic("cluster: AddHost after Parallelize (placement is frozen)")
+	}
 	if _, dup := c.hosts[name]; dup {
 		panic(fmt.Sprintf("cluster: duplicate host %s", name))
 	}
@@ -209,7 +327,7 @@ func (c *Cluster) EnableTelemetry(reg *telemetry.Registry) *Cluster {
 		})
 	reg.GaugeFunc("perfsight_dataplane_virtual_seconds",
 		"simulated time elapsed", func() float64 {
-			return c.Engine.Now().Seconds()
+			return c.Now().Seconds()
 		})
 	return c
 }
@@ -338,17 +456,30 @@ func (c *Cluster) Connect(f dataplane.FlowID, src, dst Endpoint, cfg stream.Conf
 		}
 		rwnd = h
 	} else {
-		rwnd = &vmWindow{c: c, m: dst.Machine, vm: dst.VM}
+		w := &vmWindow{c: c, m: dst.Machine, vm: dst.VM}
+		w.refresh(c.Now()) // prime so first-tick pumps see a real window
+		c.windows = append(c.windows, w)
+		rwnd = w
 	}
 	conn := stream.NewConn(f, cfg, emit, rwnd)
+	// Batches on this flow may be delivered/dropped by concurrently-ticking
+	// shards; queue the feedback and settle it in commit, in both modes, so
+	// serial and parallel trajectories stay identical.
+	conn.DeferFeedback()
+	c.conns = append(c.conns, conn)
 	if src.IsHost() {
 		c.hosts[src.Host].pump = append(c.hosts[src.Host].pump, conn)
 	}
 	return conn
 }
 
-// vmWindow resolves a VM's socket receive window lazily, clamped to the
-// per-connection rmem and refreshed only at ACK cadence.
+// vmWindow caches a VM's socket receive window, clamped to the
+// per-connection rmem and refreshed at ACK cadence — but only from the
+// serialized commit phase, when every machine's tick has settled. During
+// the phases RxFree returns the cached advertisement, so a sender in one
+// tick domain never reads a destination socket another domain is mutating.
+// This is also the physically faithful model: window updates ride ACKs,
+// they are not a live view of the receiver.
 type vmWindow struct {
 	c  *Cluster
 	m  core.MachineID
@@ -359,30 +490,43 @@ type vmWindow struct {
 	primed     bool
 }
 
-// RxFree implements stream.Window.
-func (w *vmWindow) RxFree() int64 {
-	now := w.c.Now()
+// RxFree implements stream.Window: the window advertised by the last ACK.
+func (w *vmWindow) RxFree() int64 { return w.lastVal }
+
+// refresh re-reads the destination socket at commit. Staleness contract:
+// senders act on a window at least one tick old (the refresh-to-use gap)
+// and at most AckDelay old, frozen entirely while the guest cannot poll
+// its ring (it cannot ACK either); immediate once the VM exists but the
+// cache was never primed. One tick of the AckDelay budget is consumed by
+// the commit-to-read gap itself, so the cadence gate only withholds
+// refreshes beyond that.
+func (w *vmWindow) refresh(now time.Duration) {
 	delay := w.c.AckDelay
 	if delay <= 0 {
 		delay = 2 * time.Millisecond
 	}
+	delay -= w.c.Engine.Dt() // the cached value is read one tick after refresh
 	if w.primed && now-w.lastUpdate < delay {
-		return w.lastVal
+		return
 	}
 	mm := w.c.machines[w.m]
 	if mm == nil {
-		return 0
+		w.lastVal = 0
+		w.primed = false
+		return
 	}
 	vs := mm.VM(w.vm)
 	if vs == nil {
-		return 0
+		w.lastVal = 0
+		w.primed = false
+		return
 	}
 	if w.primed && !w.c.NoStaleWindows && vs.Stack.KernelBehind() {
 		// A guest that cannot poll its ring cannot send ACKs or window
 		// updates either: senders keep acting on the last advertised
 		// window, which is how a starved VM's TUN overflows before flow
 		// control reacts.
-		return w.lastVal
+		return
 	}
 	free := vs.Stack.Socket.RxFree()
 	clamp := w.c.RmemPerConn
@@ -395,11 +539,12 @@ func (w *vmWindow) RxFree() int64 {
 	w.lastVal = free
 	w.lastUpdate = now
 	w.primed = true
-	return free
 }
 
-// tick advances the whole cluster one step: hosts emit, machines run, and
-// wire traffic is routed with one tick of store-and-forward latency.
+// tick advances the whole cluster one step on the serial engine, using the
+// same canonical phase order the parallel engine uses: pre → hosts →
+// machines → commit. Keeping one schedule for both modes is what lets the
+// determinism golden test demand byte-identical trajectories.
 func (c *Cluster) tick(now, dt time.Duration) {
 	if c.tickDur != nil {
 		start := time.Now()
@@ -408,29 +553,127 @@ func (c *Cluster) tick(now, dt time.Duration) {
 			c.ticks.Inc()
 		}()
 	}
-	next := make(map[core.MachineID][]dataplane.Batch, len(c.machines))
-
-	// External hosts generate and pump first.
-	for _, hn := range c.hostOrder {
-		h := c.hosts[hn]
-		h.tick(now, dt)
-		for _, b := range h.drainOut() {
-			c.routeBatch(b, next, dt)
-		}
+	for _, t := range c.pre {
+		t.Tick(now, dt)
 	}
+	c.hostRange(0, len(c.hostOrder), now, dt)
+	c.machineRange(0, len(c.machineOrder), now, dt)
+	c.commit(now, dt)
+}
 
-	// Machines consume last tick's wire arrivals and run their pipelines.
-	for _, mid := range c.machineOrder {
+// hostRange ticks hosts [from, to) in creation order: external hosts
+// generate and pump. Hosts only touch their own queues and conns, so
+// disjoint ranges may run concurrently (parallel phase 0).
+func (c *Cluster) hostRange(from, to int, now, dt time.Duration) {
+	for _, hn := range c.hostOrder[from:to] {
+		c.hosts[hn].tick(now, dt)
+	}
+}
+
+// machineRange ticks machines [from, to) in creation order: each consumes
+// last tick's wire arrivals (OfferWire) and runs its pipeline. A machine
+// tick reads and writes only its own stack — cross-machine effects are
+// declared through the OfferWire/CollectWire exchange and settle at commit
+// — so disjoint ranges may run concurrently (parallel phase 1).
+func (c *Cluster) machineRange(from, to int, now, dt time.Duration) {
+	for _, mid := range c.machineOrder[from:to] {
 		m := c.machines[mid]
 		if arr := c.pending[mid]; len(arr) > 0 {
 			m.OfferWire(arr, dt)
 		}
 		m.Tick(now, dt)
-		for _, b := range m.CollectWire() {
+	}
+}
+
+// commit is the serialized merge that ends every tick: collect departures
+// in canonical order (hosts, then machines, each in creation order), route
+// them, apply the fabric fair share, settle deferred connection feedback
+// in canonical order, refresh receive-window caches from settled socket
+// state, then run post tickers.
+func (c *Cluster) commit(now, dt time.Duration) {
+	next := make(map[core.MachineID][]dataplane.Batch, len(c.machines))
+	for _, hn := range c.hostOrder {
+		for _, b := range c.hosts[hn].drainOut() {
 			c.routeBatch(b, next, dt)
 		}
 	}
+	for _, mid := range c.machineOrder {
+		for _, b := range c.machines[mid].CollectWire() {
+			c.routeBatch(b, next, dt)
+		}
+	}
+	c.trimFabric(next, dt)
 	c.pending = next
+	for _, cn := range c.conns {
+		cn.FlushFeedback()
+	}
+	for _, w := range c.windows {
+		w.refresh(now)
+	}
+	for _, t := range c.post {
+		t.Tick(now, dt)
+	}
+}
+
+// trimFabric applies FabricBps to next tick's machine-bound wire traffic:
+// flows get a max–min fair share of the fabric's per-tick byte budget and
+// the excess is dropped at "fabric/core", like an oversubscribed core
+// switch. Flows are keyed in first-seen canonical order so the allocation
+// never depends on map iteration.
+func (c *Cluster) trimFabric(next map[core.MachineID][]dataplane.Batch, dt time.Duration) {
+	if c.FabricBps <= 0 {
+		return
+	}
+	budget := sim.BytesIn(c.FabricBps, dt)
+	var flows []dataplane.FlowID
+	demand := map[dataplane.FlowID]int64{}
+	total := int64(0)
+	for _, mid := range c.machineOrder {
+		for _, b := range next[mid] {
+			if _, seen := demand[b.Flow]; !seen {
+				flows = append(flows, b.Flow)
+			}
+			demand[b.Flow] += b.Bytes
+			total += b.Bytes
+		}
+	}
+	if total <= budget {
+		return
+	}
+	demands := make([]float64, len(flows))
+	for i, f := range flows {
+		demands[i] = float64(demand[f])
+	}
+	alloc := sim.FairShare(float64(budget), demands)
+	allow := make(map[dataplane.FlowID]int64, len(flows))
+	for i, f := range flows {
+		allow[f] = int64(alloc[i])
+	}
+	for _, mid := range c.machineOrder {
+		arr := next[mid]
+		kept := arr[:0]
+		for _, b := range arr {
+			quota := allow[b.Flow]
+			if quota >= b.Bytes {
+				allow[b.Flow] = quota - b.Bytes
+				kept = append(kept, b)
+				continue
+			}
+			pass, drop := b.SplitBytes(quota)
+			allow[b.Flow] = 0
+			if pass.Bytes > 0 {
+				kept = append(kept, pass)
+			}
+			if drop.Bytes > 0 {
+				drop.NotifyDropped("fabric/core")
+			}
+		}
+		if len(kept) > 0 {
+			next[mid] = kept
+		} else {
+			delete(next, mid)
+		}
+	}
 }
 
 // routeBatch delivers a wire batch toward its flow's destination.

@@ -118,6 +118,20 @@ func NewTCPClient(addr string) *TCPClient {
 	return &TCPClient{Addr: addr, Timeout: 5 * time.Second}
 }
 
+// SkewOffset reports the live connection's agent-minus-controller clock
+// offset estimate in nanoseconds, and whether the link has observed any
+// sample. Connection-scoped: a redial starts a fresh estimate. Exposed so
+// operators (and the chaos lab) can read the per-agent skew the span
+// correction uses.
+func (c *TCPClient) SkewOffset() (int64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.link == nil {
+		return 0, false
+	}
+	return c.link.skew.Offset()
+}
+
 // NegotiatedCodec reports the payload codec of the most recent
 // connection ("" before the first successful dial).
 func (c *TCPClient) NegotiatedCodec() string {

@@ -96,7 +96,11 @@ func FindContentionAndBottleneck(ctl *controller.Controller, tid core.TenantID, 
 	start := time.Now()
 	defer func() { observeRun("contention", start, contentionVerdict(rep, err)) }()
 	ids := ctl.TenantElements(tid, func(_ core.ElementID, info core.ElementInfo) bool {
-		return info.Kind.InVirtualizationStack() || info.Kind == core.KindUnknown || info.Kind == core.KindPNIC
+		// Middleboxes are included because application-level elements can
+		// themselves lose packets (an IDS capture ring overflowing under
+		// CPU contention); ones without drop counters rank with zero loss.
+		return info.Kind.InVirtualizationStack() || info.Kind == core.KindUnknown ||
+			info.Kind == core.KindPNIC || info.Kind == core.KindMiddlebox
 	})
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("diagnosis: tenant %q has no virtualization-stack elements", tid)

@@ -21,7 +21,8 @@ func TestLocationOfKind(t *testing.T) {
 		{core.KindTUN, false, LocTUNIndividual},
 		{core.KindVSwitch, false, LocVSwitch},
 		{core.KindGuestSocket, false, LocGuestSocket},
-		{core.KindMiddlebox, false, LocNone},
+		{core.KindMiddlebox, false, LocMiddlebox},
+		{core.KindVNIC, false, LocNone},
 	} {
 		if got := LocationOfKind(tc.kind, tc.multiVM); got != tc.want {
 			t.Errorf("LocationOfKind(%v, %v) = %v; want %v", tc.kind, tc.multiVM, got, tc.want)

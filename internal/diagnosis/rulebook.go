@@ -59,6 +59,9 @@ const (
 	LocTUNIndividual // drops confined to one VM's TUN
 	LocVSwitch
 	LocGuestSocket
+	// LocMiddlebox is loss inside middlebox software itself — e.g. an
+	// IDS whose capture ring overflows when inspection cannot keep up.
+	LocMiddlebox
 )
 
 var locationNames = map[DropLocation]string{
@@ -70,6 +73,7 @@ var locationNames = map[DropLocation]string{
 	LocTUNIndividual:  "tun-individual",
 	LocVSwitch:        "vswitch",
 	LocGuestSocket:    "guest-socket",
+	LocMiddlebox:      "middlebox",
 }
 
 func (l DropLocation) String() string {
@@ -97,6 +101,8 @@ func LocationOfKind(k core.ElementKind, multiVM bool) DropLocation {
 		return LocVSwitch
 	case core.KindGuestSocket:
 		return LocGuestSocket
+	case core.KindMiddlebox:
+		return LocMiddlebox
 	}
 	return LocNone
 }
@@ -144,6 +150,10 @@ func (RuleBook) Candidates(loc DropLocation) []Resource {
 		return []Resource{ResourceVMBottleneck}
 	case LocGuestSocket:
 		return []Resource{ResourceVMBottleneck}
+	case LocMiddlebox:
+		// Application-level loss: either the machine's CPU is contended
+		// (the app's grant shrank) or the VM/app itself is undersized.
+		return []Resource{ResourceCPU, ResourceVMBottleneck}
 	}
 	return nil
 }
@@ -182,6 +192,13 @@ func (rb RuleBook) Infer(loc DropLocation, ev Evidence) Resource {
 		// No explicit symptom: memory bandwidth is the contention that
 		// hides (§2.3) — report it while keeping all candidates visible.
 		return ResourceMemoryBandwidth
+	case LocMiddlebox:
+		// A hot machine CPU says the app's grant was squeezed by
+		// contention; otherwise the app is simply undersized for its load.
+		if ev.CPUUtil >= hotCPU {
+			return ResourceCPU
+		}
+		return ResourceVMBottleneck
 	}
 	return cands[0]
 }

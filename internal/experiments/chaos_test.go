@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"perfsight/internal/core"
+)
+
+// TestParseChaosSpec drives the -chaos grammar table: every fault kind,
+// multi-fault specs, and each malformed-spec error path.
+func TestParseChaosSpec(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		want    []ChaosFault
+		wantErr string // substring of the error; "" = success
+	}{
+		{name: "empty", spec: "", want: nil},
+		{name: "blank", spec: "   ", want: nil},
+		{
+			name: "crash",
+			spec: "crash:agent=vm3@10s,heal=15s",
+			want: faultSpecs{{Kind: "crash", Agents: []string{"vm3"}, At: 10 * time.Second, Heal: 15 * time.Second}}.toFaults(),
+		},
+		{
+			name: "partition multi agent",
+			spec: "partition:agents=m1+m2@5s,heal=9s",
+			want: faultSpecs{{Kind: "partition", Agents: []string{"m1", "m2"}, At: 5 * time.Second, Heal: 9 * time.Second}}.toFaults(),
+		},
+		{
+			name: "skew with offset",
+			spec: "skew:agent=m1,offset=250ms@2s",
+			want: faultSpecs{{Kind: "skew", Agents: []string{"m1"}, At: 2 * time.Second, Offset: 250 * time.Millisecond}}.toFaults(),
+		},
+		{
+			name: "slowdisk",
+			spec: "slowdisk:agent=m0,latency=5ms@3s,heal=8s",
+			want: faultSpecs{{Kind: "slowdisk", Agents: []string{"m0"}, At: 3 * time.Second, Heal: 8 * time.Second, Latency: 5 * time.Millisecond}}.toFaults(),
+		},
+		{
+			name: "two faults",
+			spec: "crash:agent=m0@6s,heal=9s; skew:agent=m0,offset=100ms@1s",
+			want: faultSpecs{
+				{Kind: "crash", Agents: []string{"m0"}, At: 6 * time.Second, Heal: 9 * time.Second},
+				{Kind: "skew", Agents: []string{"m0"}, At: 1 * time.Second, Offset: 100 * time.Millisecond},
+			}.toFaults(),
+		},
+		{name: "missing colon", spec: "crash", wantErr: "missing ':'"},
+		{name: "unknown kind", spec: "meteor:agent=m0@5s", wantErr: "unknown fault kind"},
+		{name: "not key=value", spec: "crash:agent@5s", wantErr: "not key=value"},
+		{name: "unknown key", spec: "crash:agent=m0@5s,color=red", wantErr: "unknown key"},
+		{name: "no at time", spec: "crash:agent=m0,heal=9s", wantErr: "no '@time'"},
+		{name: "double at time", spec: "crash:agent=m0@5s,heal=9s@6s", wantErr: "more than once"},
+		{name: "bad at duration", spec: "crash:agent=m0@tomorrow", wantErr: "bad '@time'"},
+		{name: "bad heal duration", spec: "crash:agent=m0@5s,heal=later", wantErr: "bad heal"},
+		{name: "heal before at", spec: "crash:agent=m0@10s,heal=9s", wantErr: "not after"},
+		{name: "no agent", spec: "crash:heal=9s@5s", wantErr: "no agent"},
+		{name: "empty agent in list", spec: "partition:agents=m1+@5s", wantErr: "empty agent"},
+		{name: "skew without offset", spec: "skew:agent=m0@5s", wantErr: "missing offset"},
+		{name: "slowdisk without latency", spec: "slowdisk:agent=m0@5s", wantErr: "missing latency"},
+		{name: "only semicolons", spec: " ; ; ", wantErr: "no faults"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseChaosSpec(tc.spec)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseChaosSpec(%q) err = %v; want substring %q", tc.spec, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseChaosSpec(%q) unexpected error: %v", tc.spec, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("ParseChaosSpec(%q) = %d faults; want %d", tc.spec, len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i].String() != tc.want[i].String() {
+					t.Fatalf("fault %d = %+v; want %+v", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// faultSpecs adapts string agent names in test tables to ChaosFault.
+type faultSpec struct {
+	Kind    string
+	Agents  []string
+	At      time.Duration
+	Heal    time.Duration
+	Offset  time.Duration
+	Latency time.Duration
+}
+
+type faultSpecs []faultSpec
+
+func (fs faultSpecs) toFaults() []ChaosFault {
+	out := make([]ChaosFault, len(fs))
+	for i, f := range fs {
+		cf := ChaosFault{Kind: f.Kind, At: f.At, Heal: f.Heal, Offset: f.Offset, Latency: f.Latency}
+		for _, a := range f.Agents {
+			cf.Agents = append(cf.Agents, core.MachineID(a))
+		}
+		out[i] = cf
+	}
+	return out
+}
+
+// TestRunChaosLabDefaults runs all four fault experiments on the built-in
+// schedule and requires every assertion to hold.
+func TestRunChaosLabDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos lab advances tens of virtual seconds")
+	}
+	res, err := RunChaosLab("")
+	if err != nil {
+		t.Fatalf("RunChaosLab: %v", err)
+	}
+	if len(res.Outcomes) != 4 {
+		t.Fatalf("outcomes = %d; want 4", len(res.Outcomes))
+	}
+	if !res.AllCorrect() {
+		t.Fatalf("chaos checks failed:\n%s", res)
+	}
+	t.Logf("\n%s", res)
+}
+
+// TestRunChaosLabSpecOverride runs only the crash experiment at
+// spec-chosen times, and rejects specs the lab timeline cannot honor.
+func TestRunChaosLabSpecOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos lab advances tens of virtual seconds")
+	}
+	res, err := RunChaosLab("crash:agent=m0@6s,heal=10s")
+	if err != nil {
+		t.Fatalf("RunChaosLab(crash spec): %v", err)
+	}
+	if len(res.Outcomes) != 1 || !res.AllCorrect() {
+		t.Fatalf("spec-driven crash experiment failed:\n%s", res)
+	}
+	if _, err := RunChaosLab("crash:agent=m0@1s,heal=2s"); err == nil {
+		t.Fatal("crash window incompatible with the lab timeline must error")
+	}
+	if _, err := RunChaosLab("bogus"); err == nil {
+		t.Fatal("malformed spec must error")
+	}
+}

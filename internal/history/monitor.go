@@ -166,7 +166,10 @@ func (s *Store) DiagnoseStack(tid core.TenantID, window time.Duration, asOf int6
 	ivs := s.Intervals(tid, nil, window, asOf)
 	for id, iv := range ivs {
 		kind := iv.Cur.Kind()
-		if !kind.InVirtualizationStack() && kind != core.KindUnknown && kind != core.KindPNIC {
+		// Same element-kind set the live path samples (middleboxes rank
+		// too: application-level loss like an IDS capture ring counts).
+		if !kind.InVirtualizationStack() && kind != core.KindUnknown &&
+			kind != core.KindPNIC && kind != core.KindMiddlebox {
 			delete(ivs, id)
 		}
 	}

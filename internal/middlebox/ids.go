@@ -1,0 +1,237 @@
+package middlebox
+
+import (
+	"sync"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
+	"perfsight/internal/machine"
+)
+
+// IDSConfig parameterizes the Snort-like intrusion detection system.
+type IDSConfig struct {
+	// CyclesPerByte is the payload inspection cost (pattern matching over
+	// every byte) — far above a proxy's copy cost.
+	CyclesPerByte float64
+	// CyclesPerPacket is the per-packet decode + rule-tree walk cost.
+	CyclesPerPacket float64
+	// MembusFactor is memory-bus bytes per inspected byte (rule tables and
+	// reassembly buffers churn the bus).
+	MembusFactor float64
+	// BufBytes sizes the capture ring between the tap and the inspection
+	// loop. When inspection falls behind, arrivals beyond this are
+	// tail-dropped — the IDS's visible loss signal under CPU contention.
+	BufBytes int64
+	// AlertRatio is the fraction of inspected packets that raise an alert.
+	AlertRatio float64
+	// CPUHz converts cycles to time for accounting (DefaultCPUHz if 0).
+	CPUHz float64
+}
+
+func (c *IDSConfig) fill() {
+	if c.CyclesPerByte == 0 {
+		c.CyclesPerByte = 55
+	}
+	if c.CyclesPerPacket == 0 {
+		c.CyclesPerPacket = 9000
+	}
+	if c.MembusFactor == 0 {
+		c.MembusFactor = 6
+	}
+	if c.BufBytes == 0 {
+		c.BufBytes = 256 << 10
+	}
+	if c.AlertRatio == 0 {
+		c.AlertRatio = 0.001
+	}
+	if c.CPUHz == 0 {
+		c.CPUHz = DefaultCPUHz
+	}
+}
+
+// IDS models a Snort-like inline detector. Unlike a Forwarder it does not
+// backpressure its input: a packet tap drains the socket unconditionally
+// (the kernel already delivered the data) into a bounded capture ring, and
+// the inspection loop works the ring down at its per-byte/per-packet cost.
+// When the vCPU grant cannot keep up, the ring overflows and the excess is
+// tail-dropped — so an IDS under CPU contention LOSES packets where a
+// blocking middlebox would merely WriteBlock its upstream. Those drops are
+// exported as the standard drop counters, which is what lets Algorithm 1
+// rank the middlebox itself as a drop location (LocMiddlebox in the rule
+// book).
+type IDS struct {
+	Base
+	Cfg IDSConfig
+	Out Output
+
+	bufBytes int64 // capture-ring occupancy
+	bufPkts  int64
+
+	inspectedBytes int64
+	inspectedPkts  int64
+	droppedBytes   int64 // ring-overflow tail drops
+	droppedPkts    int64
+	alertAcc       float64
+}
+
+// NewIDS builds a Snort-like IDS with representative inspection costs.
+func NewIDS(id core.ElementID, capacityBps float64, out Output) *IDS {
+	return NewIDSWithConfig(id, capacityBps, IDSConfig{}, out)
+}
+
+// NewIDSWithConfig builds an IDS with explicit costs.
+func NewIDSWithConfig(id core.ElementID, capacityBps float64, cfg IDSConfig, out Output) *IDS {
+	cfg.fill()
+	return &IDS{Base: NewBase(id, capacityBps), Cfg: cfg, Out: out}
+}
+
+var _ machine.App = (*IDS)(nil)
+
+// DroppedPackets returns cumulative capture-ring tail drops.
+func (s *IDS) DroppedPackets() int64 { return s.droppedPkts }
+
+// InspectedBytes returns cumulative bytes that made it through inspection.
+func (s *IDS) InspectedBytes() int64 { return s.inspectedBytes }
+
+// Alerts returns the cumulative alert count.
+func (s *IDS) Alerts() int64 { return int64(s.alertAcc) }
+
+// CPUDemand implements machine.App: the backlog in the ring plus headroom
+// for line-rate arrivals, at the inspection cost.
+func (s *IDS) CPUDemand(dt time.Duration) float64 {
+	return (float64(s.bufBytes) + s.CapacityBps/8*dt.Seconds()) * s.Cfg.CyclesPerByte
+}
+
+// Step implements machine.App.
+func (s *IDS) Step(ctx *machine.AppContext) {
+	sock := ctx.VM.Socket
+	dt := ctx.Dt
+
+	// Capture phase: drain the socket unconditionally. Delivery feedback
+	// already fired when the kernel enqueued the data, so overflow here is
+	// a pure local loss (no retransmission) — exactly a pcap ring drop.
+	var capturedBytes int64
+	if avail := sock.RxAvailable(); avail > 0 {
+		for _, b := range sock.Read(avail) {
+			if s.Hist != nil {
+				s.Hist.ObserveN(b.AvgSize(), b.Packets)
+			}
+			take := b.Bytes
+			if free := s.Cfg.BufBytes - s.bufBytes; take > free {
+				take = free
+			}
+			if take < 0 {
+				take = 0
+			}
+			keptPkts := int64(b.Packets)
+			if take < b.Bytes && b.Bytes > 0 {
+				keptPkts = int64(b.Packets) * take / b.Bytes
+			}
+			s.bufBytes += take
+			s.bufPkts += keptPkts
+			capturedBytes += take
+			if lost := b.Bytes - take; lost > 0 {
+				s.droppedBytes += lost
+				s.droppedPkts += int64(b.Packets) - keptPkts
+			}
+		}
+	}
+
+	// Inspection phase: work the ring down as the vCPU and bus grants
+	// allow; an inline deployment also stalls on downstream space.
+	cpuBytes := ctx.VCPU.BytesFor(s.Cfg.CyclesPerByte)
+	if busBytes := ctx.Bus.WireBytesFor(s.Cfg.MembusFactor); busBytes < cpuBytes {
+		cpuBytes = busBytes
+	}
+	outFree := int64(^uint64(0) >> 1)
+	if s.Out != nil {
+		outFree = s.Out.Free()
+	}
+	inspect := s.bufBytes
+	if cpuBytes < inspect {
+		inspect = cpuBytes
+	}
+	if outFree < inspect {
+		inspect = outFree
+	}
+	if inspect < 0 {
+		inspect = 0
+	}
+	var pkts int64
+	if s.bufBytes > 0 {
+		pkts = s.bufPkts * inspect / s.bufBytes
+	}
+	s.bufBytes -= inspect
+	s.bufPkts -= pkts
+
+	cycles := float64(inspect)*s.Cfg.CyclesPerByte + float64(pkts)*s.Cfg.CyclesPerPacket
+	ctx.VCPU.SpendCycles(cycles)
+	ctx.Bus.SpendWireBytes(inspect, s.Cfg.MembusFactor)
+	s.inspectedBytes += inspect
+	s.inspectedPkts += pkts
+	s.alertAcc += s.Cfg.AlertRatio * float64(pkts)
+
+	var outPkts int
+	if s.Out != nil && inspect > 0 {
+		accepted := s.Out.Write(dataplane.Batch{Bytes: inspect})
+		outPkts = int(accepted / 1448)
+	}
+
+	inLimited := false
+	outLimited := false
+	switch {
+	case cpuBytes <= inspect: // inspection is compute (or bus) bound
+	case s.bufBytes == 0:
+		inLimited = true // ring drained, waiting for traffic
+	default:
+		outLimited = true // downstream space held inspection back
+	}
+	instr := s.Account(TickIO{
+		Dt:         dt,
+		InBytes:    capturedBytes,
+		OutBytes:   inspect,
+		ProcNS:     int64(cycles / s.Cfg.CPUHz * 1e9),
+		InLimited:  inLimited,
+		OutLimited: outLimited,
+		InPackets:  int(pkts),
+		OutPackets: outPkts,
+	})
+	ctx.VCPU.SpendCycles(instr)
+
+	if s.Out != nil {
+		s.Out.Pump(dt)
+	}
+}
+
+// Snapshot implements machine.App: the Base record plus the drop counters
+// (so Algorithm 1 sees the ring overflow) and the IDS's own extension
+// attributes.
+func (s *IDS) Snapshot(ts int64) core.Record {
+	rec := s.Base.Snapshot(ts)
+	alerts, ring := idsAttrs()
+	rec.Attrs = append(rec.Attrs,
+		core.Attr{ID: core.AttrDropPackets, Value: float64(s.droppedPkts)},
+		core.Attr{ID: core.AttrDropBytes, Value: float64(s.droppedBytes)},
+		core.Attr{ID: alerts, Value: float64(int64(s.alertAcc))},
+		core.Attr{ID: ring, Value: float64(s.bufBytes)},
+	)
+	return rec
+}
+
+var (
+	idsAttrsOnce    sync.Once
+	attrIDSAlerts   core.AttrID
+	attrIDSRingOccu core.AttrID
+)
+
+// idsAttrs lazily registers the IDS extension attributes in the schema
+// registry (shared with the wire format, so controllers resolve them by
+// name).
+func idsAttrs() (alerts, ringBytes core.AttrID) {
+	idsAttrsOnce.Do(func() {
+		attrIDSAlerts, _ = core.RegisterAttr("ids_alerts", core.SemCounter, "alerts")
+		attrIDSRingOccu, _ = core.RegisterAttr("ids_ring_bytes", core.SemGauge, "bytes")
+	})
+	return attrIDSAlerts, attrIDSRingOccu
+}

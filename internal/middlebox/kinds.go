@@ -1,6 +1,9 @@
 package middlebox
 
-import "perfsight/internal/core"
+import (
+	"perfsight/internal/core"
+	"perfsight/internal/machine"
+)
 
 // MboxKind names the middlebox types used across the evaluation (Fig 15
 // compares their instrumentation overhead).
@@ -15,33 +18,52 @@ const (
 	KindFirewall
 	KindNAT
 	KindTranscoder
+	// KindIDS is the Snort-like detector with a bounded capture ring that
+	// tail-drops under CPU contention (see IDS).
+	KindIDS
+	// KindSmartCache is the SmartRE-style cache whose output rate follows
+	// a warming hit ratio (see SmartCache).
+	KindSmartCache
 )
+
+// kindNames holds the display names in kind order; MboxKindFromString
+// accepts exactly these.
+var kindNames = [...]string{
+	KindProxy:      "proxy",
+	KindLB:         "lb",
+	KindCache:      "cache",
+	KindRE:         "re",
+	KindIPS:        "ips",
+	KindFirewall:   "firewall",
+	KindNAT:        "nat",
+	KindTranscoder: "transcoder",
+	KindIDS:        "ids",
+	KindSmartCache: "smartcache",
+}
 
 // String returns the kind's display name.
 func (k MboxKind) String() string {
-	switch k {
-	case KindProxy:
-		return "proxy"
-	case KindLB:
-		return "lb"
-	case KindCache:
-		return "cache"
-	case KindRE:
-		return "re"
-	case KindIPS:
-		return "ips"
-	case KindFirewall:
-		return "firewall"
-	case KindNAT:
-		return "nat"
-	case KindTranscoder:
-		return "transcoder"
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
 	}
 	return "unknown"
 }
 
+// MboxKindFromString resolves a display name (as used in lab flags) back
+// to its kind.
+func MboxKindFromString(s string) (MboxKind, bool) {
+	for k, name := range kindNames {
+		if name == s {
+			return MboxKind(k), true
+		}
+	}
+	return 0, false
+}
+
 // NewOfKind builds a forwarding middlebox of the named kind with its
-// representative costs.
+// representative costs. Kinds that are not plain Forwarders (IDS,
+// SmartCache) fall back to their closest Forwarder approximation here;
+// use NewAppOfKind to get the real models.
 func NewOfKind(k MboxKind, id core.ElementID, capacityBps float64, out Output) *Forwarder {
 	switch k {
 	case KindLB:
@@ -50,15 +72,32 @@ func NewOfKind(k MboxKind, id core.ElementID, capacityBps float64, out Output) *
 		return NewCache(id, capacityBps, 0.3, out)
 	case KindRE:
 		return NewRedundancyEliminator(id, capacityBps, 0.5, out)
-	case KindIPS:
+	case KindIPS, KindIDS:
 		return NewIPS(id, capacityBps, out)
 	case KindFirewall:
 		return NewFirewall(id, capacityBps, 0.05, out)
 	case KindNAT:
 		return NewNAT(id, capacityBps, out)
+	case KindSmartCache:
+		return NewCache(id, capacityBps, 0.6, out)
 	case KindTranscoder:
 		return NewTranscoder(id, capacityBps, out)
 	default:
 		return NewProxy(id, capacityBps, out)
+	}
+}
+
+// NewAppOfKind builds a middlebox app of the named kind. Unlike NewOfKind
+// it can return the kinds that are not Forwarders — the IDS with its drop
+// behavior and the warming SmartCache — so scenario builders can place any
+// kind by name.
+func NewAppOfKind(k MboxKind, id core.ElementID, capacityBps float64, out Output) machine.App {
+	switch k {
+	case KindIDS:
+		return NewIDS(id, capacityBps, out)
+	case KindSmartCache:
+		return NewSmartCache(id, capacityBps, out)
+	default:
+		return NewOfKind(k, id, capacityBps, out)
 	}
 }

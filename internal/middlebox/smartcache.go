@@ -1,0 +1,216 @@
+package middlebox
+
+import (
+	"sync"
+	"time"
+
+	"perfsight/internal/core"
+	"perfsight/internal/dataplane"
+	"perfsight/internal/machine"
+)
+
+// SmartCacheConfig parameterizes the SmartRE-style caching element.
+type SmartCacheConfig struct {
+	// CyclesPerByte is the chunk fingerprinting + index lookup cost.
+	CyclesPerByte float64
+	// CyclesPerPacket is the per-packet framing overhead.
+	CyclesPerPacket float64
+	// MembusFactor is memory-bus bytes per processed byte (the chunk store
+	// is a large, cache-hostile hash table).
+	MembusFactor float64
+	// MaxHitRatio is the steady-state fraction of input bytes served from
+	// the cache (suppressed from the output stream).
+	MaxHitRatio float64
+	// WarmupBytes is how much traffic the cache must see before the hit
+	// ratio ramps to MaxHitRatio; a cold cache forwards everything.
+	WarmupBytes int64
+	// CPUHz converts cycles to time for accounting (DefaultCPUHz if 0).
+	CPUHz float64
+}
+
+func (c *SmartCacheConfig) fill() {
+	if c.CyclesPerByte == 0 {
+		c.CyclesPerByte = 20
+	}
+	if c.CyclesPerPacket == 0 {
+		c.CyclesPerPacket = 4500
+	}
+	if c.MembusFactor == 0 {
+		c.MembusFactor = 6
+	}
+	if c.MaxHitRatio == 0 {
+		c.MaxHitRatio = 0.6
+	}
+	if c.WarmupBytes == 0 {
+		c.WarmupBytes = 8 << 20
+	}
+	if c.CPUHz == 0 {
+		c.CPUHz = DefaultCPUHz
+	}
+}
+
+// SmartCache models a SmartRE-style redundancy-elimination cache: every
+// input byte is fingerprinted, hits are suppressed, and only misses reach
+// the output. Unlike the static-ratio NewCache forwarder, its output rate
+// is a FUNCTION of the hit ratio, which itself warms with observed
+// traffic — so the element's in:out byte ratio drifts over a run, the
+// signature Algorithm 2 must not misread as a developing bottleneck.
+type SmartCache struct {
+	Base
+	Cfg SmartCacheConfig
+	Out Output
+
+	seen      int64 // cumulative fingerprinted bytes (drives warmup)
+	hitBytes  int64
+	missBytes int64
+}
+
+// NewSmartCache builds a SmartRE-style cache with representative costs.
+func NewSmartCache(id core.ElementID, capacityBps float64, out Output) *SmartCache {
+	return NewSmartCacheWithConfig(id, capacityBps, SmartCacheConfig{}, out)
+}
+
+// NewSmartCacheWithConfig builds a cache with explicit costs.
+func NewSmartCacheWithConfig(id core.ElementID, capacityBps float64, cfg SmartCacheConfig, out Output) *SmartCache {
+	cfg.fill()
+	return &SmartCache{Base: NewBase(id, capacityBps), Cfg: cfg, Out: out}
+}
+
+var _ machine.App = (*SmartCache)(nil)
+
+// HitRatio returns the current hit ratio: MaxHitRatio scaled by how far
+// the warmup has progressed.
+func (s *SmartCache) HitRatio() float64 {
+	warm := float64(s.seen) / float64(s.Cfg.WarmupBytes)
+	if warm > 1 {
+		warm = 1
+	}
+	return s.Cfg.MaxHitRatio * warm
+}
+
+// HitBytes returns cumulative bytes served from the cache.
+func (s *SmartCache) HitBytes() int64 { return s.hitBytes }
+
+// MissBytes returns cumulative bytes forwarded to the output.
+func (s *SmartCache) MissBytes() int64 { return s.missBytes }
+
+// CPUDemand implements machine.App.
+func (s *SmartCache) CPUDemand(dt time.Duration) float64 {
+	return s.CapacityBps / 8 * dt.Seconds() * s.Cfg.CyclesPerByte
+}
+
+// Step implements machine.App.
+func (s *SmartCache) Step(ctx *machine.AppContext) {
+	sock := ctx.VM.Socket
+	dt := ctx.Dt
+
+	// The ratio for this tick is fixed at tick start — warming applies
+	// from the next tick, keeping the trajectory deterministic.
+	hr := s.HitRatio()
+	keep := 1 - hr
+
+	inAvail := sock.RxAvailable()
+	cpuBytes := ctx.VCPU.BytesFor(s.Cfg.CyclesPerByte)
+	if busBytes := ctx.Bus.WireBytesFor(s.Cfg.MembusFactor); busBytes < cpuBytes {
+		cpuBytes = busBytes
+	}
+	// Downstream space maps back to admissible input through the CURRENT
+	// keep ratio: a warm cache can absorb far more input per output byte.
+	inByOut := int64(^uint64(0) >> 1)
+	if s.Out != nil && keep > 0 {
+		inByOut = int64(float64(s.Out.Free()) / keep)
+	}
+
+	moved := inAvail
+	if cpuBytes < moved {
+		moved = cpuBytes
+	}
+	if inByOut < moved {
+		moved = inByOut
+	}
+	if moved < 0 {
+		moved = 0
+	}
+
+	var inPkts int
+	var readBytes int64
+	if moved > 0 {
+		for _, b := range sock.Read(moved) {
+			inPkts += b.Packets
+			readBytes += b.Bytes
+			if s.Hist != nil {
+				s.Hist.ObserveN(b.AvgSize(), b.Packets)
+			}
+		}
+	}
+	cycles := float64(readBytes)*s.Cfg.CyclesPerByte + float64(inPkts)*s.Cfg.CyclesPerPacket
+	ctx.VCPU.SpendCycles(cycles)
+	ctx.Bus.SpendWireBytes(readBytes, s.Cfg.MembusFactor)
+
+	s.seen += readBytes
+	hit := int64(hr * float64(readBytes))
+	miss := readBytes - hit
+	s.hitBytes += hit
+	s.missBytes += miss
+
+	var outPkts int
+	if s.Out != nil && miss > 0 {
+		accepted := s.Out.Write(dataplane.Batch{Bytes: miss})
+		outPkts = int(accepted / 1448)
+	}
+
+	inLimited := false
+	outLimited := false
+	switch {
+	case cpuBytes <= moved: // fingerprinting is compute (or bus) bound
+	case inAvail <= moved:
+		inLimited = true
+	default:
+		outLimited = true
+	}
+	instr := s.Account(TickIO{
+		Dt:         dt,
+		InBytes:    readBytes,
+		OutBytes:   miss,
+		ProcNS:     int64(cycles / s.Cfg.CPUHz * 1e9),
+		InLimited:  inLimited,
+		OutLimited: outLimited,
+		InPackets:  inPkts,
+		OutPackets: outPkts,
+	})
+	ctx.VCPU.SpendCycles(instr)
+
+	if s.Out != nil {
+		s.Out.Pump(dt)
+	}
+}
+
+// Snapshot implements machine.App: the Base record plus the cache's
+// extension attributes (hit/miss bytes and the live hit ratio).
+func (s *SmartCache) Snapshot(ts int64) core.Record {
+	rec := s.Base.Snapshot(ts)
+	hitID, missID, ratioID := cacheAttrs()
+	rec.Attrs = append(rec.Attrs,
+		core.Attr{ID: hitID, Value: float64(s.hitBytes)},
+		core.Attr{ID: missID, Value: float64(s.missBytes)},
+		core.Attr{ID: ratioID, Value: s.HitRatio()},
+	)
+	return rec
+}
+
+var (
+	cacheAttrsOnce sync.Once
+	attrCacheHit   core.AttrID
+	attrCacheMiss  core.AttrID
+	attrCacheRatio core.AttrID
+)
+
+// cacheAttrs lazily registers the cache extension attributes.
+func cacheAttrs() (hit, miss, ratio core.AttrID) {
+	cacheAttrsOnce.Do(func() {
+		attrCacheHit, _ = core.RegisterAttr("cache_hit_bytes", core.SemCounter, "bytes")
+		attrCacheMiss, _ = core.RegisterAttr("cache_miss_bytes", core.SemCounter, "bytes")
+		attrCacheRatio, _ = core.RegisterAttr("cache_hit_ratio", core.SemGauge, "ratio")
+	})
+	return attrCacheHit, attrCacheMiss, attrCacheRatio
+}

@@ -15,6 +15,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"time"
 )
@@ -71,12 +72,15 @@ func (e *Engine) Step() {
 	}
 }
 
-// Run advances virtual time by d (rounded down to whole ticks).
+// Run advances virtual time by at least d. Rounding contract: time only
+// moves in whole ticks, so a d that is not a multiple of the tick size is
+// rounded UP — Run(d) is exactly RunUntil(Now()+d), and Run never silently
+// drops a sub-tick remainder. Run(0) and negative d are no-ops.
 func (e *Engine) Run(d time.Duration) {
-	steps := int(d / e.dt)
-	for i := 0; i < steps; i++ {
-		e.Step()
+	if d <= 0 {
+		return
 	}
+	e.RunUntil(e.now + d)
 }
 
 // RunUntil advances virtual time until Now() >= t.
@@ -240,12 +244,23 @@ func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
-// Intn returns a value in [0, n).
+// Intn returns a uniform value in [0, n). It uses Lemire's bounded
+// rejection method (multiply-shift with a rare retry) rather than a plain
+// modulo, which would skew low values whenever 2^64 is not a multiple of n.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("sim: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		// Reject the biased fringe: values below 2^64 mod n.
+		thresh := -un % un
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Jitter returns v scaled by a uniform factor in [1-f, 1+f].

@@ -10,6 +10,8 @@
 package stream
 
 import (
+	"cmp"
+	"slices"
 	"sync"
 	"time"
 
@@ -88,8 +90,22 @@ type Conn struct {
 	sinceLastPump int64   // bytes delivered since the previous tick's Pump
 	paceRemaining int64   // unspent pace credit within the current tick
 
+	// Deferred-feedback mode (parallel lab): Delivered/Dropped calls made
+	// during a tick's parallel phases are queued instead of applied, then
+	// applied in canonical order by FlushFeedback during the serial commit.
+	deferFB   bool
+	pendingFB []fbEvent
+
 	emit Emitter
 	rwnd Window
+}
+
+// fbEvent is one queued feedback notification.
+type fbEvent struct {
+	drop    bool
+	packets int
+	bytes   int64
+	where   core.ElementID
 }
 
 // NewConn builds a connection for the given flow.
@@ -203,10 +219,66 @@ func (c *Conn) Pump(dt time.Duration) {
 	}
 }
 
+// DeferFeedback switches the connection into deferred-feedback mode: from
+// now on Delivered/Dropped only queue, and the owner must call
+// FlushFeedback once per tick (from serialized commit code). This is what
+// makes a flow whose batches are touched by concurrently-ticking shards
+// deterministic — the queue absorbs the nondeterministic arrival order and
+// the flush replays it in a canonical one.
+func (c *Conn) DeferFeedback() {
+	c.mu.Lock()
+	c.deferFB = true
+	c.mu.Unlock()
+}
+
+// FlushFeedback applies queued feedback in canonical order: deliveries
+// before drops, then by (where, bytes, packets). Events with equal keys are
+// identical operations, so any arrival order collapses to the same state —
+// the determinism argument for cross-domain flows. No-op when nothing is
+// queued.
+func (c *Conn) FlushFeedback() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pendingFB) == 0 {
+		return
+	}
+	slices.SortFunc(c.pendingFB, func(a, b fbEvent) int {
+		if a.drop != b.drop {
+			if a.drop {
+				return 1
+			}
+			return -1
+		}
+		if d := cmp.Compare(a.where, b.where); d != 0 {
+			return d
+		}
+		if d := cmp.Compare(a.bytes, b.bytes); d != 0 {
+			return d
+		}
+		return cmp.Compare(a.packets, b.packets)
+	})
+	for _, ev := range c.pendingFB {
+		if ev.drop {
+			c.applyDropped(ev.bytes, ev.where)
+		} else {
+			c.applyDelivered(ev.bytes)
+		}
+	}
+	c.pendingFB = c.pendingFB[:0]
+}
+
 // Delivered implements dataplane.Feedback: data reached the receiver.
 func (c *Conn) Delivered(packets int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.deferFB {
+		c.pendingFB = append(c.pendingFB, fbEvent{packets: packets, bytes: bytes})
+		return
+	}
+	c.applyDelivered(bytes)
+}
+
+func (c *Conn) applyDelivered(bytes int64) {
 	c.inFlight -= bytes
 	if c.inFlight < 0 {
 		c.inFlight = 0
@@ -227,6 +299,14 @@ func (c *Conn) Delivered(packets int, bytes int64) {
 func (c *Conn) Dropped(packets int, bytes int64, where core.ElementID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.deferFB {
+		c.pendingFB = append(c.pendingFB, fbEvent{drop: true, packets: packets, bytes: bytes, where: where})
+		return
+	}
+	c.applyDropped(bytes, where)
+}
+
+func (c *Conn) applyDropped(bytes int64, where core.ElementID) {
 	c.inFlight -= bytes
 	if c.inFlight < 0 {
 		c.inFlight = 0

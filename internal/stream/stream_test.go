@@ -226,3 +226,55 @@ func TestConnFlowIdentity(t *testing.T) {
 		t.Fatal("emitted batch must carry the conn as feedback")
 	}
 }
+
+// TestDeferredFeedbackCanonicalOrder: a conn in deferred mode fed the same
+// feedback events in two different arrival orders must land in identical
+// state after FlushFeedback — the property the parallel lab's commit phase
+// relies on.
+func TestDeferredFeedbackCanonicalOrder(t *testing.T) {
+	run := func(order []int) Stats {
+		e := &collectEmitter{accept: -1}
+		c := newConn(Config{}, e, sinkWindow(1<<30))
+		c.Write(1 << 20)
+		c.Pump(time.Millisecond)
+		c.DeferFeedback()
+		events := []func(){
+			func() { c.Delivered(4, 4096) },
+			func() { c.Dropped(1, 1448, "m0/vswitch") },
+			func() { c.Delivered(2, 2048) },
+			func() { c.Dropped(1, 1448, "m1/vnic") },
+		}
+		for _, i := range order {
+			events[i]()
+		}
+		c.FlushFeedback()
+		return c.Stats()
+	}
+	a := run([]int{0, 1, 2, 3})
+	b := run([]int{3, 2, 1, 0})
+	if a != b {
+		t.Fatalf("deferred feedback is order-sensitive:\n a=%+v\n b=%+v", a, b)
+	}
+	if a.Delivered != 4096+2048 || a.Lost != 2*1448 {
+		t.Fatalf("flush lost events: %+v", a)
+	}
+}
+
+// TestDeferredFeedbackNotAppliedUntilFlush: queued events must not touch
+// conn state mid-tick.
+func TestDeferredFeedbackNotAppliedUntilFlush(t *testing.T) {
+	e := &collectEmitter{accept: -1}
+	c := newConn(Config{}, e, sinkWindow(1<<30))
+	c.Write(1 << 20)
+	c.Pump(time.Millisecond)
+	before := c.Stats()
+	c.DeferFeedback()
+	c.Delivered(4, 4096)
+	if got := c.Stats(); got.Delivered != before.Delivered || got.InFlight != before.InFlight {
+		t.Fatalf("deferred Delivered applied early: %+v vs %+v", got, before)
+	}
+	c.FlushFeedback()
+	if got := c.Stats(); got.Delivered != before.Delivered+4096 {
+		t.Fatalf("flush did not apply: %+v", got)
+	}
+}
